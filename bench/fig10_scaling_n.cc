@@ -1,0 +1,84 @@
+// Reproduces Fig. 10: solution quality and running time on synthetic
+// datasets with varying n (10^3 .. 10^7), m ∈ {2, 10}, k = 20.
+//
+// The argument-free default sweeps n up to 10^6 (10^5 for the offline
+// baselines' largest point); pass --full for the paper's 10^7.
+//
+// Shapes to expect: diversity roughly flat (slightly growing) in n and
+// close across algorithms at m=2, with SFDM2 ≫ FairFlow at m=10; offline
+// time grows linearly in n while the streaming algorithms' per-element
+// cost is flat (total stream time linear but with a tiny constant — the
+// "orders of magnitude faster in the streaming setting" claim).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "data/synthetic.h"
+
+namespace fdm::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  Banner("Fig. 10: scalability with varying n (synthetic, k = 20)", options);
+  const int k = 20;
+
+  std::vector<size_t> sizes{1000, 10000, 100000, 1000000};
+  if (options.full) sizes.push_back(10000000);
+
+  TablePrinter table({"m", "n", "algorithm", "diversity", "time(s)",
+                      "avg update(ms)"});
+  for (const int m : {2, 10}) {
+    for (const size_t n : sizes) {
+      BlobsOptions blob_options;
+      blob_options.n = n;
+      blob_options.num_groups = m;
+      blob_options.seed = options.seed;
+      const Dataset ds = MakeBlobs(blob_options);
+      const auto constraint = EqualRepresentation(k, m);
+      if (!constraint.ok()) continue;
+      const DistanceBounds bounds = BoundsForExperiments(ds);
+
+      std::vector<AlgorithmKind> algorithms{AlgorithmKind::kFairFlow,
+                                            AlgorithmKind::kSfdm2};
+      if (m == 2) {
+        algorithms.insert(algorithms.begin(), AlgorithmKind::kFairSwap);
+        algorithms.insert(algorithms.end() - 1, AlgorithmKind::kSfdm1);
+      }
+      // Paper averages 10 runs; very large n cells use fewer repetitions
+      // to keep the argument-free run laptop-sized.
+      const int runs = n >= 1000000 ? std::max(1, options.runs / 3)
+                                    : options.runs;
+      for (const AlgorithmKind algo : algorithms) {
+        RunConfig config;
+        config.algorithm = algo;
+        config.constraint = constraint.value();
+        config.epsilon = 0.1;
+        config.bounds = bounds;
+        const AggregateResult r = RunRepeated(ds, config, runs);
+        table.AddRow({std::to_string(m), std::to_string(n),
+                      std::string(AlgorithmName(algo)),
+                      Cell(r.ok_runs > 0, r.diversity, 4),
+                      Cell(r.ok_runs > 0, PaperTimeSeconds(r, algo), 5),
+                      Cell(r.ok_runs > 0, r.avg_update_ms, 5)});
+      }
+      std::printf("[done] m=%d n=%zu\n", m, n);
+      std::fflush(stdout);
+    }
+  }
+
+  std::printf("\n");
+  table.Print(std::cout);
+  if (EnsureDirectory(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/fig10_scaling_n.csv");
+    std::printf("\nCSV written to %s/fig10_scaling_n.csv\n",
+                options.out_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm::bench
+
+int main(int argc, char** argv) { return fdm::bench::Main(argc, argv); }

@@ -1,0 +1,91 @@
+// Reproduces Fig. 5: performance of SFDM1 and SFDM2 with varying parameter
+// ε (k = 20) — diversity, running time, and #stored elements on
+// Adult/CelebA/Census (sex, m=2, ε ∈ {0.05..0.25}) and Lyrics (genre,
+// m=15, ε ∈ {0.02..0.1}).
+//
+// Shapes to expect: time and #elements drop sharply as ε grows (fewer
+// ladder rungs); diversity stays roughly flat.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace fdm::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  Banner("Fig. 5: effect of parameter ε (k = 20)", options);
+  const int k = 20;
+
+  struct Panel {
+    std::string label;
+    Dataset dataset;
+    std::vector<double> epsilons;
+    bool sfdm1;  // m = 2 panels run both algorithms
+  };
+  std::vector<Panel> panels;
+  panels.push_back({"Adult (Sex, m=2)",
+                    SimulatedAdult(AdultGrouping::kSex, options.seed,
+                                   options.Size(48842, 48842)),
+                    {0.05, 0.1, 0.15, 0.2, 0.25},
+                    true});
+  panels.push_back({"CelebA (Sex, m=2)",
+                    SimulatedCelebA(CelebAGrouping::kSex, options.seed,
+                                    options.Size(40000, 202599)),
+                    {0.05, 0.1, 0.15, 0.2, 0.25},
+                    true});
+  panels.push_back({"Census (Sex, m=2)",
+                    SimulatedCensus(CensusGrouping::kSex, options.seed,
+                                    options.Size(40000, kCensusFullSize)),
+                    {0.05, 0.1, 0.15, 0.2, 0.25},
+                    true});
+  panels.push_back({"Lyrics (Genre, m=15)",
+                    SimulatedLyrics(options.seed, options.Size(25000, 122448)),
+                    {0.02, 0.04, 0.06, 0.08, 0.1},
+                    false});
+
+  TablePrinter table({"panel", "epsilon", "algorithm", "diversity", "time(s)",
+                      "#elem"});
+  for (const auto& panel : panels) {
+    const Dataset& ds = panel.dataset;
+    const auto constraint = EqualRepresentation(k, ds.num_groups());
+    if (!constraint.ok()) continue;
+    const DistanceBounds bounds = BoundsForExperiments(ds);
+    for (const double epsilon : panel.epsilons) {
+      std::vector<AlgorithmKind> algorithms;
+      if (panel.sfdm1) algorithms.push_back(AlgorithmKind::kSfdm1);
+      algorithms.push_back(AlgorithmKind::kSfdm2);
+      for (const AlgorithmKind algo : algorithms) {
+        RunConfig config;
+        config.algorithm = algo;
+        config.constraint = constraint.value();
+        config.epsilon = epsilon;
+        config.bounds = bounds;
+        const AggregateResult r = RunRepeated(ds, config, options.runs);
+        table.AddRow({panel.label, Cell(true, epsilon, 2),
+                      std::string(AlgorithmName(algo)),
+                      Cell(r.ok_runs > 0, r.diversity, 4),
+                      Cell(r.ok_runs > 0, PaperTimeSeconds(r, algo), 5),
+                      Cell(r.ok_runs > 0, r.stored_elements, 1)});
+      }
+    }
+    std::printf("[done] %s (n=%zu)\n", panel.label.c_str(), ds.size());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n");
+  table.Print(std::cout);
+  if (EnsureDirectory(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/fig5_epsilon.csv");
+    std::printf("\nCSV written to %s/fig5_epsilon.csv\n",
+                options.out_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm::bench
+
+int main(int argc, char** argv) { return fdm::bench::Main(argc, argv); }

@@ -1,0 +1,66 @@
+// Reproduces Fig. 7: running time with varying k on the same eight panels
+// as Fig. 6 (GMM is excluded, as in the paper's figure).
+//
+// Shapes to expect: every algorithm's time grows with k; the streaming
+// algorithms sit orders of magnitude below the offline baselines; SFDM2's
+// time rises fastest in k when m is large (quadratic post-processing).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace fdm::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  Banner("Fig. 7: running time with varying k", options);
+
+  // time(s) uses the paper's semantics: cost to produce a solution on
+  // demand (offline: full recompute; streaming: post-processing). The
+  // stream(s)/post(s) columns expose the raw decomposition.
+  TablePrinter table({"panel", "k", "algorithm", "time(s)", "stream(s)",
+                      "post(s)"});
+  for (const auto& panel : KSweepPanels(options)) {
+    const Dataset& ds = panel.dataset;
+    const int m = ds.num_groups();
+    const DistanceBounds bounds = BoundsForExperiments(ds);
+    const std::string panel_label =
+        panel.dataset_label + " " + panel.group_label;
+    for (const int k : KValues(m, options.full)) {
+      const auto constraint = EqualRepresentation(k, m);
+      if (!constraint.ok()) continue;
+      for (const AlgorithmKind algo :
+           ApplicableAlgorithms(m, k, /*include_gmm=*/false)) {
+        RunConfig config;
+        config.algorithm = algo;
+        config.constraint = constraint.value();
+        config.epsilon = panel.epsilon;
+        config.bounds = bounds;
+        const AggregateResult r = RunRepeated(ds, config, options.runs);
+        table.AddRow({panel_label, std::to_string(k),
+                      std::string(AlgorithmName(algo)),
+                      Cell(r.ok_runs > 0, PaperTimeSeconds(r, algo), 5),
+                      Cell(r.ok_runs > 0, r.stream_time_sec, 4),
+                      Cell(r.ok_runs > 0, r.post_time_sec, 4)});
+      }
+    }
+    std::printf("[done] %s (n=%zu)\n", panel_label.c_str(), ds.size());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n");
+  table.Print(std::cout);
+  if (EnsureDirectory(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/fig7_time_vs_k.csv");
+    std::printf("\nCSV written to %s/fig7_time_vs_k.csv\n",
+                options.out_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm::bench
+
+int main(int argc, char** argv) { return fdm::bench::Main(argc, argv); }

@@ -1,0 +1,84 @@
+// Reproduces Fig. 8: number of stored elements with varying k for SFDM1
+// and SFDM2 on Adult (sex m=2, race m=5) and Census (sex m=2, age m=7).
+//
+// Shapes to expect: stored elements grow linearly with k for both
+// algorithms; SFDM2 stores more than SFDM1, and more for larger m (its
+// group-specific candidates have capacity k each).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+
+namespace fdm::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchOptions options = BenchOptions::Parse(argc, argv);
+  Banner("Fig. 8: stored elements with varying k", options);
+
+  struct Series {
+    std::string label;
+    Dataset dataset;
+    AlgorithmKind algorithm;
+  };
+  const size_t adult_n = options.Size(20000, 48842);
+  const size_t census_n = options.Size(20000, kCensusFullSize);
+  std::vector<Series> series;
+  series.push_back({"Adult SFDM1",
+                    SimulatedAdult(AdultGrouping::kSex, options.seed, adult_n),
+                    AlgorithmKind::kSfdm1});
+  series.push_back({"Adult SFDM2(sex)",
+                    SimulatedAdult(AdultGrouping::kSex, options.seed, adult_n),
+                    AlgorithmKind::kSfdm2});
+  series.push_back({"Adult SFDM2(race)",
+                    SimulatedAdult(AdultGrouping::kRace, options.seed, adult_n),
+                    AlgorithmKind::kSfdm2});
+  series.push_back({"Census SFDM1",
+                    SimulatedCensus(CensusGrouping::kSex, options.seed,
+                                    census_n),
+                    AlgorithmKind::kSfdm1});
+  series.push_back({"Census SFDM2(sex)",
+                    SimulatedCensus(CensusGrouping::kSex, options.seed,
+                                    census_n),
+                    AlgorithmKind::kSfdm2});
+  series.push_back({"Census SFDM2(age)",
+                    SimulatedCensus(CensusGrouping::kAge, options.seed,
+                                    census_n),
+                    AlgorithmKind::kSfdm2});
+
+  TablePrinter table({"series", "k", "#elements"});
+  for (const auto& s : series) {
+    const Dataset& ds = s.dataset;
+    const int m = ds.num_groups();
+    const DistanceBounds bounds = BoundsForExperiments(ds);
+    for (const int k : KValues(m, options.full)) {
+      const auto constraint = EqualRepresentation(k, m);
+      if (!constraint.ok()) continue;
+      RunConfig config;
+      config.algorithm = s.algorithm;
+      config.constraint = constraint.value();
+      config.epsilon = 0.1;
+      config.bounds = bounds;
+      const AggregateResult r = RunRepeated(ds, config, options.runs);
+      table.AddRow({s.label, std::to_string(k),
+                    Cell(r.ok_runs > 0, r.stored_elements, 1)});
+    }
+    std::printf("[done] %s (n=%zu)\n", s.label.c_str(), ds.size());
+    std::fflush(stdout);
+  }
+
+  std::printf("\n");
+  table.Print(std::cout);
+  if (EnsureDirectory(options.out_dir)) {
+    (void)table.WriteCsv(options.out_dir + "/fig8_memory_vs_k.csv");
+    std::printf("\nCSV written to %s/fig8_memory_vs_k.csv\n",
+                options.out_dir.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm::bench
+
+int main(int argc, char** argv) { return fdm::bench::Main(argc, argv); }

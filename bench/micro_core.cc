@@ -1,0 +1,144 @@
+// Google-benchmark micro suite for the core primitives (not a paper
+// table/figure; used to track per-operation costs of the hot paths):
+// distance kernels, streaming candidate insertion, threshold clustering,
+// GMM, matroid intersection, and end-to-end per-element stream cost.
+
+#include <benchmark/benchmark.h>
+
+#include "core/clustering.h"
+#include "core/gmm.h"
+#include "core/matroid.h"
+#include "core/matroid_intersection.h"
+#include "core/sfdm2.h"
+#include "core/streaming_candidate.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+void BM_DistanceKernel(benchmark::State& state, MetricKind kind) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<double> a(dim), b(dim);
+  for (size_t d = 0; d < dim; ++d) {
+    a[d] = rng.NextDouble();
+    b[d] = rng.NextDouble();
+  }
+  const Metric metric(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metric(a.data(), b.data(), dim));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_DistanceKernel, euclidean, MetricKind::kEuclidean)
+    ->Arg(6)->Arg(25)->Arg(50);
+BENCHMARK_CAPTURE(BM_DistanceKernel, manhattan, MetricKind::kManhattan)
+    ->Arg(25)->Arg(41);
+BENCHMARK_CAPTURE(BM_DistanceKernel, angular, MetricKind::kAngular)
+    ->Arg(50);
+
+void BM_CandidateTryAdd(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const Metric metric(MetricKind::kEuclidean);
+  Rng rng(2);
+  // Pre-fill a candidate to capacity, then measure the rejection path
+  // (the common case once the stream is warm).
+  StreamingCandidate cand(0.01, k, 2);
+  int64_t id = 0;
+  while (!cand.Full()) {
+    const std::vector<double> c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    cand.TryAdd(StreamPoint{id++, 0, std::span<const double>(c)}, metric);
+  }
+  const std::vector<double> probe{50.0, 50.0};
+  const StreamPoint p{id, 0, std::span<const double>(probe)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cand.TryAdd(p, metric));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CandidateTryAdd)->Arg(10)->Arg(20)->Arg(50);
+
+void BM_ThresholdClustering(benchmark::State& state) {
+  const size_t l = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  PointBuffer buf(2, l);
+  for (size_t i = 0; i < l; ++i) {
+    const std::vector<double> c{rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+    buf.Add(StreamPoint{static_cast<int64_t>(i), 0,
+                        std::span<const double>(c)});
+  }
+  const Metric metric(MetricKind::kEuclidean);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ThresholdClusters(buf, metric, 0.5));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(l));
+}
+BENCHMARK(BM_ThresholdClustering)->Arg(60)->Arg(300)->Arg(750);
+
+void BM_GreedyGmm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  BlobsOptions opt;
+  opt.n = n;
+  opt.seed = 4;
+  const Dataset ds = MakeBlobs(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyGmm(ds, k));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * k));
+}
+BENCHMARK(BM_GreedyGmm)->Args({10000, 20})->Args({100000, 20})
+    ->Args({10000, 50});
+
+void BM_MatroidIntersection(benchmark::State& state) {
+  const int l = static_cast<int>(state.range(0));
+  const int m = static_cast<int>(state.range(1));
+  Rng rng(5);
+  std::vector<int> group_labels(static_cast<size_t>(l));
+  std::vector<int> cluster_labels(static_cast<size_t>(l));
+  for (int e = 0; e < l; ++e) {
+    group_labels[static_cast<size_t>(e)] = static_cast<int>(rng.NextBounded(m));
+    cluster_labels[static_cast<size_t>(e)] =
+        static_cast<int>(rng.NextBounded(l / 2 + 1));
+  }
+  const PartitionMatroid m1(group_labels,
+                            std::vector<int>(static_cast<size_t>(m), 3));
+  const PartitionMatroid m2(
+      cluster_labels, std::vector<int>(static_cast<size_t>(l / 2 + 1), 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxCardinalityMatroidIntersection(m1, m2, {}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MatroidIntersection)->Args({60, 3})->Args({300, 10})
+    ->Args({750, 15});
+
+void BM_Sfdm2PerElement(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  BlobsOptions opt;
+  opt.n = 20000;
+  opt.num_groups = m;
+  opt.seed = 6;
+  const Dataset ds = MakeBlobs(opt);
+  FairnessConstraint c;
+  c.quotas.assign(static_cast<size_t>(m), 20 / m);
+  StreamingOptions streaming;
+  streaming.epsilon = 0.1;
+  const DistanceBounds bounds = EstimateDistanceBounds(ds, 500, 1);
+  streaming.d_min = bounds.min;
+  streaming.d_max = bounds.max;
+  auto algo = Sfdm2::Create(c, 2, MetricKind::kEuclidean, streaming);
+  size_t row = 0;
+  for (auto _ : state) {
+    algo->Observe(ds.At(row));
+    row = (row + 1) % ds.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Sfdm2PerElement)->Arg(2)->Arg(10);
+
+}  // namespace
+}  // namespace fdm
+
+BENCHMARK_MAIN();

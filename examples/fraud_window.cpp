@@ -1,0 +1,97 @@
+// Sliding-window fraud-review sampling: an analyst team reviews a fair,
+// diverse panel of recent transactions. "Recent" matters — behaviour
+// drifts, so the panel must only draw from the last `window` transactions
+// — and "fair" means both card-present and card-not-present transactions
+// get fixed review slots regardless of their traffic share.
+//
+// Demonstrates the SlidingWindow<Sfdm2> extension (the paper's future-work
+// setting): solutions always come from the current window, and the panel
+// tracks a mid-stream distribution shift within one window length.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/diversity.h"
+#include "core/sfdm2.h"
+#include "core/sliding_window.h"
+#include "util/rng.h"
+
+namespace {
+
+/// Transaction features: amount (log-scale), hour-of-day (cyclic x2),
+/// merchant-risk score. A drift at half-time moves the whole distribution.
+struct TransactionStream {
+  explicit TransactionStream(uint64_t seed) : rng(seed) {}
+
+  fdm::StreamPoint Next(bool drifted) {
+    group = rng.NextDouble() < 0.8 ? 0 : 1;  // 80% card-present
+    const double amount = drifted ? 6.5 + rng.NextGaussian()
+                                  : 3.0 + 0.8 * rng.NextGaussian();
+    const double hour = rng.NextDouble(0, 24);
+    coords[0] = amount;
+    coords[1] = std::cos(hour / 24.0 * 6.283185307);
+    coords[2] = std::sin(hour / 24.0 * 6.283185307);
+    coords[3] = (drifted ? 0.7 : 0.2) + 0.1 * rng.NextGaussian();
+    return fdm::StreamPoint{next_id++, group, std::span<const double>(coords)};
+  }
+
+  fdm::Rng rng;
+  int64_t next_id = 0;
+  int32_t group = 0;
+  double coords[4] = {};
+};
+
+}  // namespace
+
+int main() {
+  // Review panel: 8 transactions per shift, 4 from each channel.
+  fdm::FairnessConstraint constraint;
+  constraint.quotas = {4, 4};
+
+  fdm::StreamingOptions streaming;
+  streaming.epsilon = 0.1;
+  streaming.d_min = 0.01;
+  streaming.d_max = 30.0;
+
+  const int64_t window = 5000;  // "the last 5000 transactions"
+  auto panel = fdm::SlidingWindow<fdm::Sfdm2>::Create(
+      window, /*checkpoints=*/5, [&] {
+        return fdm::Sfdm2::Create(constraint, 4, fdm::MetricKind::kEuclidean,
+                                  streaming);
+      });
+  if (!panel.ok()) {
+    std::fprintf(stderr, "%s\n", panel.status().ToString().c_str());
+    return 1;
+  }
+
+  TransactionStream stream(2026);
+  constexpr int kTotal = 30000;
+  for (int i = 0; i < kTotal; ++i) {
+    const bool drifted = i >= kTotal / 2;  // behaviour shift at half-time
+    if (!panel->Observe(stream.Next(drifted)).ok()) return 1;
+    if ((i + 1) % 5000 == 0) {
+      const auto solution = panel->Solve();
+      std::printf("after %5d txns (replicas=%zu, stored=%zu): ", i + 1,
+                  panel->live_replicas(), panel->StoredElements());
+      if (!solution.ok()) {
+        std::printf("panel pending (%s)\n",
+                    solution.status().ToString().c_str());
+        continue;
+      }
+      // Average amount of the panel reveals whether it tracks the drift.
+      double mean_amount = 0.0;
+      for (size_t p = 0; p < solution->points.size(); ++p) {
+        mean_amount += solution->points.CoordsAt(p)[0];
+      }
+      mean_amount /= static_cast<double>(solution->points.size());
+      const std::vector<int> counts = fdm::GroupCounts(solution->points, 2);
+      std::printf("div=%.3f, mean log-amount=%.2f, present/absent=%d/%d\n",
+                  solution->diversity, mean_amount, counts[0], counts[1]);
+    }
+  }
+
+  std::printf("\nThe panel's mean log-amount jumps from ~3 to ~6.5 within "
+              "one window of the drift — stale transactions age out, and "
+              "the 4/4 channel split holds throughout.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "baselines/fair_flow.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "flow/dinic.h"
+#include "util/check.h"
+#include "util/union_find.h"
+
+namespace fdm {
+namespace {
+
+/// Single-linkage cluster labels of `pool` rows at `threshold`.
+std::vector<int> ClusterPool(const Dataset& dataset,
+                             const std::vector<size_t>& pool,
+                             double threshold) {
+  const int l = static_cast<int>(pool.size());
+  const Metric metric = dataset.metric();
+  UnionFind uf(l);
+  for (int i = 0; i < l; ++i) {
+    for (int j = i + 1; j < l; ++j) {
+      if (uf.Connected(i, j)) continue;
+      if (metric(dataset.Point(pool[static_cast<size_t>(i)]),
+                 dataset.Point(pool[static_cast<size_t>(j)])) < threshold) {
+        uf.Union(i, j);
+      }
+    }
+  }
+  return uf.DenseLabels();
+}
+
+/// Solves the group→element→cluster flow; returns the selected pool
+/// positions if the max flow reaches `k`, otherwise an empty vector.
+std::vector<int> SolveFlow(const Dataset& dataset,
+                           const std::vector<size_t>& pool,
+                           const std::vector<int>& cluster_of,
+                           const FairnessConstraint& constraint) {
+  const int m = constraint.num_groups();
+  const int l = static_cast<int>(pool.size());
+  int num_clusters = 0;
+  for (const int c : cluster_of) num_clusters = std::max(num_clusters, c + 1);
+
+  // Node layout: 0 = source, 1..m = groups, m+1..m+l = elements,
+  // m+l+1..m+l+c = clusters, last = sink.
+  const int source = 0;
+  const int first_group = 1;
+  const int first_element = first_group + m;
+  const int first_cluster = first_element + l;
+  const int sink = first_cluster + num_clusters;
+  Dinic dinic(sink + 1);
+
+  for (int g = 0; g < m; ++g) {
+    dinic.AddEdge(source, first_group + g,
+                  constraint.quotas[static_cast<size_t>(g)]);
+  }
+  std::vector<int> element_edges(static_cast<size_t>(l));
+  for (int e = 0; e < l; ++e) {
+    const int g = dataset.GroupOf(pool[static_cast<size_t>(e)]);
+    element_edges[static_cast<size_t>(e)] =
+        dinic.AddEdge(first_group + g, first_element + e, 1);
+    dinic.AddEdge(first_element + e,
+                  first_cluster + cluster_of[static_cast<size_t>(e)], 1);
+  }
+  for (int c = 0; c < num_clusters; ++c) {
+    dinic.AddEdge(first_cluster + c, sink, 1);
+  }
+
+  const int k = constraint.TotalK();
+  if (dinic.MaxFlow(source, sink) < k) return {};
+  std::vector<int> selected;
+  for (int e = 0; e < l; ++e) {
+    if (dinic.FlowOn(element_edges[static_cast<size_t>(e)]) > 0) {
+      selected.push_back(e);
+    }
+  }
+  FDM_CHECK(static_cast<int>(selected.size()) == k);
+  return selected;
+}
+
+}  // namespace
+
+Result<Solution> FairFlow(const Dataset& dataset,
+                          const FairnessConstraint& constraint,
+                          const FairFlowOptions& options) {
+  if (Status s = constraint.Validate(); !s.ok()) return s;
+  if (constraint.num_groups() != dataset.num_groups()) {
+    return Status::InvalidArgument("constraint/dataset group mismatch");
+  }
+  const auto group_sizes = dataset.GroupSizes();
+  if (Status s = constraint.ValidateAgainst(group_sizes); !s.ok()) return s;
+  if (!(options.epsilon > 0.0 && options.epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0,1)");
+  }
+  const int m = constraint.num_groups();
+  const int k = constraint.TotalK();
+
+  // Per-group GMM coresets of size min(k, |X_i|), merged into the pool.
+  std::vector<size_t> pool;
+  for (int g = 0; g < m; ++g) {
+    const std::vector<size_t> rows = RowsOfGroup(dataset, g);
+    const std::vector<size_t> coreset =
+        GreedyGmm(dataset, rows, static_cast<size_t>(k), {},
+                  options.start_index % rows.size());
+    pool.insert(pool.end(), coreset.begin(), coreset.end());
+  }
+
+  // Candidate guesses: pairwise pool distances give the full relevant
+  // range; sweep a geometric ladder downward from the largest.
+  const Metric metric = dataset.metric();
+  double gamma_hi = 0.0;
+  double gamma_lo = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const double d = metric(dataset.Point(pool[i]), dataset.Point(pool[j]));
+      if (d > gamma_hi) gamma_hi = d;
+      if (d > 0.0 && d < gamma_lo) gamma_lo = d;
+    }
+  }
+  if (gamma_hi <= 0.0) {
+    return Status::Infeasible("candidate pool is degenerate (all duplicates)");
+  }
+  if (!std::isfinite(gamma_lo)) gamma_lo = gamma_hi;
+
+  for (double gamma = gamma_hi; gamma >= gamma_lo * (1.0 - options.epsilon);
+       gamma *= (1.0 - options.epsilon)) {
+    const std::vector<int> cluster_of =
+        ClusterPool(dataset, pool, gamma / static_cast<double>(m + 1));
+    const std::vector<int> chosen =
+        SolveFlow(dataset, pool, cluster_of, constraint);
+    if (chosen.empty()) continue;
+    std::vector<size_t> rows;
+    rows.reserve(chosen.size());
+    for (const int pos : chosen) rows.push_back(pool[static_cast<size_t>(pos)]);
+    Solution solution = Solution::FromIndices(dataset, rows);
+    FDM_DCHECK(SatisfiesQuotas(solution.points, constraint.quotas));
+    return solution;
+  }
+  return Status::Infeasible(
+      "FairFlow found no feasible selection at any guess; constraint too "
+      "tight for the candidate pool");
+}
+
+}  // namespace fdm

@@ -1,0 +1,44 @@
+#ifndef FDM_BASELINES_FAIR_FLOW_H_
+#define FDM_BASELINES_FAIR_FLOW_H_
+
+#include "core/fairness.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Options for the FairFlow baseline.
+struct FairFlowOptions {
+  /// Geometric step of the diversity-guess search (denser = slower,
+  /// slightly better solutions).
+  double epsilon = 0.1;
+  /// GMM start index (varied across experiment repetitions).
+  size_t start_index = 0;
+};
+
+/// FairFlow — offline `1/(3m−1)`-approximation baseline of Moumoulidou et
+/// al. [32] for fair diversity maximization with arbitrary `m`.
+///
+/// Reconstruction (no reference implementation is available offline; see
+/// DESIGN.md §2.3): per-group GMM coresets of size `min(k, |X_i|)` are
+/// merged into a candidate pool; for each guess `γ` of the optimum, taken
+/// from a descending geometric ladder over the pool's distance range, the
+/// pool is single-linkage clustered at threshold `γ/(m+1)` and a flow
+/// network (source → group `i` with capacity `k_i` → pool elements →
+/// clusters with capacity 1 → sink) is solved with Dinic's algorithm; the
+/// first `γ` whose max flow reaches `k` yields the selection (one element
+/// per saturated element-edge).
+///
+/// The defining behaviours of the original are preserved: offline (full
+/// dataset, O(nk) GMM passes), flow-based selection that picks *arbitrary*
+/// cluster representatives (no farthest-first refinement), and therefore
+/// solution quality that degrades markedly as `m` grows — exactly the
+/// contrast the paper's Table II and Figs. 6/10/11 exercise against SFDM2.
+Result<Solution> FairFlow(const Dataset& dataset,
+                          const FairnessConstraint& constraint,
+                          const FairFlowOptions& options = {});
+
+}  // namespace fdm
+
+#endif  // FDM_BASELINES_FAIR_FLOW_H_

@@ -1,0 +1,31 @@
+#ifndef FDM_BASELINES_FAIR_GMM_H_
+#define FDM_BASELINES_FAIR_GMM_H_
+
+#include "core/fairness.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// FairGMM — the offline 1/5-approximation baseline of Moumoulidou et
+/// al. [32] for small `k` and `m`.
+///
+/// Builds a per-group GMM coreset of size `min(k, |X_i|)` and enumerates
+/// every fair combination (`k_i` elements from group `i`'s coreset),
+/// returning the most diverse one. The enumeration count is
+/// `Π_i C(k, k_i) = O(m^k)`; the paper notes it "cannot scale to k > 10
+/// and m > 5", so combinations above `max_combinations` fail with
+/// `Unsupported` (the harness skips FairGMM exactly where the paper does).
+struct FairGmmOptions {
+  uint64_t max_combinations = 5'000'000;
+  size_t start_index = 0;
+};
+
+Result<Solution> FairGmm(const Dataset& dataset,
+                         const FairnessConstraint& constraint,
+                         const FairGmmOptions& options = {});
+
+}  // namespace fdm
+
+#endif  // FDM_BASELINES_FAIR_GMM_H_

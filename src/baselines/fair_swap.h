@@ -1,0 +1,32 @@
+#ifndef FDM_BASELINES_FAIR_SWAP_H_
+#define FDM_BASELINES_FAIR_SWAP_H_
+
+#include "core/fairness.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// FairSwap — the offline 1/4-approximation baseline of Moumoulidou et
+/// al. [32] for fair diversity maximization with `m = 2`.
+///
+/// 1. Run GMM on the whole dataset for a group-blind solution of size `k`.
+/// 2. Run GMM on each group `X_i` for donor pools of size `k_i`.
+/// 3. If the blind solution is unfair, balance it exactly like SFDM1's
+///    post-processing: greedily insert donors of the under-filled group
+///    (farthest from the same-group selection), then delete over-filled
+///    elements closest to the under-filled side.
+///
+/// Unlike SFDM1 this requires the full dataset in memory and O(nk) time —
+/// it is the "offline prior art" row of Table II.
+///
+/// `start_index` selects GMM's deterministic first point (varied across the
+/// repetitions of an experiment).
+Result<Solution> FairSwap(const Dataset& dataset,
+                          const FairnessConstraint& constraint,
+                          size_t start_index = 0);
+
+}  // namespace fdm
+
+#endif  // FDM_BASELINES_FAIR_SWAP_H_

@@ -1,0 +1,61 @@
+#include "baselines/max_sum_greedy.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace fdm {
+
+std::vector<size_t> MaxSumGreedy(const Dataset& dataset, size_t k) {
+  std::vector<size_t> selected;
+  const size_t n = dataset.size();
+  if (k == 0 || n == 0) return selected;
+  if (k == 1) return {0};
+  const Metric metric = dataset.metric();
+
+  // Farthest pair (exact, O(n^2) — illustration-scale datasets only).
+  size_t best_i = 0;
+  size_t best_j = 1 % n;
+  double best_d = -1.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = metric(dataset.Point(i), dataset.Point(j));
+      if (d > best_d) {
+        best_d = d;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  selected = {best_i, best_j};
+
+  // sum_dist[x] = Σ_{s ∈ selected} d(x, s), maintained incrementally.
+  std::vector<double> sum_dist(n, 0.0);
+  std::vector<char> in_selected(n, 0);
+  in_selected[best_i] = in_selected[best_j] = 1;
+  for (size_t x = 0; x < n; ++x) {
+    sum_dist[x] = metric(dataset.Point(x), dataset.Point(best_i)) +
+                  metric(dataset.Point(x), dataset.Point(best_j));
+  }
+
+  while (selected.size() < std::min(k, n)) {
+    size_t best = n;
+    double best_sum = -std::numeric_limits<double>::infinity();
+    for (size_t x = 0; x < n; ++x) {
+      if (in_selected[x]) continue;
+      if (sum_dist[x] > best_sum) {
+        best_sum = sum_dist[x];
+        best = x;
+      }
+    }
+    FDM_CHECK(best < n);
+    selected.push_back(best);
+    in_selected[best] = 1;
+    for (size_t x = 0; x < n; ++x) {
+      sum_dist[x] += metric(dataset.Point(x), dataset.Point(best));
+    }
+  }
+  return selected;
+}
+
+}  // namespace fdm

@@ -1,0 +1,22 @@
+#ifndef FDM_BASELINES_MAX_SUM_GREEDY_H_
+#define FDM_BASELINES_MAX_SUM_GREEDY_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fdm {
+
+/// Greedy 1/2-approximation for *max-sum* dispersion (maximize the sum of
+/// pairwise distances): start from the farthest pair, then repeatedly add
+/// the point with the largest total distance to the current selection.
+///
+/// Only used to reproduce Fig. 1's contrast between the max-sum and
+/// max-min diversity notions (max-sum crowds the margins; max-min covers
+/// uniformly). O(n²) for the initial pair — intended for the small 2-D
+/// illustration datasets.
+std::vector<size_t> MaxSumGreedy(const Dataset& dataset, size_t k);
+
+}  // namespace fdm
+
+#endif  // FDM_BASELINES_MAX_SUM_GREEDY_H_

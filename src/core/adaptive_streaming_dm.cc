@@ -1,0 +1,140 @@
+#include "core/adaptive_streaming_dm.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/diversity.h"
+#include "util/check.h"
+
+namespace fdm {
+
+Result<AdaptiveStreamingDm> AdaptiveStreamingDm::Create(int k, size_t dim,
+                                                        MetricKind metric,
+                                                        double epsilon,
+                                                        size_t max_rungs) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
+  }
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0,1)");
+  }
+  if (max_rungs < 1) {
+    return Status::InvalidArgument("max_rungs must be >= 1");
+  }
+  AdaptiveStreamingDm algo(k, dim, metric, epsilon, max_rungs);
+  algo.pending_ = PointBuffer(dim, 1);
+  return algo;
+}
+
+void AdaptiveStreamingDm::GrowUp() {
+  const StreamingCandidate& top = rungs_.back();
+  const double new_mu = top.mu() / (1.0 - epsilon_);
+  StreamingCandidate rung(new_mu, static_cast<size_t>(k_), dim_);
+  // Seed by greedy filtering: keep points of the old top candidate that
+  // are pairwise >= new_mu (scan in insertion order; TryAdd enforces the
+  // invariant). Capacity cannot overflow: the source has <= k points.
+  for (size_t i = 0; i < top.points().size(); ++i) {
+    rung.TryAdd(top.points().ViewAt(i), metric_);
+  }
+  rungs_.push_back(std::move(rung));
+}
+
+void AdaptiveStreamingDm::GrowDown() {
+  const StreamingCandidate& bottom = rungs_.front();
+  const double new_mu = bottom.mu() * (1.0 - epsilon_);
+  StreamingCandidate rung(new_mu, static_cast<size_t>(k_), dim_);
+  // Seed with a copy: the old bottom's points are pairwise >= µ_old >
+  // new_mu, so the invariant holds and every TryAdd below succeeds.
+  for (size_t i = 0; i < bottom.points().size(); ++i) {
+    const bool added = rung.TryAdd(bottom.points().ViewAt(i), metric_);
+    FDM_DCHECK(added);
+    (void)added;
+  }
+  rungs_.push_front(std::move(rung));
+}
+
+void AdaptiveStreamingDm::Observe(const StreamPoint& point) {
+  FDM_DCHECK(point.coords.size() == dim_);
+  ++observed_;
+
+  if (rungs_.empty()) {
+    if (!pending_valid_) {
+      pending_.Add(point);
+      pending_valid_ = true;
+      return;
+    }
+    const double d =
+        metric_(pending_.CoordsAt(0).data(), point.coords.data(), dim_);
+    if (d <= 0.0) return;  // duplicate of the first point — no information
+    // Seed the ladder at the first observed nonzero distance and replay
+    // the held first point.
+    StreamingCandidate rung(d, static_cast<size_t>(k_), dim_);
+    rung.TryAdd(pending_.ViewAt(0), metric_);
+    rungs_.push_back(std::move(rung));
+  }
+
+  // Extend downward while the bottom rung would reject the point for
+  // being too close, yet is not full — a smaller guess may need it.
+  while (rungs_.size() < max_rungs_) {
+    const StreamingCandidate& bottom = rungs_.front();
+    if (bottom.Full()) break;
+    const double d = bottom.points().MinDistanceTo(point.coords, metric_);
+    if (d <= 0.0 || d >= bottom.mu()) break;
+    GrowDown();
+  }
+
+  // Extend upward while the point is far enough from the top candidate
+  // that a higher guess could also hold it — OPT may exceed the ladder.
+  while (rungs_.size() < max_rungs_) {
+    const StreamingCandidate& top = rungs_.back();
+    if (top.points().empty()) break;
+    const double d = top.points().MinDistanceTo(point.coords, metric_);
+    if (d < top.mu() / (1.0 - epsilon_)) break;
+    GrowUp();
+  }
+
+  for (auto& rung : rungs_) {
+    rung.TryAdd(point, metric_);
+  }
+}
+
+Result<Solution> AdaptiveStreamingDm::Solve() const {
+  const StreamingCandidate* best = nullptr;
+  double best_div = -1.0;
+  for (const auto& rung : rungs_) {
+    if (!rung.Full()) continue;
+    const double div =
+        k_ >= 2 ? MinPairwiseDistance(rung.points(), metric_) : rung.mu();
+    if (div > best_div) {
+      best_div = div;
+      best = &rung;
+    }
+  }
+  if (best == nullptr) {
+    return Status::Infeasible(
+        "no candidate reached k=" + std::to_string(k_) +
+        " elements; stream has fewer than k sufficiently distinct points");
+  }
+  Solution solution(dim_);
+  for (size_t i = 0; i < best->points().size(); ++i) {
+    solution.points.Add(best->points().ViewAt(i));
+  }
+  solution.diversity = best_div;
+  solution.mu = best->mu();
+  return solution;
+}
+
+size_t AdaptiveStreamingDm::StoredElements() const {
+  std::set<int64_t> distinct;
+  for (const auto& rung : rungs_) {
+    for (size_t i = 0; i < rung.points().size(); ++i) {
+      distinct.insert(rung.points().IdAt(i));
+    }
+  }
+  if (pending_valid_ && rungs_.empty()) distinct.insert(pending_.IdAt(0));
+  return distinct.size();
+}
+
+}  // namespace fdm

@@ -1,0 +1,22 @@
+#include "core/clustering.h"
+
+#include "util/union_find.h"
+
+namespace fdm {
+
+std::vector<int> ThresholdClusters(const PointBuffer& points,
+                                   const Metric& metric, double threshold) {
+  const int l = static_cast<int>(points.size());
+  UnionFind uf(l);
+  for (int i = 0; i < l; ++i) {
+    for (int j = i + 1; j < l; ++j) {
+      if (uf.Connected(i, j)) continue;
+      const double d = metric(points.CoordsAt(static_cast<size_t>(i)),
+                              points.CoordsAt(static_cast<size_t>(j)));
+      if (d < threshold) uf.Union(i, j);
+    }
+  }
+  return uf.DenseLabels();
+}
+
+}  // namespace fdm

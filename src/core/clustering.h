@@ -1,0 +1,25 @@
+#ifndef FDM_CORE_CLUSTERING_H_
+#define FDM_CORE_CLUSTERING_H_
+
+#include <vector>
+
+#include "geo/point_buffer.h"
+
+namespace fdm {
+
+/// Threshold clustering used by SFDM2's post-processing (Algorithm 3,
+/// lines 13–16): start from singletons and merge clusters while two
+/// clusters contain points at distance `< threshold`. The fixed point is
+/// the set of connected components of the graph with edges
+/// `{(x,y) : d(x,y) < threshold}` — computed here by union-find over all
+/// pairs, O(l²) distances for `l` points (l ≤ k(m+1) in SFDM2).
+///
+/// Returns dense cluster labels `0..c-1` in order of first appearance.
+/// Guarantees Lemma 3(i): points in different clusters are at distance
+/// `≥ threshold`.
+std::vector<int> ThresholdClusters(const PointBuffer& points,
+                                   const Metric& metric, double threshold);
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_CLUSTERING_H_

@@ -1,0 +1,41 @@
+#include "core/composable_coreset.h"
+
+#include "core/gmm.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace fdm {
+
+Result<std::vector<size_t>> ComposableCoresetDm(
+    const Dataset& dataset, size_t k,
+    const ComposableCoresetOptions& options) {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (dataset.size() == 0) return Status::InvalidArgument("empty dataset");
+  if (options.num_blocks == 0) {
+    return Status::InvalidArgument("num_blocks must be positive");
+  }
+
+  // Shard assignment: round-robin over a seeded permutation — an
+  // arbitrary-but-reproducible partition, as the composable-coreset
+  // guarantee demands nothing of the split.
+  const std::vector<size_t> order =
+      StreamOrder(dataset.size(), options.shard_seed);
+  const size_t blocks = std::min(options.num_blocks, dataset.size());
+  std::vector<std::vector<size_t>> shard(blocks);
+  for (size_t pos = 0; pos < order.size(); ++pos) {
+    shard[pos % blocks].push_back(order[pos]);
+  }
+
+  // Map: GMM(block, k) per block; the union is the composed coreset.
+  std::vector<size_t> coreset;
+  coreset.reserve(blocks * k);
+  for (const auto& block : shard) {
+    const std::vector<size_t> local = GreedyGmm(dataset, block, k);
+    coreset.insert(coreset.end(), local.begin(), local.end());
+  }
+
+  // Reduce: GMM over the coreset union.
+  return GreedyGmm(dataset, coreset, k);
+}
+
+}  // namespace fdm

@@ -1,0 +1,39 @@
+#ifndef FDM_CORE_COMPOSABLE_CORESET_H_
+#define FDM_CORE_COMPOSABLE_CORESET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Composable-coreset approach to *unconstrained* max-min diversity
+/// maximization (Indyk et al. [27]; ratios improved by Aghamolaei et
+/// al. [2]) — the distributed / MapReduce prior art the paper's related
+/// work contrasts the streaming algorithms against.
+///
+/// The data is split into `num_blocks` blocks (round-robin over a seeded
+/// permutation, mimicking an arbitrary shard assignment); GMM selects `k`
+/// points per block (each block's selection is a composable coreset for
+/// remote-edge diversity); the final solution is GMM over the union of the
+/// coresets. Constant-factor approximation overall; communication per
+/// block is O(k).
+///
+/// Included as a library baseline for completeness of the diversity
+/// toolkit — it handles distribution but, unlike SFDM1/SFDM2, supports no
+/// fairness constraint and needs a second round over the coreset union.
+struct ComposableCoresetOptions {
+  size_t num_blocks = 8;
+  uint64_t shard_seed = 1;
+};
+
+/// Returns `min(k, n)` selected rows. Fails on `k == 0` or empty data.
+Result<std::vector<size_t>> ComposableCoresetDm(
+    const Dataset& dataset, size_t k,
+    const ComposableCoresetOptions& options = {});
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_COMPOSABLE_CORESET_H_

@@ -1,0 +1,67 @@
+#include "core/diversity.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace fdm {
+
+double MinPairwiseDistance(const PointBuffer& buffer, const Metric& metric) {
+  const size_t n = buffer.size();
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = metric(buffer.CoordsAt(i), buffer.CoordsAt(j));
+      if (d < best) best = d;
+    }
+  }
+  return best;
+}
+
+double MinPairwiseDistance(const Dataset& dataset,
+                           std::span<const size_t> indices) {
+  const Metric metric = dataset.metric();
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t j = i + 1; j < indices.size(); ++j) {
+      const double d =
+          metric(dataset.Point(indices[i]), dataset.Point(indices[j]));
+      if (d < best) best = d;
+    }
+  }
+  return best;
+}
+
+double SumPairwiseDistance(const Dataset& dataset,
+                           std::span<const size_t> indices) {
+  const Metric metric = dataset.metric();
+  double sum = 0.0;
+  for (size_t i = 0; i < indices.size(); ++i) {
+    for (size_t j = i + 1; j < indices.size(); ++j) {
+      sum += metric(dataset.Point(indices[i]), dataset.Point(indices[j]));
+    }
+  }
+  return sum;
+}
+
+std::vector<int> GroupCounts(const PointBuffer& buffer, int num_groups) {
+  FDM_CHECK(num_groups >= 1);
+  std::vector<int> counts(static_cast<size_t>(num_groups), 0);
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    const int32_t g = buffer.GroupAt(i);
+    FDM_CHECK(g >= 0 && g < num_groups);
+    ++counts[static_cast<size_t>(g)];
+  }
+  return counts;
+}
+
+bool SatisfiesQuotas(const PointBuffer& buffer, std::span<const int> quotas) {
+  const std::vector<int> counts =
+      GroupCounts(buffer, static_cast<int>(quotas.size()));
+  for (size_t i = 0; i < quotas.size(); ++i) {
+    if (counts[i] != quotas[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace fdm

@@ -1,0 +1,35 @@
+#ifndef FDM_CORE_DIVERSITY_H_
+#define FDM_CORE_DIVERSITY_H_
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/point_buffer.h"
+
+namespace fdm {
+
+/// `div(S) = min_{x≠y∈S} d(x,y)` over the points in `buffer`
+/// (the max-min dispersion objective). Returns +infinity for |S| < 2,
+/// matching the convention that diversity is monotonically non-increasing
+/// under insertion.
+double MinPairwiseDistance(const PointBuffer& buffer, const Metric& metric);
+
+/// `div(S)` over dataset rows `indices`.
+double MinPairwiseDistance(const Dataset& dataset,
+                           std::span<const size_t> indices);
+
+/// `Σ_{x<y∈S} d(x,y)` — the max-sum dispersion objective (used only for the
+/// Fig. 1 contrast between the two notions of diversity).
+double SumPairwiseDistance(const Dataset& dataset,
+                           std::span<const size_t> indices);
+
+/// Per-group selection counts over `buffer` (length `num_groups`).
+std::vector<int> GroupCounts(const PointBuffer& buffer, int num_groups);
+
+/// True iff `buffer` contains exactly `quotas[i]` elements of each group.
+bool SatisfiesQuotas(const PointBuffer& buffer, std::span<const int> quotas);
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_DIVERSITY_H_

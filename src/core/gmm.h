@@ -1,0 +1,46 @@
+#ifndef FDM_CORE_GMM_H_
+#define FDM_CORE_GMM_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fdm {
+
+/// GMM — the Gonzalez greedy algorithm [24], the classic offline
+/// 1/2-approximation for max-min diversity maximization. Repeatedly adds
+/// the point farthest from the current selection.
+///
+/// The paper uses GMM (a) as the unconstrained baseline in Table II and
+/// Fig. 6, (b) inside FairSwap / FairFlow / FairGMM, and (c) to estimate
+/// the upper bound `OPT_f ≤ OPT ≤ 2·div(GMM)` reported in the evaluation.
+///
+/// `universe` restricts the selection to a subset of dataset rows (pass all
+/// rows for plain GMM; pass one group's rows for the per-group runs the
+/// baselines need). `warm_start` seeds the selection with rows that are
+/// treated as already chosen: they influence distances but are not
+/// returned and do not count toward `k`.
+///
+/// The first selected point is `universe[start_index]` (deterministic;
+/// callers vary it across repetitions). With a warm start the first point
+/// is instead chosen farthest-first like every other point.
+///
+/// Returns the selected rows in selection order
+/// (size `min(k, |universe| - |warm_start ∩ universe|)`). O(|universe|·k)
+/// distance evaluations.
+std::vector<size_t> GreedyGmm(const Dataset& dataset,
+                              std::span<const size_t> universe, size_t k,
+                              std::span<const size_t> warm_start = {},
+                              size_t start_index = 0);
+
+/// Convenience: GMM over all rows of `dataset`.
+std::vector<size_t> GreedyGmm(const Dataset& dataset, size_t k);
+
+/// All rows of `dataset` belonging to `group` (helper for per-group runs).
+std::vector<size_t> RowsOfGroup(const Dataset& dataset, int32_t group);
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_GMM_H_

@@ -1,0 +1,40 @@
+#include "core/guess_ladder.h"
+
+#include <cmath>
+#include <string>
+
+namespace fdm {
+
+Result<GuessLadder> GuessLadder::Create(double d_min, double d_max,
+                                        double epsilon) {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument("epsilon must be in (0,1), got " +
+                                   std::to_string(epsilon));
+  }
+  if (!(d_min > 0.0) || !std::isfinite(d_min)) {
+    return Status::InvalidArgument("d_min must be positive and finite");
+  }
+  if (!(d_max >= d_min) || !std::isfinite(d_max)) {
+    return Status::InvalidArgument("d_max must be >= d_min and finite");
+  }
+  std::vector<double> values;
+  const double growth = 1.0 / (1.0 - epsilon);
+  double mu = d_min;
+  // Guard against pathological ladder sizes (e.g. absurd ∆ from bad bounds):
+  // 10^7 rungs would mean the caller passed nonsense.
+  constexpr size_t kMaxRungs = 10'000'000;
+  while (mu < d_max) {
+    values.push_back(mu);
+    mu *= growth;
+    if (values.size() >= kMaxRungs) {
+      return Status::InvalidArgument("guess ladder too large: check d_min/"
+                                     "d_max/epsilon");
+    }
+  }
+  // The top rung at or above d_max (covers OPT <= d_max, and provides the
+  // successor µ/(1−ε) for every in-range µ).
+  values.push_back(mu);
+  return GuessLadder(std::move(values), d_min, d_max, epsilon);
+}
+
+}  // namespace fdm

@@ -1,0 +1,54 @@
+#ifndef FDM_CORE_GUESS_LADDER_H_
+#define FDM_CORE_GUESS_LADDER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fdm {
+
+/// The geometric sequence of guesses for the unknown optimum,
+/// `U = { d_min / (1−ε)^j : j ∈ Z≥0 }` clipped to `[d_min, d_max]`
+/// (Algorithm 1, line 1). One rung *above* `d_max` is also kept so that for
+/// every in-range `µ` the successor `µ/(1−ε)` used by the analyses
+/// (Lemma 1) exists in the ladder.
+///
+/// `|U| = O(log ∆ / ε)` with `∆ = d_max / d_min`, which is what gives the
+/// streaming algorithms their `O(k log ∆ / ε)`-per-element cost.
+class GuessLadder {
+ public:
+  /// Builds the ladder. Requires `0 < epsilon < 1` and
+  /// `0 < d_min <= d_max`.
+  static Result<GuessLadder> Create(double d_min, double d_max,
+                                    double epsilon);
+
+  /// Number of guesses `|U|`.
+  size_t size() const { return values_.size(); }
+
+  /// The `j`-th guess, ascending (`At(0) == d_min`).
+  double At(size_t j) const { return values_[j]; }
+
+  const std::vector<double>& values() const { return values_; }
+
+  double epsilon() const { return epsilon_; }
+  double d_min() const { return d_min_; }
+  double d_max() const { return d_max_; }
+
+ private:
+  GuessLadder(std::vector<double> values, double d_min, double d_max,
+              double epsilon)
+      : values_(std::move(values)),
+        d_min_(d_min),
+        d_max_(d_max),
+        epsilon_(epsilon) {}
+
+  std::vector<double> values_;
+  double d_min_;
+  double d_max_;
+  double epsilon_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_GUESS_LADDER_H_

@@ -1,0 +1,64 @@
+#include "core/matroid.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fdm {
+
+PartitionMatroid::PartitionMatroid(std::vector<int> labels,
+                                   std::vector<int> capacities)
+    : labels_(std::move(labels)), capacities_(std::move(capacities)) {
+  for (const int l : labels_) {
+    FDM_CHECK(l >= 0 && l < static_cast<int>(capacities_.size()));
+  }
+  for (const int c : capacities_) FDM_CHECK(c >= 0);
+}
+
+int PartitionMatroid::Rank() const {
+  // Rank = Σ_part min(capacity, #elements with that label).
+  std::vector<int> present(capacities_.size(), 0);
+  for (const int l : labels_) ++present[static_cast<size_t>(l)];
+  int rank = 0;
+  for (size_t p = 0; p < capacities_.size(); ++p) {
+    rank += std::min(present[p], capacities_[p]);
+  }
+  return rank;
+}
+
+int PartitionMatroid::CountPart(std::span<const int> members, int part) const {
+  int count = 0;
+  for (const int e : members) {
+    if (labels_[static_cast<size_t>(e)] == part) ++count;
+  }
+  return count;
+}
+
+bool PartitionMatroid::IsIndependent(std::span<const int> members) const {
+  std::vector<int> counts(capacities_.size(), 0);
+  for (const int e : members) {
+    FDM_CHECK(e >= 0 && e < GroundSize());
+    const int part = labels_[static_cast<size_t>(e)];
+    if (++counts[static_cast<size_t>(part)] >
+        capacities_[static_cast<size_t>(part)]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool PartitionMatroid::CanAdd(std::span<const int> members, int x) const {
+  FDM_DCHECK(x >= 0 && x < GroundSize());
+  const int part = labels_[static_cast<size_t>(x)];
+  return CountPart(members, part) < capacities_[static_cast<size_t>(part)];
+}
+
+bool PartitionMatroid::CanExchange(std::span<const int> members, int x,
+                                   int y) const {
+  // members + x violates only x's part (it was at capacity); removing y
+  // fixes that iff y shares x's part.
+  FDM_DCHECK(x >= 0 && x < GroundSize());
+  FDM_DCHECK(y >= 0 && y < GroundSize());
+  return labels_[static_cast<size_t>(y)] == labels_[static_cast<size_t>(x)];
+}
+
+}  // namespace fdm

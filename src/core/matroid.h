@@ -1,0 +1,77 @@
+#ifndef FDM_CORE_MATROID_H_
+#define FDM_CORE_MATROID_H_
+
+#include <span>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fdm {
+
+/// Independence oracle for a matroid over the ground set `{0..n-1}`.
+///
+/// The intersection algorithm (Algorithm 4) only ever queries sets it
+/// already knows to be independent, so the oracle interface exposes the
+/// two incremental questions the augmentation graph needs (Definition 2):
+/// can `x` join, and can `x` replace `y`.
+class Matroid {
+ public:
+  virtual ~Matroid() = default;
+
+  /// Ground set size.
+  virtual int GroundSize() const = 0;
+
+  /// Matroid rank (size of every maximal independent set).
+  virtual int Rank() const = 0;
+
+  /// True iff `members` is independent. `members` holds distinct element
+  /// ids. Used for validation and tests; the hot path uses the two
+  /// incremental forms below.
+  virtual bool IsIndependent(std::span<const int> members) const = 0;
+
+  /// True iff `members ∪ {x}` is independent, given `members` independent
+  /// and `x ∉ members`.
+  virtual bool CanAdd(std::span<const int> members, int x) const = 0;
+
+  /// True iff `members ∪ {x} \ {y}` is independent, given `members`
+  /// independent, `x ∉ members`, `y ∈ members`, and `members ∪ {x}` NOT
+  /// independent (the exchange-edge case of Definition 2).
+  virtual bool CanExchange(std::span<const int> members, int x,
+                           int y) const = 0;
+};
+
+/// Partition matroid: the ground set is partitioned by `labels` and a set
+/// is independent iff it holds at most `capacities[l]` elements of each
+/// part `l`. Both matroids of SFDM2 are of this form — M1 partitions by
+/// demographic group with capacities `k_i`; M2 partitions by cluster with
+/// capacity 1 (Algorithm 3, line 17).
+class PartitionMatroid final : public Matroid {
+ public:
+  /// `labels[e]` is the part of element `e` (in `[0, capacities.size())`).
+  PartitionMatroid(std::vector<int> labels, std::vector<int> capacities);
+
+  int GroundSize() const override {
+    return static_cast<int>(labels_.size());
+  }
+  int Rank() const override;
+  bool IsIndependent(std::span<const int> members) const override;
+  bool CanAdd(std::span<const int> members, int x) const override;
+  bool CanExchange(std::span<const int> members, int x, int y) const override;
+
+  int label_of(int e) const { return labels_[static_cast<size_t>(e)]; }
+  int capacity_of(int part) const {
+    return capacities_[static_cast<size_t>(part)];
+  }
+  int num_parts() const { return static_cast<int>(capacities_.size()); }
+
+ private:
+  /// Count of members with the same label as part `part`.
+  int CountPart(std::span<const int> members, int part) const;
+
+  std::vector<int> labels_;
+  std::vector<int> capacities_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_MATROID_H_

@@ -1,0 +1,140 @@
+#include "core/matroid_intersection.h"
+
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace fdm {
+namespace {
+
+/// BFS over the augmentation graph of Definition 2, built lazily from the
+/// matroid oracles. Node ids: `0..n-1` are ground elements, `n` is the
+/// source `a`, `n+1` is the sink `b`. Returns the shortest `a → b` path
+/// (inclusive) or empty if none exists. Neighbor expansion is in ascending
+/// element order, so the walk is deterministic.
+std::vector<int> ShortestAugmentingPath(const Matroid& m1, const Matroid& m2,
+                                        std::span<const int> members,
+                                        const std::vector<char>& in_set) {
+  const int n = m1.GroundSize();
+  const int a = n;
+  const int b = n + 1;
+  std::vector<int> parent(static_cast<size_t>(n) + 2, -2);  // -2 = unvisited
+  std::queue<int> queue;
+  parent[static_cast<size_t>(a)] = -1;
+  queue.push(a);
+
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    if (v == b) break;
+
+    auto visit = [&](int next) {
+      if (parent[static_cast<size_t>(next)] == -2) {
+        parent[static_cast<size_t>(next)] = v;
+        queue.push(next);
+      }
+    };
+
+    if (v == a) {
+      // (a, x) for each x ∈ V1 = {x ∉ S : S + x ∈ I1}.
+      for (int x = 0; x < n; ++x) {
+        if (!in_set[static_cast<size_t>(x)] && m1.CanAdd(members, x)) {
+          visit(x);
+        }
+      }
+    } else if (!in_set[static_cast<size_t>(v)]) {
+      // v = x ∉ S. Edge (x, b) if x ∈ V2; edges (x, y) for y ∈ S with
+      // S + x ∉ I2 and S + x − y ∈ I2.
+      if (m2.CanAdd(members, v)) {
+        visit(b);
+      } else {
+        for (const int y : members) {
+          if (m2.CanExchange(members, v, y)) visit(y);
+        }
+      }
+    } else {
+      // v = y ∈ S. Edges (y, x) for x ∉ S with S + x ∉ I1 and
+      // S + x − y ∈ I1.
+      for (int x = 0; x < n; ++x) {
+        if (in_set[static_cast<size_t>(x)]) continue;
+        if (!m1.CanAdd(members, x) && m1.CanExchange(members, x, v)) {
+          visit(x);
+        }
+      }
+    }
+  }
+
+  if (parent[static_cast<size_t>(b)] == -2) return {};
+  std::vector<int> path;
+  for (int v = b; v != -1; v = parent[static_cast<size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<int> MaxCardinalityMatroidIntersection(
+    const Matroid& m1, const Matroid& m2, std::span<const int> initial,
+    const DistanceToSetFn& distance_fn) {
+  const int n = m1.GroundSize();
+  FDM_CHECK(n == m2.GroundSize());
+
+  std::vector<int> members(initial.begin(), initial.end());
+  std::vector<char> in_set(static_cast<size_t>(n), 0);
+  for (const int e : members) {
+    FDM_CHECK(e >= 0 && e < n);
+    FDM_CHECK_MSG(!in_set[static_cast<size_t>(e)],
+                  "initial set has duplicates");
+    in_set[static_cast<size_t>(e)] = 1;
+  }
+  FDM_CHECK_MSG(m1.IsIndependent(members),
+                "initial set not independent in M1");
+  FDM_CHECK_MSG(m2.IsIndependent(members),
+                "initial set not independent in M2");
+
+  // Greedy phase (Algorithm 4, lines 2–7): directly insert elements of
+  // V1 ∩ V2, farthest-from-solution first. Each such insertion corresponds
+  // to the trivial augmenting path ⟨a, x, b⟩.
+  while (true) {
+    int best = -1;
+    double best_distance = -std::numeric_limits<double>::infinity();
+    for (int x = 0; x < n; ++x) {
+      if (in_set[static_cast<size_t>(x)]) continue;
+      if (!m1.CanAdd(members, x) || !m2.CanAdd(members, x)) continue;
+      const double d =
+          distance_fn ? distance_fn(x, members)
+                      : static_cast<double>(n - x);  // first index wins
+      if (d > best_distance) {
+        best_distance = d;
+        best = x;
+      }
+    }
+    if (best < 0) break;
+    members.push_back(best);
+    in_set[static_cast<size_t>(best)] = 1;
+  }
+
+  // Augmentation phase (Algorithm 4, lines 8–14): flip shortest a→b paths.
+  while (true) {
+    const std::vector<int> path =
+        ShortestAugmentingPath(m1, m2, members, in_set);
+    if (path.empty()) break;
+    // Interior nodes alternate x ∉ S (add) and y ∈ S (remove); net +1.
+    for (size_t i = 1; i + 1 < path.size(); ++i) {
+      const int v = path[i];
+      in_set[static_cast<size_t>(v)] ^= 1;
+    }
+    members.clear();
+    for (int e = 0; e < n; ++e) {
+      if (in_set[static_cast<size_t>(e)]) members.push_back(e);
+    }
+    FDM_DCHECK(m1.IsIndependent(members));
+    FDM_DCHECK(m2.IsIndependent(members));
+  }
+  return members;
+}
+
+}  // namespace fdm

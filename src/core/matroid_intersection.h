@@ -1,0 +1,40 @@
+#ifndef FDM_CORE_MATROID_INTERSECTION_H_
+#define FDM_CORE_MATROID_INTERSECTION_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/matroid.h"
+
+namespace fdm {
+
+/// Distance-to-solution callback for the greedy phase of Algorithm 4:
+/// given a candidate element and the current solution members, return
+/// `d(x, S)` (+infinity when S is empty). Pass nullptr to disable the
+/// greedy ordering (plain Cunningham, used by tests as a cross-check).
+using DistanceToSetFn =
+    std::function<double(int element, std::span<const int> members)>;
+
+/// Algorithm 4 — maximum-cardinality common independent set of two
+/// matroids, adapted from Cunningham's algorithm:
+///
+///  1. warm start from `initial` (must be independent in both matroids —
+///     SFDM2 passes the partial solution `S'_µ` extracted from `S_µ`);
+///  2. greedy phase: while some element can join both matroids directly
+///     (`V1 ∩ V2 ≠ ∅`), add the one farthest from the current solution —
+///     this is the GMM-like selection that gives SFDM2 its practical
+///     diversity edge over FairFlow;
+///  3. augmentation phase: build the augmentation graph of Definition 2 and
+///     flip BFS-shortest `a → b` paths until none exists.
+///
+/// Returns the final members (a maximum-cardinality common independent
+/// set; Cunningham's correctness guarantees maximality regardless of the
+/// warm start and greedy choices).
+std::vector<int> MaxCardinalityMatroidIntersection(
+    const Matroid& m1, const Matroid& m2, std::span<const int> initial,
+    const DistanceToSetFn& distance_fn = nullptr);
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_MATROID_INTERSECTION_H_

@@ -1,0 +1,178 @@
+#include "core/sfdm1.h"
+
+#include <limits>
+#include <set>
+#include <string>
+
+#include "core/diversity.h"
+#include "util/check.h"
+
+namespace fdm {
+
+Sfdm1::Sfdm1(FairnessConstraint constraint, size_t dim, MetricKind metric,
+             GuessLadder ladder)
+    : constraint_(std::move(constraint)),
+      k_(constraint_.TotalK()),
+      dim_(dim),
+      metric_(metric),
+      ladder_(std::move(ladder)) {
+  blind_.reserve(ladder_.size());
+  for (int i = 0; i < 2; ++i) specific_[i].reserve(ladder_.size());
+  for (size_t j = 0; j < ladder_.size(); ++j) {
+    const double mu = ladder_.At(j);
+    blind_.emplace_back(mu, static_cast<size_t>(k_), dim_);
+    for (int i = 0; i < 2; ++i) {
+      specific_[i].emplace_back(
+          mu, static_cast<size_t>(constraint_.quotas[static_cast<size_t>(i)]),
+          dim_);
+    }
+  }
+}
+
+Result<Sfdm1> Sfdm1::Create(const FairnessConstraint& constraint, size_t dim,
+                            MetricKind metric,
+                            const StreamingOptions& options) {
+  if (Status s = constraint.Validate(); !s.ok()) return s;
+  if (constraint.num_groups() != 2) {
+    return Status::Unsupported(
+        "SFDM1 requires exactly 2 groups, got " +
+        std::to_string(constraint.num_groups()) + "; use SFDM2");
+  }
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  auto ladder =
+      GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
+  if (!ladder.ok()) return ladder.status();
+  return Sfdm1(constraint, dim, metric, std::move(ladder.value()));
+}
+
+void Sfdm1::Observe(const StreamPoint& point) {
+  FDM_DCHECK(point.coords.size() == dim_);
+  FDM_CHECK_MSG(point.group == 0 || point.group == 1,
+                "SFDM1 stream element outside groups {0,1}");
+  ++observed_;
+  for (size_t j = 0; j < ladder_.size(); ++j) {
+    blind_[j].TryAdd(point, metric_);
+    specific_[point.group][j].TryAdd(point, metric_);
+  }
+}
+
+PointBuffer Sfdm1::BalancedCandidate(size_t j) const {
+  // Work on a copy of the group-blind candidate so Solve() stays const and
+  // repeatable mid-stream.
+  PointBuffer working(dim_, static_cast<size_t>(k_) + 1);
+  const PointBuffer& blind = blind_[j].points();
+  for (size_t i = 0; i < blind.size(); ++i) working.Add(blind.ViewAt(i));
+
+  const std::vector<int> counts = GroupCounts(working, 2);
+  int under = -1;  // the under-filled group i_u, if any
+  for (int g = 0; g < 2; ++g) {
+    if (counts[static_cast<size_t>(g)] <
+        constraint_.quotas[static_cast<size_t>(g)]) {
+      under = g;
+    }
+  }
+  if (under < 0) return working;  // already fair (|S_µ| = k and no deficit)
+
+  const int quota_under = constraint_.quotas[static_cast<size_t>(under)];
+  const PointBuffer& donors = specific_[under][j].points();
+
+  // Algorithm 2, lines 12–14: insert the donor farthest from the selected
+  // elements of the under-filled group, repeatedly.
+  auto count_group = [&](int g) {
+    int c = 0;
+    for (size_t i = 0; i < working.size(); ++i) {
+      if (working.GroupAt(i) == g) ++c;
+    }
+    return c;
+  };
+  while (count_group(under) < quota_under) {
+    double best_distance = -1.0;
+    size_t best_donor = donors.size();
+    for (size_t d = 0; d < donors.size(); ++d) {
+      if (working.ContainsId(donors.IdAt(d))) continue;
+      // d(x, S_µ ∩ X_iu): +infinity when the group is empty in S_µ.
+      double dist = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < working.size(); ++i) {
+        if (working.GroupAt(i) != under) continue;
+        const double dd = metric_(donors.CoordsAt(d), working.CoordsAt(i));
+        if (dd < dist) dist = dd;
+      }
+      if (dist > best_distance) {
+        best_distance = dist;
+        best_donor = d;
+      }
+    }
+    FDM_CHECK_MSG(best_donor < donors.size(),
+                  "SFDM1 balance: donor pool exhausted (U' membership "
+                  "should prevent this)");
+    working.Add(donors.ViewAt(best_donor));
+  }
+
+  // Algorithm 2, lines 15–17: delete the other-group element closest to the
+  // (augmented) under-filled side until |S_µ| = k.
+  while (static_cast<int>(working.size()) > k_) {
+    double best_distance = std::numeric_limits<double>::infinity();
+    size_t victim = working.size();
+    for (size_t i = 0; i < working.size(); ++i) {
+      if (working.GroupAt(i) == under) continue;
+      double dist = std::numeric_limits<double>::infinity();
+      for (size_t u = 0; u < working.size(); ++u) {
+        if (working.GroupAt(u) != under) continue;
+        const double dd = metric_(working.CoordsAt(i), working.CoordsAt(u));
+        if (dd < dist) dist = dd;
+      }
+      if (dist < best_distance) {
+        best_distance = dist;
+        victim = i;
+      }
+    }
+    FDM_CHECK(victim < working.size());
+    working.RemoveSwap(victim);
+  }
+  return working;
+}
+
+Result<Solution> Sfdm1::Solve() const {
+  Solution best(dim_);
+  best.diversity = -1.0;
+  bool found = false;
+  for (size_t j = 0; j < ladder_.size(); ++j) {
+    // U' = {µ : |S_µ| = k ∧ |S_µ,i| = k_i for both i} (line 9).
+    if (!blind_[j].Full() || !specific_[0][j].Full() ||
+        !specific_[1][j].Full()) {
+      continue;
+    }
+    PointBuffer balanced = BalancedCandidate(j);
+    FDM_DCHECK(SatisfiesQuotas(balanced, constraint_.quotas));
+    const double div = MinPairwiseDistance(balanced, metric_);
+    if (div > best.diversity) {
+      best.points = std::move(balanced);
+      best.diversity = div;
+      best.mu = ladder_.At(j);
+      found = true;
+    }
+  }
+  if (!found) {
+    return Status::Infeasible(
+        "no guess µ has full group-blind and group-specific candidates; "
+        "stream too small or d_min overestimated");
+  }
+  return best;
+}
+
+size_t Sfdm1::StoredElements() const {
+  std::set<int64_t> distinct;
+  auto collect = [&distinct](const std::vector<StreamingCandidate>& cands) {
+    for (const auto& c : cands) {
+      for (size_t i = 0; i < c.points().size(); ++i) {
+        distinct.insert(c.points().IdAt(i));
+      }
+    }
+  };
+  collect(blind_);
+  collect(specific_[0]);
+  collect(specific_[1]);
+  return distinct.size();
+}
+
+}  // namespace fdm

@@ -1,0 +1,186 @@
+#include "core/sfdm2.h"
+
+#include <limits>
+#include <set>
+#include <string>
+#include <unordered_set>
+
+#include "core/clustering.h"
+#include "core/diversity.h"
+#include "core/matroid.h"
+#include "core/matroid_intersection.h"
+#include "util/check.h"
+
+namespace fdm {
+
+Sfdm2::Sfdm2(FairnessConstraint constraint, size_t dim, MetricKind metric,
+             GuessLadder ladder)
+    : constraint_(std::move(constraint)),
+      k_(constraint_.TotalK()),
+      m_(constraint_.num_groups()),
+      dim_(dim),
+      metric_(metric),
+      ladder_(std::move(ladder)) {
+  blind_.reserve(ladder_.size());
+  specific_.reserve(ladder_.size() * static_cast<size_t>(m_));
+  for (size_t j = 0; j < ladder_.size(); ++j) {
+    blind_.emplace_back(ladder_.At(j), static_cast<size_t>(k_), dim_);
+  }
+  for (int i = 0; i < m_; ++i) {
+    for (size_t j = 0; j < ladder_.size(); ++j) {
+      // Group-specific capacity is k, not k_i (the Algorithm 3 deviation
+      // from SFDM1 that Lemma 4's Case 2 relies on).
+      specific_.emplace_back(ladder_.At(j), static_cast<size_t>(k_), dim_);
+    }
+  }
+}
+
+Result<Sfdm2> Sfdm2::Create(const FairnessConstraint& constraint, size_t dim,
+                            MetricKind metric,
+                            const StreamingOptions& options) {
+  if (Status s = constraint.Validate(); !s.ok()) return s;
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  auto ladder =
+      GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
+  if (!ladder.ok()) return ladder.status();
+  return Sfdm2(constraint, dim, metric, std::move(ladder.value()));
+}
+
+void Sfdm2::Observe(const StreamPoint& point) {
+  FDM_DCHECK(point.coords.size() == dim_);
+  FDM_CHECK_MSG(point.group >= 0 && point.group < m_,
+                "stream element group out of range");
+  ++observed_;
+  const size_t rungs = ladder_.size();
+  StreamingCandidate* group_row =
+      specific_.data() + static_cast<size_t>(point.group) * rungs;
+  for (size_t j = 0; j < rungs; ++j) {
+    blind_[j].TryAdd(point, metric_);
+    group_row[j].TryAdd(point, metric_);
+  }
+}
+
+Result<Solution> Sfdm2::Solve() const {
+  const size_t rungs = ladder_.size();
+  Solution best(dim_);
+  best.diversity = -1.0;
+  bool found = false;
+
+  for (size_t j = 0; j < rungs; ++j) {
+    // U' = {µ : |S_µ| = k ∧ |S_µ,i| >= k_i ∀i} (line 9).
+    if (!blind_[j].Full()) continue;
+    bool eligible = true;
+    for (int i = 0; i < m_ && eligible; ++i) {
+      const auto& cand = specific_[static_cast<size_t>(i) * rungs + j];
+      if (static_cast<int>(cand.points().size()) <
+          constraint_.quotas[static_cast<size_t>(i)]) {
+        eligible = false;
+      }
+    }
+    if (!eligible) continue;
+    const double mu = ladder_.At(j);
+
+    // S_all = S_µ ∪ (∪_i S_µ,i), deduplicated by element id (line 12).
+    // The blind candidate's elements come first so the initial partial
+    // solution can be addressed by ground-set position.
+    PointBuffer ground(dim_, static_cast<size_t>(k_ * (m_ + 1)));
+    std::unordered_set<int64_t> seen;
+    const PointBuffer& blind = blind_[j].points();
+    for (size_t i = 0; i < blind.size(); ++i) {
+      if (seen.insert(blind.IdAt(i)).second) ground.Add(blind.ViewAt(i));
+    }
+    const size_t blind_count = ground.size();
+    for (int g = 0; g < m_; ++g) {
+      const PointBuffer& cand =
+          specific_[static_cast<size_t>(g) * rungs + j].points();
+      for (size_t i = 0; i < cand.size(); ++i) {
+        if (seen.insert(cand.IdAt(i)).second) ground.Add(cand.ViewAt(i));
+      }
+    }
+    const int l = static_cast<int>(ground.size());
+
+    // Initial partial solution S'_µ: min(k_i, |S_µ ∩ X_i|) elements per
+    // group, taken from S_µ in arrival order (line 11). The warm-start
+    // ablation replaces it with ∅ (pure Cunningham, FairFlow-style).
+    std::vector<int> initial;
+    if (warm_start_) {
+      std::vector<int> taken(static_cast<size_t>(m_), 0);
+      for (size_t i = 0; i < blind_count; ++i) {
+        const int g = ground.GroupAt(i);
+        if (taken[static_cast<size_t>(g)] <
+            constraint_.quotas[static_cast<size_t>(g)]) {
+          initial.push_back(static_cast<int>(i));
+          ++taken[static_cast<size_t>(g)];
+        }
+      }
+    }
+
+    // Threshold clustering at µ/(m+1) (lines 13–16).
+    const std::vector<int> cluster_of =
+        ThresholdClusters(ground, metric_, mu / static_cast<double>(m_ + 1));
+    int num_clusters = 0;
+    for (const int c : cluster_of) {
+      if (c + 1 > num_clusters) num_clusters = c + 1;
+    }
+
+    // M1: fairness partition matroid; M2: one-per-cluster matroid
+    // (line 17).
+    std::vector<int> group_labels(static_cast<size_t>(l));
+    for (int i = 0; i < l; ++i) {
+      group_labels[static_cast<size_t>(i)] =
+          ground.GroupAt(static_cast<size_t>(i));
+    }
+    const PartitionMatroid m1(group_labels, constraint_.quotas);
+    const PartitionMatroid m2(
+        cluster_of, std::vector<int>(static_cast<size_t>(num_clusters), 1));
+
+    // Algorithm 4 with farthest-first greedy inserts (line 18).
+    auto distance_to_set = [&](int x, std::span<const int> members) {
+      double dist = std::numeric_limits<double>::infinity();
+      for (const int mmb : members) {
+        const double d = metric_(ground.CoordsAt(static_cast<size_t>(x)),
+                                 ground.CoordsAt(static_cast<size_t>(mmb)));
+        if (d < dist) dist = d;
+      }
+      return dist;
+    };
+    const std::vector<int> result = MaxCardinalityMatroidIntersection(
+        m1, m2, initial,
+        greedy_augmentation_ ? DistanceToSetFn(distance_to_set) : nullptr);
+    if (static_cast<int>(result.size()) != k_) continue;
+
+    PointBuffer chosen(dim_, static_cast<size_t>(k_));
+    for (const int e : result) {
+      chosen.Add(ground.ViewAt(static_cast<size_t>(e)));
+    }
+    FDM_DCHECK(SatisfiesQuotas(chosen, constraint_.quotas));
+    const double div = MinPairwiseDistance(chosen, metric_);
+    if (div > best.diversity) {
+      best.points = std::move(chosen);
+      best.diversity = div;
+      best.mu = mu;
+      found = true;
+    }
+  }
+
+  if (!found) {
+    return Status::Infeasible(
+        "no guess µ yielded a size-k fair solution; stream too small for "
+        "the constraint or d_min overestimated");
+  }
+  return best;
+}
+
+size_t Sfdm2::StoredElements() const {
+  std::set<int64_t> distinct;
+  auto collect = [&distinct](const StreamingCandidate& c) {
+    for (size_t i = 0; i < c.points().size(); ++i) {
+      distinct.insert(c.points().IdAt(i));
+    }
+  };
+  for (const auto& c : blind_) collect(c);
+  for (const auto& c : specific_) collect(c);
+  return distinct.size();
+}
+
+}  // namespace fdm

@@ -1,0 +1,135 @@
+#ifndef FDM_CORE_SLIDING_WINDOW_H_
+#define FDM_CORE_SLIDING_WINDOW_H_
+
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "core/solution.h"
+#include "geo/point_buffer.h"
+#include "util/check.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Sliding-window adapter over any one-pass diversity algorithm
+/// (`StreamingDm`, `Sfdm1`, `Sfdm2`) — the paper's future-work setting
+/// ("diversity maximization problems with fairness constraints in more
+/// general settings, e.g., the sliding-window model").
+///
+/// Design: checkpointed replicas. A fresh instance of the underlying
+/// algorithm is started every `window / checkpoints` elements; an instance
+/// whose start has slid out of the window can hold expired elements and is
+/// discarded. Queries are answered by the oldest instance started inside
+/// the window, which covers a suffix of at least
+/// `window · (1 − 1/checkpoints)` of the most recent elements — so every
+/// reported element is guaranteed in-window, and the approximation is with
+/// respect to that suffix. More checkpoints narrow the uncovered prefix at
+/// a linear cost in memory (instances alive ≤ checkpoints + 1).
+///
+/// This is the standard practical checkpointing scheme, not the
+/// theoretically stronger smooth-histogram construction of Borassi et
+/// al. [7]; the trade-off is documented here and in DESIGN.md §2.5.
+///
+/// `Algo` must provide `Observe(const StreamPoint&)`,
+/// `Result<Solution> Solve() const`, and `size_t StoredElements() const`.
+template <typename Algo>
+class SlidingWindow {
+ public:
+  /// Creates fresh instances of the underlying algorithm.
+  using Factory = std::function<Result<Algo>()>;
+
+  /// `window` is the number of most recent elements a solution may use;
+  /// `checkpoints >= 1` controls the coverage granularity.
+  static Result<SlidingWindow> Create(int64_t window, int64_t checkpoints,
+                                      Factory factory) {
+    if (window < 1) return Status::InvalidArgument("window must be >= 1");
+    if (checkpoints < 1 || checkpoints > window) {
+      return Status::InvalidArgument(
+          "checkpoints must be in [1, window]");
+    }
+    if (!factory) return Status::InvalidArgument("factory must be set");
+    // Validate the factory up front so configuration errors surface at
+    // Create, not at the first Observe.
+    Result<Algo> probe = factory();
+    if (!probe.ok()) return probe.status();
+    return SlidingWindow(window, (window + checkpoints - 1) / checkpoints,
+                         std::move(factory));
+  }
+
+  /// Feeds one element to every live replica and manages their lifecycle.
+  Status Observe(const StreamPoint& point) {
+    // Start a new replica at every stride boundary.
+    if (position_ % stride_ == 0) {
+      Result<Algo> fresh = factory_();
+      if (!fresh.ok()) return fresh.status();
+      replicas_.push_back({position_, std::move(fresh.value())});
+    }
+    for (auto& replica : replicas_) {
+      replica.algo.Observe(point);
+    }
+    ++position_;
+    // Drop replicas that started before the window: they may hold expired
+    // elements and can never become valid again. Because a replica spawns
+    // every `stride_ <= window_` positions, at least one replica always
+    // starts inside the window, so this never empties the deque.
+    const int64_t window_start = WindowStart();
+    while (!replicas_.empty() && replicas_.front().start < window_start) {
+      replicas_.pop_front();
+    }
+    FDM_DCHECK(!replicas_.empty());
+    return Status::Ok();
+  }
+
+  /// Solution over (a suffix of) the current window. Every element id in
+  /// the result was observed within the last `window` elements.
+  Result<Solution> Solve() const {
+    const int64_t window_start = WindowStart();
+    for (const auto& replica : replicas_) {
+      if (replica.start >= window_start) {
+        return replica.algo.Solve();
+      }
+    }
+    return Status::Infeasible(
+        "no replica covers the current window yet (stream shorter than one "
+        "checkpoint stride)");
+  }
+
+  /// Elements stored across all live replicas.
+  size_t StoredElements() const {
+    size_t total = 0;
+    for (const auto& replica : replicas_) {
+      total += replica.algo.StoredElements();
+    }
+    return total;
+  }
+
+  int64_t ObservedElements() const { return position_; }
+  int64_t window() const { return window_; }
+  size_t live_replicas() const { return replicas_.size(); }
+
+ private:
+  struct Replica {
+    int64_t start;
+    Algo algo;
+  };
+
+  SlidingWindow(int64_t window, int64_t stride, Factory factory)
+      : window_(window), stride_(stride), factory_(std::move(factory)) {}
+
+  /// First stream position inside the current window
+  /// `[position_ - window_, position_ - 1]`.
+  int64_t WindowStart() const {
+    return position_ > window_ ? position_ - window_ : 0;
+  }
+
+  int64_t window_;
+  int64_t stride_;
+  Factory factory_;
+  std::deque<Replica> replicas_;
+  int64_t position_ = 0;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_SLIDING_WINDOW_H_

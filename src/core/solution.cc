@@ -1,0 +1,17 @@
+#include "core/solution.h"
+
+#include "core/diversity.h"
+
+namespace fdm {
+
+Solution Solution::FromIndices(const Dataset& dataset,
+                               std::span<const size_t> indices) {
+  Solution s(dataset.dim());
+  for (const size_t i : indices) {
+    s.points.Add(dataset.At(i));
+  }
+  s.diversity = MinPairwiseDistance(s.points, dataset.metric());
+  return s;
+}
+
+}  // namespace fdm

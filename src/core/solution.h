@@ -1,0 +1,42 @@
+#ifndef FDM_CORE_SOLUTION_H_
+#define FDM_CORE_SOLUTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geo/point_buffer.h"
+
+namespace fdm {
+
+/// The output of a diversity-maximization algorithm: the selected elements
+/// (owned copies — valid even after the stream is gone), the achieved
+/// `div(S)`, and diagnostics.
+struct Solution {
+  /// Selected elements (ids, groups, coordinates).
+  PointBuffer points;
+
+  /// `div(S)` under the algorithm's metric (+infinity if |S| < 2).
+  double diversity = 0.0;
+
+  /// The winning guess `µ` for streaming algorithms; 0 for offline ones.
+  double mu = 0.0;
+
+  explicit Solution(size_t dim) : points(dim, 0) {}
+
+  /// Dataset row ids of the selected elements, in selection order.
+  std::vector<int64_t> Ids() const {
+    std::vector<int64_t> ids(points.size());
+    for (size_t i = 0; i < points.size(); ++i) ids[i] = points.IdAt(i);
+    return ids;
+  }
+
+  /// Builds a solution from dataset rows (offline algorithms).
+  static Solution FromIndices(const Dataset& dataset,
+                              std::span<const size_t> indices);
+};
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_SOLUTION_H_

@@ -1,0 +1,41 @@
+#ifndef FDM_CORE_STREAMING_CANDIDATE_H_
+#define FDM_CORE_STREAMING_CANDIDATE_H_
+
+#include "geo/point_buffer.h"
+
+namespace fdm {
+
+/// One candidate `S_µ` of Algorithm 1: a bounded set that accepts a point
+/// iff it is at distance `≥ µ` from everything already kept and the
+/// capacity is not reached (lines 5–6).
+///
+/// Invariant maintained at all times: the stored points are pairwise at
+/// distance `≥ µ`, hence `div(S_µ) ≥ µ` whenever the candidate is full.
+class StreamingCandidate {
+ public:
+  StreamingCandidate(double mu, size_t capacity, size_t dim)
+      : mu_(mu), capacity_(capacity), points_(dim, capacity) {}
+
+  /// Algorithm 1, lines 5–6: add `p` iff `|S_µ| < capacity` and
+  /// `d(p, S_µ) ≥ µ`. Returns true iff the point was kept.
+  bool TryAdd(const StreamPoint& p, const Metric& metric) {
+    if (points_.size() >= capacity_) return false;
+    if (!points_.AllAtLeast(p.coords, metric, mu_)) return false;
+    points_.Add(p);
+    return true;
+  }
+
+  bool Full() const { return points_.size() >= capacity_; }
+  double mu() const { return mu_; }
+  size_t capacity() const { return capacity_; }
+  const PointBuffer& points() const { return points_; }
+
+ private:
+  double mu_;
+  size_t capacity_;
+  PointBuffer points_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_STREAMING_CANDIDATE_H_

@@ -1,0 +1,78 @@
+#include "core/streaming_dm.h"
+
+#include <set>
+#include <string>
+
+#include "core/diversity.h"
+#include "util/check.h"
+
+namespace fdm {
+
+StreamingDm::StreamingDm(int k, size_t dim, MetricKind metric,
+                         GuessLadder ladder)
+    : k_(k), dim_(dim), metric_(metric), ladder_(std::move(ladder)) {
+  candidates_.reserve(ladder_.size());
+  for (size_t j = 0; j < ladder_.size(); ++j) {
+    candidates_.emplace_back(ladder_.At(j), static_cast<size_t>(k_), dim_);
+  }
+}
+
+Result<StreamingDm> StreamingDm::Create(int k, size_t dim, MetricKind metric,
+                                        const StreamingOptions& options) {
+  if (k < 1) {
+    return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
+  }
+  if (dim == 0) return Status::InvalidArgument("dim must be positive");
+  auto ladder =
+      GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
+  if (!ladder.ok()) return ladder.status();
+  return StreamingDm(k, dim, metric, std::move(ladder.value()));
+}
+
+void StreamingDm::Observe(const StreamPoint& point) {
+  FDM_DCHECK(point.coords.size() == dim_);
+  ++observed_;
+  for (auto& candidate : candidates_) {
+    candidate.TryAdd(point, metric_);
+  }
+}
+
+Result<Solution> StreamingDm::Solve() const {
+  const StreamingCandidate* best = nullptr;
+  double best_div = -1.0;
+  for (const auto& candidate : candidates_) {
+    if (!candidate.Full()) continue;
+    const double div = k_ >= 2
+                           ? MinPairwiseDistance(candidate.points(), metric_)
+                           : candidate.mu();
+    if (div > best_div) {
+      best_div = div;
+      best = &candidate;
+    }
+  }
+  if (best == nullptr) {
+    return Status::Infeasible(
+        "no candidate reached k=" + std::to_string(k_) +
+        " elements; the stream has fewer than k sufficiently distinct "
+        "points or d_min is overestimated");
+  }
+  Solution solution(dim_);
+  for (size_t i = 0; i < best->points().size(); ++i) {
+    solution.points.Add(best->points().ViewAt(i));
+  }
+  solution.diversity = best_div;
+  solution.mu = best->mu();
+  return solution;
+}
+
+size_t StreamingDm::StoredElements() const {
+  std::set<int64_t> distinct;
+  for (const auto& candidate : candidates_) {
+    for (size_t i = 0; i < candidate.points().size(); ++i) {
+      distinct.insert(candidate.points().IdAt(i));
+    }
+  }
+  return distinct.size();
+}
+
+}  // namespace fdm

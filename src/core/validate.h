@@ -1,0 +1,27 @@
+#ifndef FDM_CORE_VALIDATE_H_
+#define FDM_CORE_VALIDATE_H_
+
+#include "core/fairness.h"
+#include "core/solution.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// End-to-end validation of a `Solution` against the dataset it claims to
+/// come from and (optionally) a fairness constraint:
+///
+///  * every selected id is a valid dataset row, selected at most once;
+///  * the stored group and coordinates match the dataset row bit-for-bit
+///    (streaming algorithms copy elements — corruption would surface here);
+///  * the reported `diversity` equals the recomputed `div(S)`;
+///  * with a constraint: the selection has exactly `k_i` of each group.
+///
+/// Used by tests, examples, and as a guardrail for downstream users
+/// consuming solutions from untrusted pipelines.
+Status ValidateSolution(const Dataset& dataset, const Solution& solution,
+                        const FairnessConstraint* constraint = nullptr);
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_VALIDATE_H_

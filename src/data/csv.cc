@@ -1,0 +1,82 @@
+#include "data/csv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/stringutil.h"
+
+namespace fdm {
+
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << "group";
+  for (size_t d = 0; d < dataset.dim(); ++d) out << ",f" << d;
+  out << "\n";
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    out << dataset.GroupOf(i);
+    const auto p = dataset.Point(i);
+    for (size_t d = 0; d < dataset.dim(); ++d) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", p[d]);
+      out << ',' << buf;
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Dataset> ReadDatasetCsv(const std::string& path, MetricKind metric,
+                               const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::IoError("empty csv: " + path);
+  }
+  const size_t dim = Split(line, ',').size() - 1;
+  if (dim == 0) {
+    return Status::IoError("csv has no feature columns: " + path);
+  }
+
+  std::vector<double> coords;
+  std::vector<int32_t> groups;
+  int32_t max_group = 0;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (Trim(line).empty()) continue;
+    const auto fields = Split(line, ',');
+    if (fields.size() != dim + 1) {
+      return Status::IoError("row " + std::to_string(line_no) +
+                             " has wrong arity in " + path);
+    }
+    char* end = nullptr;
+    const long g = std::strtol(fields[0].c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || g < 0) {
+      return Status::IoError("bad group id at row " + std::to_string(line_no));
+    }
+    groups.push_back(static_cast<int32_t>(g));
+    max_group = std::max(max_group, static_cast<int32_t>(g));
+    for (size_t d = 0; d < dim; ++d) {
+      const double v = std::strtod(fields[d + 1].c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::IoError("bad feature at row " +
+                               std::to_string(line_no));
+      }
+      coords.push_back(v);
+    }
+  }
+  Dataset ds(name, dim, max_group + 1, metric);
+  ds.Reserve(groups.size());
+  for (size_t i = 0; i < groups.size(); ++i) {
+    ds.Add(std::span<const double>(coords.data() + i * dim, dim), groups[i]);
+  }
+  return ds;
+}
+
+}  // namespace fdm

@@ -1,0 +1,24 @@
+#ifndef FDM_DATA_CSV_H_
+#define FDM_DATA_CSV_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Writes `dataset` to `path` as CSV with header
+/// `group,f0,f1,...` — one row per point. Used by the figure benches so the
+/// selected point sets can be plotted externally.
+Status WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset from a CSV produced by `WriteDatasetCsv` (or any CSV with
+/// a leading integer `group` column followed by `dim` numeric features).
+/// `metric` selects the distance; group ids must be dense `0..m-1`.
+Result<Dataset> ReadDatasetCsv(const std::string& path, MetricKind metric,
+                               const std::string& name = "csv");
+
+}  // namespace fdm
+
+#endif  // FDM_DATA_CSV_H_

@@ -1,0 +1,71 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace fdm {
+
+DistanceBounds ComputeDistanceBoundsExact(const Dataset& dataset) {
+  const size_t n = dataset.size();
+  const Metric metric = dataset.metric();
+  DistanceBounds bounds;
+  bounds.min = std::numeric_limits<double>::infinity();
+  bounds.max = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const double d = metric(dataset.Point(i), dataset.Point(j));
+      if (d > 0.0 && d < bounds.min) bounds.min = d;
+      if (d > bounds.max) bounds.max = d;
+    }
+  }
+  if (!std::isfinite(bounds.min)) bounds.min = bounds.max;
+  return bounds;
+}
+
+DistanceBounds EstimateDistanceBounds(const Dataset& dataset,
+                                      size_t sample_size, uint64_t seed,
+                                      double slack) {
+  const size_t n = dataset.size();
+  if (n <= sample_size || n <= 2048) {
+    DistanceBounds exact = ComputeDistanceBoundsExact(dataset);
+    // No slack needed: the bounds are exact.
+    return exact;
+  }
+  Rng rng(seed);
+  std::vector<size_t> sample(sample_size);
+  for (auto& s : sample) s = static_cast<size_t>(rng.NextBounded(n));
+  std::sort(sample.begin(), sample.end());
+  sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
+
+  const Metric metric = dataset.metric();
+  double min_d = std::numeric_limits<double>::infinity();
+  double max_d = 0.0;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (size_t j = i + 1; j < sample.size(); ++j) {
+      const double d =
+          metric(dataset.Point(sample[i]), dataset.Point(sample[j]));
+      if (d > 0.0 && d < min_d) min_d = d;
+      if (d > max_d) max_d = d;
+    }
+  }
+  if (!std::isfinite(min_d)) min_d = max_d > 0 ? max_d : 1.0;
+  if (max_d == 0.0) max_d = 1.0;
+  // Widen: sampling overestimates the closest-pair distance and slightly
+  // underestimates the diameter; the slack keeps the guess ladder covering
+  // the interval that Lemma 1 / Theorem 4 need (see the contract in the
+  // header). Extra ladder rungs only cost O(log(slack)/ε) candidates each.
+  return DistanceBounds{min_d / slack, max_d * slack};
+}
+
+std::vector<size_t> StreamOrder(size_t n, uint64_t seed) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  Rng rng(seed);
+  rng.Shuffle(order);
+  return order;
+}
+
+}  // namespace fdm

@@ -1,0 +1,68 @@
+#include "data/normalize.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace fdm {
+
+ColumnStats ComputeColumnStats(const std::vector<double>& features, size_t n,
+                               size_t dim) {
+  FDM_CHECK(features.size() == n * dim);
+  ColumnStats stats;
+  stats.mean.assign(dim, 0.0);
+  stats.stddev.assign(dim, 1.0);
+  if (n == 0) return stats;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      stats.mean[d] += features[i * dim + d];
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) stats.mean[d] /= static_cast<double>(n);
+  std::vector<double> var(dim, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double delta = features[i * dim + d] - stats.mean[d];
+      var[d] += delta * delta;
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    const double v = var[d] / static_cast<double>(n);
+    stats.stddev[d] = v > 0.0 ? std::sqrt(v) : 1.0;
+  }
+  return stats;
+}
+
+void ZScoreNormalize(std::vector<double>& features, size_t n, size_t dim) {
+  const ColumnStats stats = ComputeColumnStats(features, n, dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      features[i * dim + d] =
+          (features[i * dim + d] - stats.mean[d]) / stats.stddev[d];
+    }
+  }
+}
+
+void MinMaxNormalize(std::vector<double>& features, size_t n, size_t dim) {
+  FDM_CHECK(features.size() == n * dim);
+  if (n == 0) return;
+  std::vector<double> lo(dim, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(dim, -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double v = features[i * dim + d];
+      if (v < lo[d]) lo[d] = v;
+      if (v > hi[d]) hi[d] = v;
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dim; ++d) {
+      const double range = hi[d] - lo[d];
+      features[i * dim + d] =
+          range > 0.0 ? (features[i * dim + d] - lo[d]) / range : 0.5;
+    }
+  }
+}
+
+}  // namespace fdm

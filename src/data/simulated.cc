@@ -1,0 +1,311 @@
+#include "data/simulated.h"
+
+#include <cmath>
+#include <vector>
+
+#include "data/normalize.h"
+#include "data/synthetic.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+/// Truncates `v` into `[lo, hi]`.
+double Clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+Dataset SimulatedAdult(AdultGrouping grouping, uint64_t seed, size_t n) {
+  FDM_CHECK(n > 0);
+  Rng rng(seed);
+
+  // Demographic marginals mirroring the paper's description of Adult:
+  // "67% of the records are for males and 87% of the records are for
+  // Whites" (Section V-B, Fig. 9 discussion). Races beyond the largest
+  // follow the real dataset's tail proportions.
+  const std::vector<double> sex_probs = {0.33, 0.67};            // F, M
+  const std::vector<double> race_probs = {0.855, 0.096, 0.031,   // W, B, A
+                                          0.010, 0.008};         // AI, other
+  const std::vector<int32_t> sex = SampleGroups(n, sex_probs, rng.NextUint64());
+  const std::vector<int32_t> race =
+      SampleGroups(n, race_probs, rng.NextUint64());
+
+  constexpr size_t kDim = 6;  // age, fnlwgt, edu-num, cap-gain, cap-loss, hrs
+  std::vector<double> feats(n * kDim);
+  for (size_t i = 0; i < n; ++i) {
+    const bool male = sex[i] == 1;
+    const double race_shift = 0.15 * static_cast<double>(race[i]);
+    // age: truncated normal, slight shift by sex.
+    feats[i * kDim + 0] =
+        Clamp(38.5 + (male ? 1.0 : -1.2) + 13.5 * rng.NextGaussian(), 17, 90);
+    // fnlwgt: lognormal sampling weight.
+    feats[i * kDim + 1] = std::exp(12.0 + 0.68 * rng.NextGaussian());
+    // education-num: discretized normal with demographic shift.
+    feats[i * kDim + 2] = Clamp(
+        std::round(10.1 - race_shift + 2.5 * rng.NextGaussian()), 1, 16);
+    // capital-gain: zero-inflated lognormal (heavy right tail).
+    feats[i * kDim + 3] =
+        rng.NextDouble() < 0.917
+            ? 0.0
+            : std::exp(8.4 + (male ? 0.2 : 0.0) + 1.1 * rng.NextGaussian());
+    // capital-loss: zero-inflated lognormal, narrower.
+    feats[i * kDim + 4] = rng.NextDouble() < 0.953
+                              ? 0.0
+                              : std::exp(7.45 + 0.35 * rng.NextGaussian());
+    // hours-per-week.
+    feats[i * kDim + 5] =
+        Clamp(40.4 + (male ? 2.4 : -3.9) + 12.3 * rng.NextGaussian(), 1, 99);
+  }
+  ZScoreNormalize(feats, n, kDim);
+
+  int32_t num_groups = 0;
+  std::vector<std::string> names;
+  switch (grouping) {
+    case AdultGrouping::kSex:
+      num_groups = 2;
+      names = {"female", "male"};
+      break;
+    case AdultGrouping::kRace:
+      num_groups = 5;
+      names = {"race0", "race1", "race2", "race3", "race4"};
+      break;
+    case AdultGrouping::kSexRace:
+      num_groups = 10;
+      for (const char* s : {"F", "M"}) {
+        for (int r = 0; r < 5; ++r) {
+          names.push_back(std::string(s) + "-race" + std::to_string(r));
+        }
+      }
+      break;
+  }
+  Dataset ds("adult-sim", kDim, num_groups, MetricKind::kEuclidean);
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t g = 0;
+    switch (grouping) {
+      case AdultGrouping::kSex:
+        g = sex[i];
+        break;
+      case AdultGrouping::kRace:
+        g = race[i];
+        break;
+      case AdultGrouping::kSexRace:
+        g = sex[i] * 5 + race[i];
+        break;
+    }
+    ds.Add(std::span<const double>(feats.data() + i * kDim, kDim), g);
+  }
+  ds.SetGroupNames(std::move(names));
+  return ds;
+}
+
+Dataset SimulatedCelebA(CelebAGrouping grouping, uint64_t seed, size_t n) {
+  FDM_CHECK(n > 0);
+  Rng rng(seed);
+
+  // Sex ~58% female, age ~78% young: the real CelebA marginals.
+  const std::vector<int32_t> sex =
+      SampleGroups(n, {0.58, 0.42}, rng.NextUint64());
+  const std::vector<int32_t> age =
+      SampleGroups(n, {0.78, 0.22}, rng.NextUint64());
+
+  constexpr size_t kDim = 41;  // 41 pre-trained binary attribute labels
+  // Per-attribute base activation rates plus sex/age-dependent logit
+  // shifts: facial attributes correlate strongly with both (e.g. "beard"
+  // with sex, "gray hair" with age).
+  std::vector<double> base(kDim), sex_shift(kDim), age_shift(kDim);
+  Rng attr_rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  for (size_t d = 0; d < kDim; ++d) {
+    base[d] = attr_rng.NextDouble(0.05, 0.6);
+    sex_shift[d] = attr_rng.NextDouble(-1.5, 1.5);
+    age_shift[d] = attr_rng.NextDouble(-1.0, 1.0);
+  }
+
+  int32_t num_groups = 0;
+  std::vector<std::string> names;
+  switch (grouping) {
+    case CelebAGrouping::kSex:
+      num_groups = 2;
+      names = {"female", "male"};
+      break;
+    case CelebAGrouping::kAge:
+      num_groups = 2;
+      names = {"young", "not-young"};
+      break;
+    case CelebAGrouping::kSexAge:
+      num_groups = 4;
+      names = {"F-young", "F-old", "M-young", "M-old"};
+      break;
+  }
+
+  Dataset ds("celeba-sim", kDim, num_groups, MetricKind::kManhattan);
+  ds.Reserve(n);
+  std::vector<double> point(kDim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < kDim; ++d) {
+      const double logit = std::log(base[d] / (1.0 - base[d])) +
+                           (sex[i] == 1 ? sex_shift[d] : 0.0) +
+                           (age[i] == 1 ? age_shift[d] : 0.0);
+      const double p = 1.0 / (1.0 + std::exp(-logit));
+      point[d] = rng.NextDouble() < p ? 1.0 : 0.0;
+    }
+    int32_t g = 0;
+    switch (grouping) {
+      case CelebAGrouping::kSex:
+        g = sex[i];
+        break;
+      case CelebAGrouping::kAge:
+        g = age[i];
+        break;
+      case CelebAGrouping::kSexAge:
+        g = sex[i] * 2 + age[i];
+        break;
+    }
+    ds.Add(point, g);
+  }
+  ds.SetGroupNames(std::move(names));
+  return ds;
+}
+
+Dataset SimulatedCensus(CensusGrouping grouping, uint64_t seed, size_t n) {
+  FDM_CHECK(n > 0);
+  Rng rng(seed);
+
+  const std::vector<int32_t> sex =
+      SampleGroups(n, {0.52, 0.48}, rng.NextUint64());
+  // Seven age brackets with mildly uneven mass (real census pyramids).
+  const std::vector<double> age_probs = {0.10, 0.15, 0.17, 0.16,
+                                         0.14, 0.13, 0.15};
+  const std::vector<int32_t> age = SampleGroups(n, age_probs, rng.NextUint64());
+
+  constexpr size_t kDim = 25;  // 25 categorical-code attributes
+  // Attribute cardinalities and skews fixed per attribute (deterministic
+  // in the seed), mimicking the 1990 census codes (2..17 categories,
+  // heavily skewed toward low codes).
+  Rng attr_rng(seed ^ 0xdeadbeefcafef00dULL);
+  std::vector<int> cardinality(kDim);
+  std::vector<double> skew(kDim), sex_pull(kDim), age_pull(kDim);
+  for (size_t d = 0; d < kDim; ++d) {
+    cardinality[d] = static_cast<int>(attr_rng.NextInt(2, 17));
+    skew[d] = attr_rng.NextDouble(0.6, 1.8);       // Zipf-ish exponent
+    sex_pull[d] = attr_rng.NextDouble(-0.8, 0.8);  // demographic drift
+    age_pull[d] = attr_rng.NextDouble(0.0, 1.2);
+  }
+  // Per-attribute Zipf CDFs.
+  std::vector<std::vector<double>> cdf(kDim);
+  for (size_t d = 0; d < kDim; ++d) {
+    cdf[d].resize(static_cast<size_t>(cardinality[d]));
+    double acc = 0.0;
+    for (int c = 0; c < cardinality[d]; ++c) {
+      acc += 1.0 / std::pow(static_cast<double>(c + 1), skew[d]);
+      cdf[d][static_cast<size_t>(c)] = acc;
+    }
+    for (auto& v : cdf[d]) v /= acc;
+  }
+
+  std::vector<double> feats(n * kDim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < kDim; ++d) {
+      const double u = rng.NextDouble();
+      int code = 0;
+      while (code + 1 < cardinality[d] &&
+             u > cdf[d][static_cast<size_t>(code)]) {
+        ++code;
+      }
+      // Demographic drift: shift the code deterministically by group, then
+      // wrap into range — keeps marginals categorical while correlating
+      // attributes with sex/age the way real census columns do.
+      double v = static_cast<double>(code);
+      if (sex[i] == 1) v += sex_pull[d];
+      v += age_pull[d] * static_cast<double>(age[i]) / 6.0;
+      feats[i * kDim + d] = v;
+    }
+  }
+  ZScoreNormalize(feats, n, kDim);
+
+  int32_t num_groups = 0;
+  std::vector<std::string> names;
+  switch (grouping) {
+    case CensusGrouping::kSex:
+      num_groups = 2;
+      names = {"female", "male"};
+      break;
+    case CensusGrouping::kAge:
+      num_groups = 7;
+      for (int b = 0; b < 7; ++b) names.push_back("age" + std::to_string(b));
+      break;
+    case CensusGrouping::kSexAge:
+      num_groups = 14;
+      for (const char* s : {"F", "M"}) {
+        for (int b = 0; b < 7; ++b) {
+          names.push_back(std::string(s) + "-age" + std::to_string(b));
+        }
+      }
+      break;
+  }
+  Dataset ds("census-sim", kDim, num_groups, MetricKind::kManhattan);
+  ds.Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    int32_t g = 0;
+    switch (grouping) {
+      case CensusGrouping::kSex:
+        g = sex[i];
+        break;
+      case CensusGrouping::kAge:
+        g = age[i];
+        break;
+      case CensusGrouping::kSexAge:
+        g = sex[i] * 7 + age[i];
+        break;
+    }
+    ds.Add(std::span<const double>(feats.data() + i * kDim, kDim), g);
+  }
+  ds.SetGroupNames(std::move(names));
+  return ds;
+}
+
+Dataset SimulatedLyrics(uint64_t seed, size_t n) {
+  FDM_CHECK(n > 0);
+  Rng rng(seed);
+
+  constexpr size_t kDim = 50;    // 50 LDA topics
+  constexpr int kGenres = 15;    // primary genres
+  // Zipf-skewed genre popularity (rock/pop dominate real song corpora).
+  std::vector<double> genre_probs(kGenres);
+  for (int g = 0; g < kGenres; ++g) {
+    genre_probs[static_cast<size_t>(g)] =
+        1.0 / std::pow(static_cast<double>(g + 1), 0.85);
+  }
+  const std::vector<int32_t> genre =
+      SampleGroups(n, genre_probs, rng.NextUint64());
+
+  Dataset ds("lyrics-sim", kDim, kGenres, MetricKind::kAngular);
+  ds.Reserve(n);
+  std::vector<double> alpha(kDim), point(kDim);
+  for (size_t i = 0; i < n; ++i) {
+    // Sparse base prior; each genre concentrates mass on a handful of
+    // signature topics, like LDA topic mixtures conditioned on genre.
+    const int g = genre[i];
+    for (size_t d = 0; d < kDim; ++d) alpha[d] = 0.08;
+    alpha[static_cast<size_t>((3 * g) % 50)] += 0.9;
+    alpha[static_cast<size_t>((3 * g + 1) % 50)] += 0.6;
+    alpha[static_cast<size_t>((7 * g + 17) % 50)] += 0.4;
+    double sum = 0.0;
+    for (size_t d = 0; d < kDim; ++d) {
+      point[d] = rng.NextGamma(alpha[d]);
+      sum += point[d];
+    }
+    FDM_CHECK(sum > 0.0);
+    for (size_t d = 0; d < kDim; ++d) point[d] /= sum;
+    ds.Add(point, g);
+  }
+  std::vector<std::string> names;
+  for (int g = 0; g < kGenres; ++g) names.push_back("genre" + std::to_string(g));
+  ds.SetGroupNames(std::move(names));
+  return ds;
+}
+
+}  // namespace fdm

@@ -1,0 +1,38 @@
+#ifndef FDM_EXACT_BRUTE_FORCE_H_
+#define FDM_EXACT_BRUTE_FORCE_H_
+
+#include <vector>
+
+#include "core/fairness.h"
+#include "core/matroid.h"
+#include "data/dataset.h"
+
+namespace fdm {
+
+/// Exact solvers by exhaustive enumeration — test oracles for the
+/// approximation-ratio property tests. Only usable on tiny instances
+/// (DM/FDM enumerate C(n,k) subsets with branch-and-bound pruning; keep
+/// `n` ≤ ~20 and `k` ≤ ~8).
+
+/// Result of an exact diversity-maximization solve.
+struct ExactSolution {
+  std::vector<size_t> indices;
+  double diversity = 0.0;
+};
+
+/// Exact unconstrained max-min diversity maximization (`OPT`).
+ExactSolution ExactDiversityMaximization(const Dataset& dataset, int k);
+
+/// Exact fair max-min diversity maximization (`OPT_f`, Definition 1).
+/// Returns an empty solution with diversity 0 if the constraint is
+/// infeasible on the dataset.
+ExactSolution ExactFairDiversityMaximization(const Dataset& dataset,
+                                             const FairnessConstraint& c);
+
+/// Size of a maximum-cardinality common independent set of two matroids,
+/// by subset enumeration over ground sets of at most 20 elements.
+int ExactMaxCommonIndependentSetSize(const Matroid& m1, const Matroid& m2);
+
+}  // namespace fdm
+
+#endif  // FDM_EXACT_BRUTE_FORCE_H_

@@ -1,0 +1,94 @@
+#include "flow/dinic.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/check.h"
+
+namespace fdm {
+
+Dinic::Dinic(int num_nodes) : graph_(static_cast<size_t>(num_nodes)) {
+  FDM_CHECK(num_nodes >= 0);
+}
+
+int Dinic::AddEdge(int from, int to, int64_t capacity) {
+  FDM_CHECK(from >= 0 && from < num_nodes());
+  FDM_CHECK(to >= 0 && to < num_nodes());
+  FDM_CHECK(capacity >= 0);
+  auto& fwd_list = graph_[static_cast<size_t>(from)];
+  auto& rev_list = graph_[static_cast<size_t>(to)];
+  const int fwd_index = static_cast<int>(fwd_list.size());
+  const int rev_index =
+      static_cast<int>(rev_list.size()) + (from == to ? 1 : 0);
+  fwd_list.push_back(Edge{to, capacity, rev_index, capacity});
+  graph_[static_cast<size_t>(to)].push_back(Edge{from, 0, fwd_index, 0});
+  handles_.emplace_back(from, fwd_index);
+  return static_cast<int>(handles_.size()) - 1;
+}
+
+bool Dinic::Bfs(int source, int sink) {
+  level_.assign(graph_.size(), -1);
+  std::queue<int> queue;
+  level_[static_cast<size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const int v = queue.front();
+    queue.pop();
+    for (const Edge& e : graph_[static_cast<size_t>(v)]) {
+      if (e.capacity > 0 && level_[static_cast<size_t>(e.to)] < 0) {
+        level_[static_cast<size_t>(e.to)] = level_[static_cast<size_t>(v)] + 1;
+        queue.push(e.to);
+      }
+    }
+  }
+  return level_[static_cast<size_t>(sink)] >= 0;
+}
+
+int64_t Dinic::Dfs(int v, int sink, int64_t pushed) {
+  if (v == sink) return pushed;
+  for (int& i = iter_[static_cast<size_t>(v)];
+       i < static_cast<int>(graph_[static_cast<size_t>(v)].size()); ++i) {
+    Edge& e = graph_[static_cast<size_t>(v)][static_cast<size_t>(i)];
+    if (e.capacity <= 0 ||
+        level_[static_cast<size_t>(e.to)] !=
+            level_[static_cast<size_t>(v)] + 1) {
+      continue;
+    }
+    const int64_t got = Dfs(e.to, sink, std::min(pushed, e.capacity));
+    if (got > 0) {
+      e.capacity -= got;
+      graph_[static_cast<size_t>(e.to)][static_cast<size_t>(e.rev)].capacity +=
+          got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+int64_t Dinic::MaxFlow(int source, int sink) {
+  FDM_CHECK(source >= 0 && source < num_nodes());
+  FDM_CHECK(sink >= 0 && sink < num_nodes());
+  FDM_CHECK(source != sink);
+  int64_t flow = 0;
+  while (Bfs(source, sink)) {
+    iter_.assign(graph_.size(), 0);
+    while (true) {
+      const int64_t got =
+          Dfs(source, sink, std::numeric_limits<int64_t>::max());
+      if (got == 0) break;
+      flow += got;
+    }
+  }
+  return flow;
+}
+
+int64_t Dinic::FlowOn(int edge_handle) const {
+  FDM_CHECK(edge_handle >= 0 &&
+            edge_handle < static_cast<int>(handles_.size()));
+  const auto [node, index] = handles_[static_cast<size_t>(edge_handle)];
+  const Edge& e = graph_[static_cast<size_t>(node)][static_cast<size_t>(index)];
+  return e.original - e.capacity;
+}
+
+}  // namespace fdm

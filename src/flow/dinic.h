@@ -1,0 +1,56 @@
+#ifndef FDM_FLOW_DINIC_H_
+#define FDM_FLOW_DINIC_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fdm {
+
+/// Dinic's maximum-flow algorithm on integer capacities.
+///
+/// Substrate for the FairFlow baseline ([32] solves the fair selection as a
+/// flow problem: source → group nodes (capacity k_i) → element nodes →
+/// cluster nodes (capacity 1) → sink) and a cross-check oracle for the
+/// matroid-intersection tests (max common independent set of two partition
+/// matroids equals the max flow of exactly that network).
+///
+/// Complexity O(V^2 E) in general, O(E sqrt(V)) on unit networks — the
+/// FairFlow graphs here have ≤ a few thousand nodes.
+class Dinic {
+ public:
+  /// Creates a network with `num_nodes` nodes and no edges.
+  explicit Dinic(int num_nodes);
+
+  /// Adds a directed edge `from → to` with `capacity ≥ 0`.
+  /// Returns an edge handle usable with `FlowOn`.
+  int AddEdge(int from, int to, int64_t capacity);
+
+  /// Computes the maximum flow from `source` to `sink`.
+  /// May be called once per network state; `FlowOn` is valid afterwards.
+  int64_t MaxFlow(int source, int sink);
+
+  /// Flow routed on the edge handle returned by `AddEdge`.
+  int64_t FlowOn(int edge_handle) const;
+
+  int num_nodes() const { return static_cast<int>(graph_.size()); }
+
+ private:
+  struct Edge {
+    int to;
+    int64_t capacity;  // residual capacity
+    int rev;           // index of the reverse edge in graph_[to]
+    int64_t original;  // original capacity (for FlowOn)
+  };
+
+  bool Bfs(int source, int sink);
+  int64_t Dfs(int v, int sink, int64_t pushed);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+  std::vector<std::pair<int, int>> handles_;  // (node, index) per handle
+};
+
+}  // namespace fdm
+
+#endif  // FDM_FLOW_DINIC_H_

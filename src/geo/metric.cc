@@ -1,0 +1,24 @@
+#include "geo/metric.h"
+
+namespace fdm {
+
+Result<MetricKind> ParseMetricKind(std::string_view name) {
+  if (name == "euclidean") return MetricKind::kEuclidean;
+  if (name == "manhattan") return MetricKind::kManhattan;
+  if (name == "angular") return MetricKind::kAngular;
+  return Status::InvalidArgument("unknown metric: " + std::string(name));
+}
+
+std::string_view MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kEuclidean:
+      return "euclidean";
+    case MetricKind::kManhattan:
+      return "manhattan";
+    case MetricKind::kAngular:
+      return "angular";
+  }
+  return "unknown";
+}
+
+}  // namespace fdm

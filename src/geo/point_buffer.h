@@ -1,0 +1,133 @@
+#ifndef FDM_GEO_POINT_BUFFER_H_
+#define FDM_GEO_POINT_BUFFER_H_
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geo/metric.h"
+#include "util/check.h"
+
+namespace fdm {
+
+/// A single element as seen by a streaming algorithm: an opaque id (its
+/// position in the dataset), its demographic group, and a *borrowed* view of
+/// its coordinates. Streaming algorithms must copy the coordinates if they
+/// retain the element — the span is only valid during the `Observe` call,
+/// which is what makes the memory accounting of the algorithms honest.
+struct StreamPoint {
+  int64_t id = -1;
+  int32_t group = 0;
+  std::span<const double> coords;
+};
+
+/// Bounded, owning, structure-of-arrays point store.
+///
+/// This is the storage behind every streaming candidate `S_µ`: coordinates
+/// are copied into one contiguous buffer so the inner distance scans are
+/// cache-friendly, and the buffer never references the dataset (streaming
+/// memory is O(capacity · dim), independent of the stream length).
+class PointBuffer {
+ public:
+  /// `dim` is the point dimension; `capacity` reserves space (may be 0 for
+  /// unbounded use by offline helpers).
+  PointBuffer(size_t dim, size_t capacity) : dim_(dim) {
+    FDM_CHECK(dim > 0);
+    coords_.reserve(capacity * dim);
+    ids_.reserve(capacity);
+    groups_.reserve(capacity);
+  }
+
+  /// Copies `p` into the buffer.
+  void Add(const StreamPoint& p) {
+    FDM_DCHECK(p.coords.size() == dim_);
+    coords_.insert(coords_.end(), p.coords.begin(), p.coords.end());
+    ids_.push_back(p.id);
+    groups_.push_back(p.group);
+  }
+
+  /// Removes the point at `index` (order is not preserved: the last point
+  /// moves into the hole — O(dim)).
+  void RemoveSwap(size_t index) {
+    FDM_DCHECK(index < size());
+    const size_t last = size() - 1;
+    if (index != last) {
+      for (size_t d = 0; d < dim_; ++d) {
+        coords_[index * dim_ + d] = coords_[last * dim_ + d];
+      }
+      ids_[index] = ids_[last];
+      groups_[index] = groups_[last];
+    }
+    coords_.resize(last * dim_);
+    ids_.pop_back();
+    groups_.pop_back();
+  }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  size_t dim() const { return dim_; }
+
+  std::span<const double> CoordsAt(size_t i) const {
+    FDM_DCHECK(i < size());
+    return {coords_.data() + i * dim_, dim_};
+  }
+  int64_t IdAt(size_t i) const { return ids_[i]; }
+  int32_t GroupAt(size_t i) const { return groups_[i]; }
+
+  /// `d(x, S)` — distance from `x` to its nearest neighbour in the buffer;
+  /// +infinity when empty (so "add if `d(x,S) >= µ`" admits the first point).
+  double MinDistanceTo(std::span<const double> x, const Metric& metric) const {
+    double best = std::numeric_limits<double>::infinity();
+    const size_t n = size();
+    for (size_t i = 0; i < n; ++i) {
+      const double d = metric(x.data(), coords_.data() + i * dim_, dim_);
+      if (d < best) best = d;
+    }
+    return best;
+  }
+
+  /// As `MinDistanceTo`, but stops early once a distance below `threshold`
+  /// is seen (the streaming insert only needs to know whether
+  /// `d(x,S) >= µ`, not the exact value).
+  bool AllAtLeast(std::span<const double> x, const Metric& metric,
+                  double threshold) const {
+    const size_t n = size();
+    for (size_t i = 0; i < n; ++i) {
+      if (metric(x.data(), coords_.data() + i * dim_, dim_) < threshold) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The point at `i` as a `StreamPoint` view (valid until mutation).
+  StreamPoint ViewAt(size_t i) const {
+    return StreamPoint{IdAt(i), GroupAt(i), CoordsAt(i)};
+  }
+
+  /// True iff the buffer holds an element with this id (O(n) scan; buffers
+  /// are k-sized so this is cheap and only used in post-processing).
+  bool ContainsId(int64_t id) const {
+    for (const int64_t have : ids_) {
+      if (have == id) return true;
+    }
+    return false;
+  }
+
+  void Clear() {
+    coords_.clear();
+    ids_.clear();
+    groups_.clear();
+  }
+
+ private:
+  size_t dim_;
+  std::vector<double> coords_;
+  std::vector<int64_t> ids_;
+  std::vector<int32_t> groups_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_GEO_POINT_BUFFER_H_

@@ -1,0 +1,202 @@
+#include "harness/experiment.h"
+
+#include <cmath>
+
+#include "baselines/fair_flow.h"
+#include "baselines/fair_gmm.h"
+#include "baselines/fair_swap.h"
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "core/sfdm1.h"
+#include "core/sfdm2.h"
+#include "core/solution.h"
+#include "core/streaming_dm.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace fdm {
+
+std::string_view AlgorithmName(AlgorithmKind kind) {
+  switch (kind) {
+    case AlgorithmKind::kGmm:
+      return "GMM";
+    case AlgorithmKind::kFairSwap:
+      return "FairSwap";
+    case AlgorithmKind::kFairFlow:
+      return "FairFlow";
+    case AlgorithmKind::kFairGmm:
+      return "FairGMM";
+    case AlgorithmKind::kSfdm1:
+      return "SFDM1";
+    case AlgorithmKind::kSfdm2:
+      return "SFDM2";
+  }
+  return "unknown";
+}
+
+namespace {
+
+RunResult FromSolution(const Result<Solution>& solution, double total_sec,
+                       size_t n) {
+  RunResult r;
+  r.total_time_sec = total_sec;
+  r.stored_elements = n;  // offline algorithms keep the whole dataset
+  if (!solution.ok()) {
+    r.error = solution.status().ToString();
+    return r;
+  }
+  r.ok = true;
+  r.diversity = solution.value().diversity;
+  r.selected_ids = solution.value().Ids();
+  return r;
+}
+
+RunResult RunOffline(const Dataset& dataset, const RunConfig& config) {
+  Timer timer;
+  const size_t start_index =
+      static_cast<size_t>(config.permutation_seed % dataset.size());
+  switch (config.algorithm) {
+    case AlgorithmKind::kGmm: {
+      const std::vector<size_t> universe = [&dataset] {
+        std::vector<size_t> u(dataset.size());
+        for (size_t i = 0; i < u.size(); ++i) u[i] = i;
+        return u;
+      }();
+      const std::vector<size_t> rows =
+          GreedyGmm(dataset, universe,
+                    static_cast<size_t>(config.constraint.TotalK()), {},
+                    start_index);
+      const double elapsed = timer.ElapsedSeconds();
+      return FromSolution(Solution::FromIndices(dataset, rows), elapsed,
+                          dataset.size());
+    }
+    case AlgorithmKind::kFairSwap: {
+      auto sol = FairSwap(dataset, config.constraint, start_index);
+      return FromSolution(sol, timer.ElapsedSeconds(), dataset.size());
+    }
+    case AlgorithmKind::kFairFlow: {
+      FairFlowOptions options;
+      options.epsilon = config.epsilon;
+      options.start_index = start_index;
+      auto sol = FairFlow(dataset, config.constraint, options);
+      return FromSolution(sol, timer.ElapsedSeconds(), dataset.size());
+    }
+    case AlgorithmKind::kFairGmm: {
+      FairGmmOptions options;
+      options.start_index = start_index;
+      auto sol = FairGmm(dataset, config.constraint, options);
+      return FromSolution(sol, timer.ElapsedSeconds(), dataset.size());
+    }
+    default:
+      FDM_CHECK_MSG(false, "not an offline algorithm");
+      return {};
+  }
+}
+
+template <typename Algo>
+RunResult RunStreaming(const Dataset& dataset, const RunConfig& config,
+                       Result<Algo> created) {
+  RunResult r;
+  if (!created.ok()) {
+    r.error = created.status().ToString();
+    return r;
+  }
+  Algo& algo = created.value();
+  const std::vector<size_t> order =
+      StreamOrder(dataset.size(), config.permutation_seed);
+
+  Timer stream_timer;
+  for (const size_t row : order) {
+    algo.Observe(dataset.At(row));
+  }
+  r.stream_time_sec = stream_timer.ElapsedSeconds();
+
+  Timer post_timer;
+  auto solution = algo.Solve();
+  r.post_time_sec = post_timer.ElapsedSeconds();
+  r.total_time_sec = r.stream_time_sec + r.post_time_sec;
+  r.avg_update_ms = dataset.size() > 0
+                        ? 1e3 * r.stream_time_sec /
+                              static_cast<double>(dataset.size())
+                        : 0.0;
+  r.stored_elements = algo.StoredElements();
+  if (!solution.ok()) {
+    r.error = solution.status().ToString();
+    return r;
+  }
+  r.ok = true;
+  r.diversity = solution.value().diversity;
+  r.selected_ids = solution.value().Ids();
+  return r;
+}
+
+}  // namespace
+
+RunResult RunAlgorithm(const Dataset& dataset, const RunConfig& config) {
+  FDM_CHECK(dataset.size() > 0);
+  StreamingOptions streaming;
+  streaming.epsilon = config.epsilon;
+  streaming.d_min = config.bounds.min;
+  streaming.d_max = config.bounds.max;
+
+  switch (config.algorithm) {
+    case AlgorithmKind::kGmm:
+    case AlgorithmKind::kFairSwap:
+    case AlgorithmKind::kFairFlow:
+    case AlgorithmKind::kFairGmm:
+      return RunOffline(dataset, config);
+    case AlgorithmKind::kSfdm1:
+      return RunStreaming(dataset, config,
+                          Sfdm1::Create(config.constraint, dataset.dim(),
+                                        dataset.metric_kind(), streaming));
+    case AlgorithmKind::kSfdm2:
+      return RunStreaming(dataset, config,
+                          Sfdm2::Create(config.constraint, dataset.dim(),
+                                        dataset.metric_kind(), streaming));
+  }
+  FDM_CHECK_MSG(false, "unreachable algorithm kind");
+  return {};
+}
+
+AggregateResult RunRepeated(const Dataset& dataset, RunConfig config,
+                            int runs) {
+  AggregateResult agg;
+  agg.total_runs = runs;
+  double diversity_sq_sum = 0.0;
+  for (int rep = 1; rep <= runs; ++rep) {
+    config.permutation_seed = static_cast<uint64_t>(rep);
+    const RunResult r = RunAlgorithm(dataset, config);
+    if (!r.ok) {
+      if (agg.error.empty()) agg.error = r.error;
+      continue;
+    }
+    ++agg.ok_runs;
+    agg.diversity += r.diversity;
+    diversity_sq_sum += r.diversity * r.diversity;
+    agg.total_time_sec += r.total_time_sec;
+    agg.stream_time_sec += r.stream_time_sec;
+    agg.post_time_sec += r.post_time_sec;
+    agg.avg_update_ms += r.avg_update_ms;
+    agg.stored_elements += static_cast<double>(r.stored_elements);
+  }
+  if (agg.ok_runs > 0) {
+    const double d = agg.ok_runs;
+    agg.diversity /= d;
+    const double variance =
+        diversity_sq_sum / d - agg.diversity * agg.diversity;
+    agg.diversity_stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+    agg.total_time_sec /= d;
+    agg.stream_time_sec /= d;
+    agg.post_time_sec /= d;
+    agg.avg_update_ms /= d;
+    agg.stored_elements /= d;
+  }
+  return agg;
+}
+
+DistanceBounds BoundsForExperiments(const Dataset& dataset) {
+  return EstimateDistanceBounds(dataset, /*sample_size=*/1500,
+                                /*seed=*/0x5eedb07d5ULL, /*slack=*/2.0);
+}
+
+}  // namespace fdm

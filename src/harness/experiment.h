@@ -1,0 +1,93 @@
+#ifndef FDM_HARNESS_EXPERIMENT_H_
+#define FDM_HARNESS_EXPERIMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fairness.h"
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Algorithms the experiments compare (Section V-A "Algorithms").
+enum class AlgorithmKind {
+  kGmm,       // unconstrained greedy upper-bound reference
+  kFairSwap,  // offline, m = 2 [32]
+  kFairFlow,  // offline, any m [32]
+  kFairGmm,   // offline, small k/m [32]
+  kSfdm1,     // this paper, streaming, m = 2
+  kSfdm2,     // this paper, streaming, any m
+};
+
+std::string_view AlgorithmName(AlgorithmKind kind);
+
+/// One experiment cell: algorithm × dataset × constraint × parameters.
+struct RunConfig {
+  AlgorithmKind algorithm = AlgorithmKind::kSfdm2;
+  FairnessConstraint constraint;
+  /// Streaming guess-ladder ε (also FairFlow's ladder step).
+  double epsilon = 0.1;
+  /// Seed for the stream permutation / GMM start point; varied across the
+  /// repetitions of an experiment.
+  uint64_t permutation_seed = 1;
+  /// Distance bounds for the streaming guess ladders (ignored by offline
+  /// algorithms). Must be positive for streaming runs.
+  DistanceBounds bounds;
+};
+
+/// Measured outcome of one run.
+struct RunResult {
+  bool ok = false;
+  std::string error;
+
+  double diversity = 0.0;
+  /// Offline algorithms: end-to-end solve time. Streaming: stream + post.
+  double total_time_sec = 0.0;
+  /// Streaming only: one-pass processing time and per-element average.
+  double stream_time_sec = 0.0;
+  double post_time_sec = 0.0;
+  double avg_update_ms = 0.0;
+  /// Streaming: distinct stored elements. Offline: n (whole dataset).
+  size_t stored_elements = 0;
+
+  std::vector<int64_t> selected_ids;
+};
+
+/// Runs one algorithm once. Streaming algorithms consume the dataset in
+/// the random order determined by `permutation_seed`; offline algorithms
+/// get a start index derived from the same seed (the paper averages each
+/// experiment over 10 such runs).
+RunResult RunAlgorithm(const Dataset& dataset, const RunConfig& config);
+
+/// Mean metrics over `runs` repetitions with seeds `1..runs`.
+/// Failed repetitions are excluded from the means; `ok_runs` reports how
+/// many succeeded.
+struct AggregateResult {
+  int ok_runs = 0;
+  int total_runs = 0;
+  std::string error;  // first error seen, if any
+  double diversity = 0.0;
+  /// Population standard deviation of the per-run diversities — the paper
+  /// reports means over 10 permutations; the spread quantifies the
+  /// order-sensitivity of the streaming algorithms.
+  double diversity_stddev = 0.0;
+  double total_time_sec = 0.0;
+  double stream_time_sec = 0.0;
+  double post_time_sec = 0.0;
+  double avg_update_ms = 0.0;
+  double stored_elements = 0.0;
+};
+
+AggregateResult RunRepeated(const Dataset& dataset, RunConfig config,
+                            int runs);
+
+/// Estimates distance bounds for a dataset once per experiment
+/// (sampled, deterministic, with the slack the ladder analyses need).
+DistanceBounds BoundsForExperiments(const Dataset& dataset);
+
+}  // namespace fdm
+
+#endif  // FDM_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,60 @@
+#include "harness/table.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/stringutil.h"
+
+namespace fdm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  FDM_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      // Left-align the first column (labels), right-align the rest
+      // (numbers).
+      out << (c == 0 ? PadRight(cells[c], widths[c])
+                     : PadLeft(cells[c], widths[c]));
+    }
+    out << "\n";
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (const size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  out << Join(headers_, ",") << "\n";
+  for (const auto& row : rows_) out << Join(row, ",") << "\n";
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+bool EnsureDirectory(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return !ec;
+}
+
+}  // namespace fdm

@@ -1,0 +1,39 @@
+#ifndef FDM_HARNESS_TABLE_H_
+#define FDM_HARNESS_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace fdm {
+
+/// Aligned fixed-width console table; every bench binary prints its
+/// paper-style rows through this.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Writes the aligned table (header, rule, rows).
+  void Print(std::ostream& out) const;
+
+  /// Writes the same content as CSV (no alignment padding).
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Creates `dir` (and parents) if needed; returns false on failure.
+/// Benches write their CSVs under `results/`.
+bool EnsureDirectory(const std::string& dir);
+
+}  // namespace fdm
+
+#endif  // FDM_HARNESS_TABLE_H_

@@ -1,0 +1,64 @@
+#include "util/argparse.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fdm {
+
+ArgParser::ArgParser(int argc, char** argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags_[body] = argv[i + 1];
+      ++i;
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool ArgParser::Has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& name,
+                                 const std::string& def) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? def : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& name, int64_t def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : def;
+}
+
+double ArgParser::GetDouble(const std::string& name, double def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : def;
+}
+
+bool ArgParser::GetBool(const std::string& name, bool def) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return def;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  return def;
+}
+
+}  // namespace fdm

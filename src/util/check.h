@@ -1,0 +1,41 @@
+#ifndef FDM_UTIL_CHECK_H_
+#define FDM_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checking for programmer errors.
+///
+/// `FDM_CHECK` is always on (benchmark code paths it guards are cold);
+/// `FDM_DCHECK` compiles away in release builds and is used on hot paths.
+/// Failures print the condition and location, then abort — they indicate a
+/// bug in the library, never a data-dependent condition (those return
+/// `fdm::Status`).
+
+#define FDM_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FDM_CHECK failed: %s at %s:%d\n", #cond,      \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define FDM_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "FDM_CHECK failed: %s (%s) at %s:%d\n", #cond, \
+                   msg, __FILE__, __LINE__);                              \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define FDM_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define FDM_DCHECK(cond) FDM_CHECK(cond)
+#endif
+
+#endif  // FDM_UTIL_CHECK_H_

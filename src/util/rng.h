@@ -1,0 +1,149 @@
+#ifndef FDM_UTIL_RNG_H_
+#define FDM_UTIL_RNG_H_
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fdm {
+
+/// Deterministic 64-bit pseudo-random generator (xoshiro256++ seeded via
+/// SplitMix64).
+///
+/// Every randomized component in the library takes an explicit seed and
+/// derives its stream from this generator, so runs are reproducible
+/// bit-for-bit across platforms — `std::mt19937` + `std::*_distribution`
+/// are deliberately avoided because distribution implementations differ
+/// across standard libraries.
+class Rng {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in `[0, bound)`. `bound` must be positive.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  uint64_t NextBounded(uint64_t bound) {
+    FDM_DCHECK(bound > 0);
+    while (true) {
+      uint64_t x = NextUint64();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      uint64_t low = static_cast<uint64_t>(m);
+      if (low >= bound || low >= (-bound) % bound) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform integer in `[lo, hi]` inclusive.
+  int64_t NextInt(int64_t lo, int64_t hi) {
+    FDM_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in `[0, 1)` with 53 bits of entropy.
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in `[lo, hi)`.
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = NextDouble() * 2.0 - 1.0;
+      v = NextDouble() * 2.0 - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
+
+  /// Gamma(shape, 1) deviate via Marsaglia–Tsang; used for Dirichlet draws.
+  /// `shape` must be positive.
+  double NextGamma(double shape) {
+    FDM_DCHECK(shape > 0.0);
+    if (shape < 1.0) {
+      // Boost via Gamma(shape + 1) * U^(1/shape).
+      const double g = NextGamma(shape + 1.0);
+      const double u = NextDouble();
+      return g * std::pow(u > 0 ? u : 1e-300, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    while (true) {
+      double x, v;
+      do {
+        x = NextGaussian();
+        v = 1.0 + c * x;
+      } while (v <= 0.0);
+      v = v * v * v;
+      const double u = NextDouble();
+      if (u < 1.0 - 0.0331 * (x * x) * (x * x)) return d * v;
+      if (u > 0 && std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+        return d * v;
+      }
+    }
+  }
+
+  /// Fisher–Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A fresh generator seeded from this one; lets one master seed drive
+  /// several independent streams (e.g. per-dataset, per-permutation).
+  Rng Fork() { return Rng(NextUint64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_UTIL_RNG_H_

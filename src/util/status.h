@@ -1,0 +1,121 @@
+#ifndef FDM_UTIL_STATUS_H_
+#define FDM_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace fdm {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions across its public API; recoverable
+/// failures are reported via `Status` (or `Result<T>` when a value is
+/// produced), in the style of RocksDB's `rocksdb::Status`.
+enum class StatusCode {
+  kOk = 0,
+  /// An argument violates the documented contract (e.g. `k <= 0`).
+  kInvalidArgument,
+  /// The input cannot yield a valid solution (e.g. a group has fewer
+  /// elements than its quota).
+  kInfeasible,
+  /// A resource (file, directory) could not be accessed.
+  kIoError,
+  /// The operation is valid but unsupported in this configuration
+  /// (e.g. FairSwap with `m != 2`).
+  kUnsupported,
+  /// An internal invariant failed; indicates a library bug.
+  kInternal,
+};
+
+/// Human-readable name of a `StatusCode` (e.g. `"InvalidArgument"`).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of an operation that produces no value.
+///
+/// A default-constructed `Status` is OK. Failed statuses carry a code and a
+/// message. `Status` is cheap to copy for OK values and to move always.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, mirroring the `StatusCode` values.
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// `"OK"` or `"<CodeName>: <message>"`.
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Mirrors `absl::StatusOr<T>`: construction from `T` yields an OK result,
+/// construction from a non-OK `Status` yields an error. Accessing `value()`
+/// on an error aborts (programmer error), so callers must test `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result. `status` must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; `Status::Ok()` if the result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(payload_);
+  }
+
+  /// The held value. Must only be called when `ok()`.
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef FDM_UTIL_STRINGUTIL_H_
+#define FDM_UTIL_STRINGUTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fdm {
+
+/// Splits `text` on `sep`, keeping empty fields (CSV semantics).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Fixed-precision decimal formatting (e.g. `FormatDouble(3.14159, 3)` ->
+/// `"3.142"`). Unlike `std::to_string`, precision is caller-controlled.
+std::string FormatDouble(double value, int precision);
+
+/// Human-friendly engineering formatting for counts: `1234567` -> `"1.23M"`.
+std::string FormatCount(double value);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Left-pads (`PadLeft`) or right-pads (`PadRight`) with spaces to `width`.
+std::string PadLeft(std::string_view text, size_t width);
+std::string PadRight(std::string_view text, size_t width);
+
+}  // namespace fdm
+
+#endif  // FDM_UTIL_STRINGUTIL_H_

@@ -1,0 +1,61 @@
+#ifndef FDM_UTIL_TIMER_H_
+#define FDM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fdm {
+
+/// Monotonic wall-clock stopwatch used by the experiment harness.
+///
+/// The paper reports (a) average update time per stream element and
+/// (b) total/post-processing wall time; both are derived from this timer.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last `Reset()`.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Nanoseconds elapsed since construction or the last `Reset()`.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates a duration across many disjoint timed sections
+/// (e.g. total stream-processing time summed over elements).
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Reset(); running_ = true; }
+
+  /// Stops the current section and adds it to the total.
+  void Stop() {
+    if (running_) {
+      total_seconds_ += timer_.ElapsedSeconds();
+      running_ = false;
+    }
+  }
+
+  double total_seconds() const { return total_seconds_; }
+
+ private:
+  Timer timer_;
+  double total_seconds_ = 0.0;
+  bool running_ = false;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_UTIL_TIMER_H_

@@ -1,0 +1,89 @@
+#ifndef FDM_UTIL_UNION_FIND_H_
+#define FDM_UTIL_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "util/check.h"
+
+namespace fdm {
+
+/// Disjoint-set forest with union by size and path halving.
+///
+/// Used by the threshold clustering step of SFDM2 (Algorithm 3, lines 13–16)
+/// and by the FairFlow baseline to form single-linkage clusters.
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets labelled `0..n-1`.
+  explicit UnionFind(int n)
+      : parent_(static_cast<size_t>(n)), size_(static_cast<size_t>(n), 1),
+        num_sets_(n) {
+    FDM_CHECK(n >= 0);
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  /// Representative of the set containing `x`.
+  int Find(int x) {
+    FDM_DCHECK(x >= 0 && x < static_cast<int>(parent_.size()));
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing `a` and `b`.
+  /// Returns true iff they were previously distinct.
+  bool Union(int a, int b) {
+    int ra = Find(a);
+    int rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[static_cast<size_t>(ra)] < size_[static_cast<size_t>(rb)]) {
+      std::swap(ra, rb);
+    }
+    parent_[static_cast<size_t>(rb)] = ra;
+    size_[static_cast<size_t>(ra)] += size_[static_cast<size_t>(rb)];
+    --num_sets_;
+    return true;
+  }
+
+  /// True iff `a` and `b` are in the same set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Number of elements in the set containing `x`.
+  int SizeOf(int x) { return size_[static_cast<size_t>(Find(x))]; }
+
+  /// Current number of disjoint sets.
+  int num_sets() const { return num_sets_; }
+
+  /// Total number of elements.
+  int num_elements() const { return static_cast<int>(parent_.size()); }
+
+  /// Dense relabelling: returns a vector `label` with `label[x]` in
+  /// `[0, num_sets())`, equal labels iff same set. Labels are assigned in
+  /// order of first appearance, so the result is deterministic.
+  std::vector<int> DenseLabels() {
+    std::vector<int> label(parent_.size(), -1);
+    std::vector<int> root_label(parent_.size(), -1);
+    int next = 0;
+    for (int x = 0; x < num_elements(); ++x) {
+      const int r = Find(x);
+      if (root_label[static_cast<size_t>(r)] < 0) {
+        root_label[static_cast<size_t>(r)] = next++;
+      }
+      label[static_cast<size_t>(x)] = root_label[static_cast<size_t>(r)];
+    }
+    return label;
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_sets_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_UTIL_UNION_FIND_H_

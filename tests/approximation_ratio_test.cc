@@ -1,0 +1,158 @@
+// Cross-algorithm approximation-ratio property sweep.
+//
+// For a grid of random tiny instances (where the exact OPT_f is computable
+// by branch-and-bound), every algorithm must clear its published
+// approximation bound:
+//
+//   GMM       >= OPT   / 2            [24]
+//   FairSwap  >= OPT_f / 4            [32]
+//   FairFlow  >= OPT_f / (3m-1)       [32]
+//   FairGMM   >= OPT_f / 5            [32]
+//   SFDM1     >= OPT_f · (1-ε)/4      Theorem 2
+//   SFDM2     >= OPT_f · (1-ε)/(3m+2) Theorem 4
+//
+// This is the strongest end-to-end correctness statement the paper makes,
+// so it gets its own parameterized suite across seeds, group counts, and
+// metrics.
+
+#include <gtest/gtest.h>
+
+#include "baselines/fair_flow.h"
+#include "baselines/fair_gmm.h"
+#include "baselines/fair_swap.h"
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "core/sfdm1.h"
+#include "core/sfdm2.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+struct SweepCase {
+  uint64_t seed;
+  int m;
+  MetricKind metric;
+};
+
+Dataset RandomTinyDataset(const SweepCase& param) {
+  Rng rng(param.seed * 1000003ULL);
+  const size_t n = 12 + rng.NextBounded(4);  // 12..15
+  Dataset ds("tiny", 3, param.m, param.metric);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<double> c(3);
+    for (auto& v : c) v = rng.NextDouble(0.05, 1.0);  // positive orthant
+    ds.Add(c, static_cast<int32_t>(i % static_cast<size_t>(param.m)));
+  }
+  return ds;
+}
+
+class RatioSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RatioSweepTest, AllAlgorithmsClearTheirBounds) {
+  const SweepCase param = GetParam();
+  const Dataset ds = RandomTinyDataset(param);
+  const double m = static_cast<double>(param.m);
+  FairnessConstraint c;
+  c.quotas.assign(static_cast<size_t>(param.m), 2);
+  ASSERT_TRUE(c.ValidateAgainst(ds.GroupSizes()).ok());
+  const int k = c.TotalK();
+
+  const ExactSolution opt_unconstrained = ExactDiversityMaximization(ds, k);
+  const ExactSolution opt_fair = ExactFairDiversityMaximization(ds, c);
+  ASSERT_GT(opt_fair.diversity, 0.0);
+
+  // GMM.
+  {
+    const auto rows = GreedyGmm(ds, static_cast<size_t>(k));
+    EXPECT_GE(MinPairwiseDistance(ds, rows),
+              opt_unconstrained.diversity / 2.0 - 1e-9)
+        << "GMM";
+  }
+  // FairSwap (m = 2 only).
+  if (param.m == 2) {
+    const auto sol = FairSwap(ds, c);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    EXPECT_TRUE(SatisfiesQuotas(sol->points, c.quotas));
+    EXPECT_GE(sol->diversity, opt_fair.diversity / 4.0 - 1e-9) << "FairSwap";
+  }
+  // FairFlow.
+  {
+    const auto sol = FairFlow(ds, c);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    EXPECT_TRUE(SatisfiesQuotas(sol->points, c.quotas));
+    EXPECT_GE(sol->diversity, opt_fair.diversity / (3.0 * m - 1.0) - 1e-9)
+        << "FairFlow";
+  }
+  // FairGMM.
+  {
+    const auto sol = FairGmm(ds, c);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    EXPECT_TRUE(SatisfiesQuotas(sol->points, c.quotas));
+    EXPECT_GE(sol->diversity, opt_fair.diversity / 5.0 - 1e-9) << "FairGMM";
+  }
+
+  const DistanceBounds bounds = ComputeDistanceBoundsExact(ds);
+  const double epsilon = 0.1;
+  StreamingOptions streaming;
+  streaming.epsilon = epsilon;
+  streaming.d_min = bounds.min;
+  streaming.d_max = bounds.max;
+
+  // SFDM1 (m = 2 only).
+  if (param.m == 2) {
+    auto algo = Sfdm1::Create(c, ds.dim(), ds.metric_kind(), streaming);
+    ASSERT_TRUE(algo.ok());
+    for (const size_t row : StreamOrder(ds.size(), param.seed)) {
+      algo->Observe(ds.At(row));
+    }
+    const auto sol = algo->Solve();
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    EXPECT_TRUE(SatisfiesQuotas(sol->points, c.quotas));
+    EXPECT_GE(sol->diversity,
+              (1.0 - epsilon) / 4.0 * opt_fair.diversity - 1e-9)
+        << "SFDM1";
+  }
+  // SFDM2 (any m).
+  {
+    auto algo = Sfdm2::Create(c, ds.dim(), ds.metric_kind(), streaming);
+    ASSERT_TRUE(algo.ok());
+    for (const size_t row : StreamOrder(ds.size(), param.seed + 99)) {
+      algo->Observe(ds.At(row));
+    }
+    const auto sol = algo->Solve();
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    EXPECT_TRUE(SatisfiesQuotas(sol->points, c.quotas));
+    EXPECT_GE(sol->diversity,
+              (1.0 - epsilon) / (3.0 * m + 2.0) * opt_fair.diversity - 1e-9)
+        << "SFDM2";
+  }
+}
+
+std::vector<SweepCase> MakeSweep() {
+  std::vector<SweepCase> cases;
+  const MetricKind metrics[] = {MetricKind::kEuclidean, MetricKind::kManhattan,
+                                MetricKind::kAngular};
+  uint64_t seed = 1;
+  for (const MetricKind metric : metrics) {
+    for (const int m : {2, 3}) {
+      for (int rep = 0; rep < 4; ++rep) {
+        cases.push_back(SweepCase{seed++, m, metric});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridSweep, RatioSweepTest, ::testing::ValuesIn(MakeSweep()),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_m" +
+             std::to_string(info.param.m) + "_" +
+             std::string(MetricKindName(info.param.metric));
+    });
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,88 @@
+#include "util/argparse.h"
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+ArgParser Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParserTest, EqualsSyntax) {
+  auto p = Parse({"prog", "--k=20", "--epsilon=0.1"});
+  EXPECT_EQ(p.GetInt("k", 0), 20);
+  EXPECT_DOUBLE_EQ(p.GetDouble("epsilon", 0.0), 0.1);
+}
+
+TEST(ArgParserTest, SpaceSyntax) {
+  auto p = Parse({"prog", "--runs", "5"});
+  EXPECT_EQ(p.GetInt("runs", 0), 5);
+}
+
+TEST(ArgParserTest, BareFlagIsTrue) {
+  auto p = Parse({"prog", "--full"});
+  EXPECT_TRUE(p.Has("full"));
+  EXPECT_TRUE(p.GetBool("full", false));
+}
+
+TEST(ArgParserTest, AbsentFlagUsesDefault) {
+  auto p = Parse({"prog"});
+  EXPECT_FALSE(p.Has("full"));
+  EXPECT_EQ(p.GetInt("k", 42), 42);
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps", 2.5), 2.5);
+  EXPECT_EQ(p.GetString("name", "dflt"), "dflt");
+  EXPECT_FALSE(p.GetBool("full", false));
+  EXPECT_TRUE(p.GetBool("full", true));
+}
+
+TEST(ArgParserTest, ExplicitBooleans) {
+  auto p = Parse({"prog", "--a=true", "--b=false", "--c=1", "--d=0",
+                  "--e=yes", "--f=no"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_FALSE(p.GetBool("b", true));
+  EXPECT_TRUE(p.GetBool("c", false));
+  EXPECT_FALSE(p.GetBool("d", true));
+  EXPECT_TRUE(p.GetBool("e", false));
+  EXPECT_FALSE(p.GetBool("f", true));
+}
+
+TEST(ArgParserTest, PositionalArguments) {
+  auto p = Parse({"prog", "input.csv", "--k=3", "output.csv"});
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.csv");
+  EXPECT_EQ(p.positional()[1], "output.csv");
+  EXPECT_EQ(p.program(), "prog");
+}
+
+TEST(ArgParserTest, MalformedNumberFallsBackToDefault) {
+  auto p = Parse({"prog", "--k=abc", "--eps=x.y"});
+  EXPECT_EQ(p.GetInt("k", 7), 7);
+  EXPECT_DOUBLE_EQ(p.GetDouble("eps", 0.25), 0.25);
+}
+
+TEST(ArgParserTest, NegativeNumbers) {
+  auto p = Parse({"prog", "--lo=-10", "--scale=-0.5"});
+  EXPECT_EQ(p.GetInt("lo", 0), -10);
+  EXPECT_DOUBLE_EQ(p.GetDouble("scale", 0.0), -0.5);
+}
+
+TEST(ArgParserTest, LastOccurrenceWins) {
+  auto p = Parse({"prog", "--k=1", "--k=2"});
+  EXPECT_EQ(p.GetInt("k", 0), 2);
+}
+
+TEST(ArgParserTest, ValueStartingWithDashesIsNotConsumed) {
+  // `--a` followed by `--b`: `--a` must be boolean, not swallow `--b`.
+  auto p = Parse({"prog", "--a", "--b=3"});
+  EXPECT_TRUE(p.GetBool("a", false));
+  EXPECT_EQ(p.GetInt("b", 0), 3);
+}
+
+}  // namespace
+}  // namespace fdm

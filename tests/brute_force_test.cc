@@ -1,0 +1,122 @@
+#include "exact/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+
+namespace fdm {
+namespace {
+
+Dataset LinePoints(const std::vector<double>& xs,
+                   const std::vector<int32_t>& groups, int m) {
+  Dataset ds("line", 1, m, MetricKind::kEuclidean);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    ds.Add(std::vector<double>{xs[i]}, groups[i]);
+  }
+  return ds;
+}
+
+TEST(ExactDmTest, PicksEndpointsForKTwo) {
+  const Dataset ds =
+      LinePoints({0.0, 1.0, 2.0, 10.0}, {0, 0, 0, 0}, 1);
+  const ExactSolution s = ExactDiversityMaximization(ds, 2);
+  EXPECT_DOUBLE_EQ(s.diversity, 10.0);
+  EXPECT_EQ(s.indices, (std::vector<size_t>{0, 3}));
+}
+
+TEST(ExactDmTest, EvenlySpacedForKThree) {
+  // On {0, 1, 5, 6, 10}: best 3-subset is {0, 5, 10} with div 5.
+  const Dataset ds =
+      LinePoints({0.0, 1.0, 5.0, 6.0, 10.0}, {0, 0, 0, 0, 0}, 1);
+  const ExactSolution s = ExactDiversityMaximization(ds, 3);
+  EXPECT_DOUBLE_EQ(s.diversity, 5.0);
+  EXPECT_EQ(s.indices, (std::vector<size_t>{0, 2, 4}));
+}
+
+TEST(ExactDmTest, DiversityMatchesRecomputation) {
+  BlobsOptions opt;
+  opt.n = 12;
+  opt.seed = 31;
+  const Dataset ds = MakeBlobs(opt);
+  const ExactSolution s = ExactDiversityMaximization(ds, 4);
+  ASSERT_EQ(s.indices.size(), 4u);
+  EXPECT_NEAR(s.diversity, MinPairwiseDistance(ds, s.indices), 1e-12);
+}
+
+TEST(ExactDmTest, KEqualsNTakesEverything) {
+  const Dataset ds = LinePoints({0.0, 3.0, 7.0}, {0, 0, 0}, 1);
+  const ExactSolution s = ExactDiversityMaximization(ds, 3);
+  EXPECT_EQ(s.indices.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.diversity, 3.0);
+}
+
+TEST(ExactFdmTest, FairnessForcesWorseDiversity) {
+  // Points 0,10 are group 0; point 5 is group 1. Unconstrained k=2 picks
+  // {0,10} (div 10); requiring one per group forces div 5.
+  const Dataset ds = LinePoints({0.0, 10.0, 5.0}, {0, 0, 1}, 2);
+  FairnessConstraint c;
+  c.quotas = {1, 1};
+  const ExactSolution fair = ExactFairDiversityMaximization(ds, c);
+  EXPECT_DOUBLE_EQ(fair.diversity, 5.0);
+  const ExactSolution free = ExactDiversityMaximization(ds, 2);
+  EXPECT_DOUBLE_EQ(free.diversity, 10.0);
+}
+
+TEST(ExactFdmTest, RespectsQuotasExactly) {
+  BlobsOptions opt;
+  opt.n = 14;
+  opt.num_groups = 3;
+  opt.seed = 33;
+  const Dataset ds = MakeBlobs(opt);
+  FairnessConstraint c;
+  c.quotas = {2, 1, 2};
+  const ExactSolution s = ExactFairDiversityMaximization(ds, c);
+  ASSERT_EQ(s.indices.size(), 5u);
+  std::vector<int> counts(3, 0);
+  for (const size_t i : s.indices) ++counts[static_cast<size_t>(ds.GroupOf(i))];
+  EXPECT_EQ(counts, (std::vector<int>{2, 1, 2}));
+}
+
+TEST(ExactFdmTest, InfeasibleQuotaYieldsEmpty) {
+  const Dataset ds = LinePoints({0.0, 1.0}, {0, 0}, 2);
+  FairnessConstraint c;
+  c.quotas = {1, 1};  // group 1 is empty
+  const ExactSolution s = ExactFairDiversityMaximization(ds, c);
+  EXPECT_TRUE(s.indices.empty());
+  EXPECT_DOUBLE_EQ(s.diversity, 0.0);
+}
+
+TEST(ExactFdmTest, FairOptimumNeverExceedsUnconstrained) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    BlobsOptions opt;
+    opt.n = 12;
+    opt.num_groups = 2;
+    opt.seed = seed;
+    const Dataset ds = MakeBlobs(opt);
+    FairnessConstraint c;
+    c.quotas = {2, 2};
+    const ExactSolution fair = ExactFairDiversityMaximization(ds, c);
+    const ExactSolution free = ExactDiversityMaximization(ds, 4);
+    EXPECT_LE(fair.diversity, free.diversity + 1e-12) << "seed " << seed;
+  }
+}
+
+TEST(ExactMatroidIntersectionTest, PartitionMatroidsKnownAnswer) {
+  // Ground {0..3}; M1 parts {0,1} vs {2,3} with caps 1; M2 parts
+  // {0,2} vs {1,3} with caps 1. {0,3} is common independent -> size 2.
+  const PartitionMatroid m1({0, 0, 1, 1}, {1, 1});
+  const PartitionMatroid m2({0, 1, 0, 1}, {1, 1});
+  EXPECT_EQ(ExactMaxCommonIndependentSetSize(m1, m2), 2);
+}
+
+TEST(ExactMatroidIntersectionTest, BlockedIntersection) {
+  // M1 allows at most 1 of everything; M2 also 1 of everything on one part:
+  // the max common independent set is 1.
+  const PartitionMatroid m1({0, 0, 0}, {1});
+  const PartitionMatroid m2({0, 0, 0}, {1});
+  EXPECT_EQ(ExactMaxCommonIndependentSetSize(m1, m2), 1);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,174 @@
+// Cross-algorithm relationship checks — the Table II narrative as
+// statistical assertions over repeated medium-size instances:
+//
+//   (1) every fair solution respects the 2·div(GMM) upper bound on OPT_f;
+//   (2) unconstrained GMM averages at least as diverse as any fair
+//       algorithm (fairness costs diversity);
+//   (3) SFDM2 averages at least SFDM1's diversity (the paper finds SFDM2
+//       "consistently better", thanks to the greedy augmentation);
+//   (4) FairSwap and the streaming algorithms average above FairFlow at
+//       m = 2 (the flow baseline is the weak one);
+//   (5) SFDM2 quota-pattern sweep: any feasible quota shape yields a fair,
+//       full solution.
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+#include "harness/experiment.h"
+
+namespace fdm {
+namespace {
+
+struct Averages {
+  double gmm = 0.0;
+  double fair_swap = 0.0;
+  double fair_flow = 0.0;
+  double sfdm1 = 0.0;
+  double sfdm2 = 0.0;
+  int instances = 0;
+};
+
+Averages CollectTwoGroupAverages() {
+  static Averages cached = [] {
+    Averages avg;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      BlobsOptions opt;
+      opt.n = 1200;
+      opt.num_groups = 2;
+      opt.seed = seed + 500;
+      const Dataset ds = MakeBlobs(opt);
+      RunConfig config;
+      config.constraint = EqualRepresentation(10, 2).value();
+      config.epsilon = 0.1;
+      config.bounds = BoundsForExperiments(ds);
+      config.permutation_seed = seed;
+
+      auto run = [&](AlgorithmKind algo) {
+        config.algorithm = algo;
+        const RunResult r = RunAlgorithm(ds, config);
+        return r.ok ? r.diversity : 0.0;
+      };
+      const double gmm = run(AlgorithmKind::kGmm);
+      const double fair_swap = run(AlgorithmKind::kFairSwap);
+      const double fair_flow = run(AlgorithmKind::kFairFlow);
+      const double sfdm1 = run(AlgorithmKind::kSfdm1);
+      const double sfdm2 = run(AlgorithmKind::kSfdm2);
+      if (gmm <= 0 || fair_swap <= 0 || fair_flow <= 0 || sfdm1 <= 0 ||
+          sfdm2 <= 0) {
+        continue;
+      }
+      avg.gmm += gmm;
+      avg.fair_swap += fair_swap;
+      avg.fair_flow += fair_flow;
+      avg.sfdm1 += sfdm1;
+      avg.sfdm2 += sfdm2;
+      ++avg.instances;
+    }
+    return avg;
+  }();
+  return cached;
+}
+
+TEST(CrossCheckTest, EveryInstanceSucceeded) {
+  EXPECT_EQ(CollectTwoGroupAverages().instances, 5);
+}
+
+TEST(CrossCheckTest, FairnessCostsDiversityOnAverage) {
+  const Averages avg = CollectTwoGroupAverages();
+  ASSERT_GT(avg.instances, 0);
+  EXPECT_GE(avg.gmm, avg.fair_swap);
+  EXPECT_GE(avg.gmm, avg.sfdm1);
+  EXPECT_GE(avg.gmm, avg.sfdm2);
+}
+
+TEST(CrossCheckTest, StreamingComparableToOfflineAtTwoGroups) {
+  // Paper: streaming quality "close or equal" to FairSwap — require at
+  // least 70% on average (measured gap is far smaller).
+  const Averages avg = CollectTwoGroupAverages();
+  ASSERT_GT(avg.instances, 0);
+  EXPECT_GE(avg.sfdm1, 0.7 * avg.fair_swap);
+  EXPECT_GE(avg.sfdm2, 0.7 * avg.fair_swap);
+}
+
+TEST(CrossCheckTest, Sfdm2AtLeastSfdm1OnAverage) {
+  const Averages avg = CollectTwoGroupAverages();
+  ASSERT_GT(avg.instances, 0);
+  // "the solution quality of SFDM2 ... is not only consistently better
+  // than that of SFDM1" — allow a whisker of slack for permutation noise.
+  EXPECT_GE(avg.sfdm2, 0.95 * avg.sfdm1);
+}
+
+TEST(CrossCheckTest, FlowBaselineTrailsSwapOnAverage) {
+  const Averages avg = CollectTwoGroupAverages();
+  ASSERT_GT(avg.instances, 0);
+  EXPECT_GE(avg.fair_swap, avg.fair_flow);
+}
+
+TEST(CrossCheckTest, UpperBoundHoldsPerInstance) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    BlobsOptions opt;
+    opt.n = 800;
+    opt.num_groups = 3;
+    opt.seed = seed + 600;
+    const Dataset ds = MakeBlobs(opt);
+    RunConfig config;
+    config.constraint = EqualRepresentation(9, 3).value();
+    config.epsilon = 0.1;
+    config.bounds = BoundsForExperiments(ds);
+    config.algorithm = AlgorithmKind::kGmm;
+    const RunResult gmm = RunAlgorithm(ds, config);
+    ASSERT_TRUE(gmm.ok);
+    for (const AlgorithmKind algo :
+         {AlgorithmKind::kFairFlow, AlgorithmKind::kSfdm2}) {
+      config.algorithm = algo;
+      const RunResult r = RunAlgorithm(ds, config);
+      ASSERT_TRUE(r.ok) << AlgorithmName(algo);
+      EXPECT_LE(r.diversity, 2.0 * gmm.diversity + 1e-9)
+          << AlgorithmName(algo) << " seed " << seed;
+    }
+  }
+}
+
+class QuotaPatternTest
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(QuotaPatternTest, Sfdm2HandlesAnyFeasibleShape) {
+  const std::vector<int> quotas = GetParam();
+  BlobsOptions opt;
+  opt.n = 1500;
+  opt.num_groups = static_cast<int32_t>(quotas.size());
+  opt.seed = 77;
+  const Dataset ds = MakeBlobs(opt);
+  RunConfig config;
+  config.algorithm = AlgorithmKind::kSfdm2;
+  config.constraint.quotas = quotas;
+  config.epsilon = 0.1;
+  config.bounds = BoundsForExperiments(ds);
+  const RunResult r = RunAlgorithm(ds, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  std::vector<int> counts(quotas.size(), 0);
+  for (const int64_t id : r.selected_ids) {
+    ++counts[static_cast<size_t>(ds.GroupOf(static_cast<size_t>(id)))];
+  }
+  EXPECT_EQ(counts, quotas);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, QuotaPatternTest,
+    ::testing::Values(std::vector<int>{1, 1}, std::vector<int>{1, 9},
+                      std::vector<int>{9, 1}, std::vector<int>{5, 5},
+                      std::vector<int>{1, 1, 8}, std::vector<int>{4, 3, 3},
+                      std::vector<int>{1, 2, 3, 4},
+                      std::vector<int>{2, 2, 2, 2, 2},
+                      std::vector<int>{7, 1, 1, 1},
+                      std::vector<int>{1, 1, 1, 1, 1, 1}),
+    [](const auto& info) {
+      std::string name = "q";
+      for (const int q : info.param) name += std::to_string(q) + "_";
+      name.pop_back();
+      return name;
+    });
+
+}  // namespace
+}  // namespace fdm

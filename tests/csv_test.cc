@@ -1,0 +1,105 @@
+#include "data/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace fdm {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("fdm_csv_test_" + std::to_string(::getpid()) + ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripPreservesEverything) {
+  BlobsOptions opt;
+  opt.n = 200;
+  opt.num_groups = 3;
+  opt.seed = 8;
+  const Dataset original = MakeBlobs(opt);
+  ASSERT_TRUE(WriteDatasetCsv(original, path_).ok());
+
+  auto loaded = ReadDatasetCsv(path_, MetricKind::kEuclidean, "reload");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Dataset& ds = loaded.value();
+  ASSERT_EQ(ds.size(), original.size());
+  ASSERT_EQ(ds.dim(), original.dim());
+  EXPECT_EQ(ds.num_groups(), original.num_groups());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_EQ(ds.GroupOf(i), original.GroupOf(i));
+    for (size_t d = 0; d < ds.dim(); ++d) {
+      EXPECT_DOUBLE_EQ(ds.Point(i)[d], original.Point(i)[d]);
+    }
+  }
+}
+
+TEST_F(CsvTest, ReadMissingFileFails) {
+  auto r = ReadDatasetCsv("/nonexistent/nope.csv", MetricKind::kEuclidean);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, WriteToUnwritablePathFails) {
+  Dataset ds("x", 1, 1, MetricKind::kEuclidean);
+  ds.Add(std::vector<double>{1.0}, 0);
+  EXPECT_FALSE(WriteDatasetCsv(ds, "/nonexistent/dir/out.csv").ok());
+}
+
+TEST_F(CsvTest, RejectsWrongArity) {
+  std::ofstream out(path_);
+  out << "group,f0,f1\n0,1.0\n";  // row missing a field
+  out.close();
+  auto r = ReadDatasetCsv(path_, MetricKind::kEuclidean);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RejectsBadGroup) {
+  std::ofstream out(path_);
+  out << "group,f0\nx,1.0\n";
+  out.close();
+  EXPECT_FALSE(ReadDatasetCsv(path_, MetricKind::kEuclidean).ok());
+}
+
+TEST_F(CsvTest, RejectsBadFeature) {
+  std::ofstream out(path_);
+  out << "group,f0\n0,abc\n";
+  out.close();
+  EXPECT_FALSE(ReadDatasetCsv(path_, MetricKind::kEuclidean).ok());
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  std::ofstream out(path_);
+  out << "group,f0\n0,1.5\n\n1,2.5\n";
+  out.close();
+  auto r = ReadDatasetCsv(path_, MetricKind::kManhattan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_EQ(r->num_groups(), 2);
+  EXPECT_EQ(r->metric_kind(), MetricKind::kManhattan);
+}
+
+TEST_F(CsvTest, PreservesFullDoublePrecision) {
+  Dataset ds("prec", 1, 1, MetricKind::kEuclidean);
+  ds.Add(std::vector<double>{0.1234567890123456789}, 0);
+  ds.Add(std::vector<double>{1e-17}, 0);
+  ASSERT_TRUE(WriteDatasetCsv(ds, path_).ok());
+  auto r = ReadDatasetCsv(path_, MetricKind::kEuclidean);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->Point(0)[0], ds.Point(0)[0]);
+  EXPECT_DOUBLE_EQ(r->Point(1)[0], ds.Point(1)[0]);
+}
+
+}  // namespace
+}  // namespace fdm

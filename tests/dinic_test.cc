@@ -1,0 +1,139 @@
+#include "flow/dinic.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+TEST(DinicTest, SingleEdge) {
+  Dinic d(2);
+  const int e = d.AddEdge(0, 1, 5);
+  EXPECT_EQ(d.MaxFlow(0, 1), 5);
+  EXPECT_EQ(d.FlowOn(e), 5);
+}
+
+TEST(DinicTest, SeriesBottleneck) {
+  Dinic d(3);
+  d.AddEdge(0, 1, 10);
+  const int e = d.AddEdge(1, 2, 3);
+  EXPECT_EQ(d.MaxFlow(0, 2), 3);
+  EXPECT_EQ(d.FlowOn(e), 3);
+}
+
+TEST(DinicTest, ParallelPathsAdd) {
+  Dinic d(4);
+  d.AddEdge(0, 1, 2);
+  d.AddEdge(1, 3, 2);
+  d.AddEdge(0, 2, 3);
+  d.AddEdge(2, 3, 3);
+  EXPECT_EQ(d.MaxFlow(0, 3), 5);
+}
+
+TEST(DinicTest, ClassicTextbookNetwork) {
+  // CLRS-style example with a known max flow of 23.
+  Dinic d(6);
+  d.AddEdge(0, 1, 16);
+  d.AddEdge(0, 2, 13);
+  d.AddEdge(1, 2, 10);
+  d.AddEdge(2, 1, 4);
+  d.AddEdge(1, 3, 12);
+  d.AddEdge(3, 2, 9);
+  d.AddEdge(2, 4, 14);
+  d.AddEdge(4, 3, 7);
+  d.AddEdge(3, 5, 20);
+  d.AddEdge(4, 5, 4);
+  EXPECT_EQ(d.MaxFlow(0, 5), 23);
+}
+
+TEST(DinicTest, DisconnectedGivesZero) {
+  Dinic d(4);
+  d.AddEdge(0, 1, 5);
+  d.AddEdge(2, 3, 5);
+  EXPECT_EQ(d.MaxFlow(0, 3), 0);
+}
+
+TEST(DinicTest, ZeroCapacityEdge) {
+  Dinic d(2);
+  d.AddEdge(0, 1, 0);
+  EXPECT_EQ(d.MaxFlow(0, 1), 0);
+}
+
+TEST(DinicTest, BipartiteMatchingViaUnitNetwork) {
+  // 3x3 bipartite graph with a perfect matching of size 3:
+  // L0-{R0,R1}, L1-{R1,R2}, L2-{R0}.
+  // Nodes: 0=source, 1..3=L, 4..6=R, 7=sink.
+  Dinic d(8);
+  for (int l = 1; l <= 3; ++l) d.AddEdge(0, l, 1);
+  for (int r = 4; r <= 6; ++r) d.AddEdge(r, 7, 1);
+  d.AddEdge(1, 4, 1);
+  d.AddEdge(1, 5, 1);
+  d.AddEdge(2, 5, 1);
+  d.AddEdge(2, 6, 1);
+  d.AddEdge(3, 4, 1);
+  EXPECT_EQ(d.MaxFlow(0, 7), 3);
+}
+
+TEST(DinicTest, BipartiteWithoutPerfectMatching) {
+  // Both L0 and L1 connect only to R0: matching (= flow) is 1.
+  Dinic d(5);  // 0=source, 1..2=L, 3=R0, 4=sink
+  d.AddEdge(0, 1, 1);
+  d.AddEdge(0, 2, 1);
+  d.AddEdge(1, 3, 1);
+  d.AddEdge(2, 3, 1);
+  d.AddEdge(3, 4, 1);
+  EXPECT_EQ(d.MaxFlow(0, 4), 1);
+}
+
+TEST(DinicTest, FlowConservationOnRandomNetworks) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 10;
+    Dinic d(n);
+    struct EdgeRec {
+      int from, to, handle;
+    };
+    std::vector<EdgeRec> edges;
+    for (int i = 0; i < 30; ++i) {
+      const int from = static_cast<int>(rng.NextBounded(n));
+      const int to = static_cast<int>(rng.NextBounded(n));
+      if (from == to) continue;
+      const int h = d.AddEdge(from, to, static_cast<int64_t>(
+                                            rng.NextBounded(10)));
+      edges.push_back({from, to, h});
+    }
+    const int64_t flow = d.MaxFlow(0, n - 1);
+    EXPECT_GE(flow, 0);
+    // Conservation: net flow out of each internal node is zero; net out of
+    // source equals total flow.
+    std::vector<int64_t> net(n, 0);
+    for (const auto& e : edges) {
+      const int64_t f = d.FlowOn(e.handle);
+      EXPECT_GE(f, 0);
+      net[static_cast<size_t>(e.from)] += f;
+      net[static_cast<size_t>(e.to)] -= f;
+    }
+    EXPECT_EQ(net[0], flow);
+    EXPECT_EQ(net[static_cast<size_t>(n - 1)], -flow);
+    for (int v = 1; v + 1 < n; ++v) {
+      EXPECT_EQ(net[static_cast<size_t>(v)], 0) << "node " << v;
+    }
+  }
+}
+
+TEST(DinicTest, MaxFlowEqualsMinCutOnLayeredNetwork) {
+  // Two-layer network where the min cut is the middle layer (capacity 4).
+  Dinic d(6);
+  d.AddEdge(0, 1, 100);
+  d.AddEdge(0, 2, 100);
+  d.AddEdge(1, 3, 2);
+  d.AddEdge(1, 4, 1);
+  d.AddEdge(2, 4, 1);
+  d.AddEdge(3, 5, 100);
+  d.AddEdge(4, 5, 100);
+  EXPECT_EQ(d.MaxFlow(0, 5), 4);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,108 @@
+#include "core/diversity.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+PointBuffer MakeBuffer(const std::vector<std::pair<double, int32_t>>& pts) {
+  PointBuffer buf(1, pts.size());
+  int64_t id = 0;
+  for (const auto& [x, g] : pts) {
+    const std::vector<double> c{x};
+    buf.Add(StreamPoint{id++, g, std::span<const double>(c)});
+  }
+  return buf;
+}
+
+TEST(MinPairwiseDistanceTest, BufferKnownValue) {
+  const PointBuffer buf = MakeBuffer({{0.0, 0}, {3.0, 0}, {10.0, 0}});
+  const Metric m(MetricKind::kEuclidean);
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(buf, m), 3.0);
+}
+
+TEST(MinPairwiseDistanceTest, SingletonIsInfinite) {
+  const PointBuffer buf = MakeBuffer({{1.0, 0}});
+  const Metric m(MetricKind::kEuclidean);
+  EXPECT_EQ(MinPairwiseDistance(buf, m),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(MinPairwiseDistanceTest, DuplicatesGiveZero) {
+  const PointBuffer buf = MakeBuffer({{2.0, 0}, {2.0, 0}, {5.0, 0}});
+  const Metric m(MetricKind::kEuclidean);
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(buf, m), 0.0);
+}
+
+TEST(MinPairwiseDistanceTest, DatasetIndicesOverload) {
+  Dataset ds("line", 1, 1, MetricKind::kEuclidean);
+  for (const double x : {0.0, 1.0, 4.0, 9.0}) {
+    ds.Add(std::vector<double>{x}, 0);
+  }
+  const std::vector<size_t> idx{0, 2, 3};
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(ds, idx), 4.0);
+}
+
+TEST(MinPairwiseDistanceTest, MonotoneNonIncreasingUnderInsertion) {
+  // div(S ∪ {x}) <= div(S) — the property Lemma 1 relies on.
+  Rng rng(23);
+  BlobsOptions opt;
+  opt.n = 30;
+  opt.seed = 17;
+  const Dataset ds = MakeBlobs(opt);
+  std::vector<size_t> subset;
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < 10; ++i) {
+    subset.push_back(static_cast<size_t>(rng.NextBounded(ds.size())));
+    const double now = MinPairwiseDistance(ds, subset);
+    EXPECT_LE(now, prev + 1e-12);
+    prev = now;
+  }
+}
+
+TEST(SumPairwiseDistanceTest, KnownValue) {
+  Dataset ds("line", 1, 1, MetricKind::kEuclidean);
+  for (const double x : {0.0, 1.0, 3.0}) {
+    ds.Add(std::vector<double>{x}, 0);
+  }
+  const std::vector<size_t> idx{0, 1, 2};
+  // |0-1| + |0-3| + |1-3| = 1 + 3 + 2 = 6.
+  EXPECT_DOUBLE_EQ(SumPairwiseDistance(ds, idx), 6.0);
+}
+
+TEST(SumPairwiseDistanceTest, EmptyAndSingletonAreZero) {
+  Dataset ds("line", 1, 1, MetricKind::kEuclidean);
+  ds.Add(std::vector<double>{1.0}, 0);
+  EXPECT_DOUBLE_EQ(SumPairwiseDistance(ds, {}), 0.0);
+  const std::vector<size_t> one{0};
+  EXPECT_DOUBLE_EQ(SumPairwiseDistance(ds, one), 0.0);
+}
+
+TEST(GroupCountsTest, CountsPerGroup) {
+  const PointBuffer buf =
+      MakeBuffer({{0.0, 0}, {1.0, 1}, {2.0, 1}, {3.0, 2}});
+  EXPECT_EQ(GroupCounts(buf, 3), (std::vector<int>{1, 2, 1}));
+}
+
+TEST(GroupCountsTest, EmptyBuffer) {
+  PointBuffer buf(1, 0);
+  EXPECT_EQ(GroupCounts(buf, 2), (std::vector<int>{0, 0}));
+}
+
+TEST(SatisfiesQuotasTest, ExactMatchRequired) {
+  const PointBuffer buf = MakeBuffer({{0.0, 0}, {1.0, 1}, {2.0, 1}});
+  const std::vector<int> good{1, 2};
+  const std::vector<int> over{1, 1};
+  const std::vector<int> under{1, 3};
+  EXPECT_TRUE(SatisfiesQuotas(buf, good));
+  EXPECT_FALSE(SatisfiesQuotas(buf, over));   // too many of group 1
+  EXPECT_FALSE(SatisfiesQuotas(buf, under));  // too few of group 1
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,137 @@
+#include "baselines/fair_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+FairnessConstraint Quotas(std::vector<int> q) {
+  FairnessConstraint c;
+  c.quotas = std::move(q);
+  return c;
+}
+
+TEST(FairFlowTest, SolutionIsFairForManyGroupCounts) {
+  for (const int m : {2, 3, 5, 7, 10}) {
+    BlobsOptions opt;
+    opt.n = 800;
+    opt.num_groups = m;
+    opt.seed = static_cast<uint64_t>(m) + 40;
+    const Dataset ds = MakeBlobs(opt);
+    std::vector<int> quotas(static_cast<size_t>(m), 2);
+    const auto solution = FairFlow(ds, Quotas(quotas));
+    ASSERT_TRUE(solution.ok())
+        << "m=" << m << ": " << solution.status().ToString();
+    EXPECT_EQ(solution->points.size(), static_cast<size_t>(2 * m));
+    EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+    EXPECT_GT(solution->diversity, 0.0);
+  }
+}
+
+TEST(FairFlowTest, UnevenQuotas) {
+  BlobsOptions opt;
+  opt.n = 600;
+  opt.num_groups = 4;
+  opt.seed = 51;
+  const Dataset ds = MakeBlobs(opt);
+  const std::vector<int> quotas{7, 1, 2, 4};
+  const auto solution = FairFlow(ds, Quotas(quotas));
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+}
+
+TEST(FairFlowTest, RejectsMismatchedConstraint) {
+  BlobsOptions opt;
+  opt.n = 50;
+  opt.num_groups = 2;
+  opt.seed = 1;
+  const Dataset ds = MakeBlobs(opt);
+  EXPECT_FALSE(FairFlow(ds, Quotas({1, 1, 1})).ok());
+  EXPECT_FALSE(FairFlow(ds, Quotas({0, 2})).ok());
+}
+
+TEST(FairFlowTest, RejectsInfeasibleQuota) {
+  Dataset ds("tiny", 1, 2, MetricKind::kEuclidean);
+  ds.Add(std::vector<double>{0.0}, 0);
+  ds.Add(std::vector<double>{5.0}, 1);
+  EXPECT_EQ(FairFlow(ds, Quotas({2, 1})).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(FairFlowTest, HandlesDuplicateHeavyData) {
+  // Many exact duplicates: clustering collapses them; flow must still find
+  // a fair selection from distinct coordinates.
+  Dataset ds("dups", 1, 2, MetricKind::kEuclidean);
+  Rng rng(53);
+  for (int i = 0; i < 200; ++i) {
+    const double v = static_cast<double>(rng.NextBounded(12));
+    ds.Add(std::vector<double>{v}, static_cast<int32_t>(i % 2));
+  }
+  const std::vector<int> quotas{3, 3};
+  const auto solution = FairFlow(ds, Quotas(quotas));
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+}
+
+TEST(FairFlowTest, ReasonableQualityRelativeToExact) {
+  // The theoretical ratio is 1/(3m−1); verify we clear it with room on
+  // small instances (the ladder search usually does much better).
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    BlobsOptions opt;
+    opt.n = 13;
+    opt.num_groups = 2;
+    opt.seed = seed + 60;
+    const Dataset ds = MakeBlobs(opt);
+    const FairnessConstraint c = Quotas({2, 2});
+    if (!c.ValidateAgainst(ds.GroupSizes()).ok()) continue;
+    const ExactSolution exact = ExactFairDiversityMaximization(ds, c);
+    const auto solution = FairFlow(ds, c);
+    ASSERT_TRUE(solution.ok());
+    const double m = 2.0;
+    EXPECT_GE(solution->diversity,
+              exact.diversity / (3.0 * m - 1.0) - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(FairFlowTest, QualityDegradesWithManyGroupsVersusSfdm2Shape) {
+  // Not a strict inequality test (randomness), but the flow baseline
+  // should clearly trail the unconstrained GMM diversity at large m —
+  // the effect Table II shows.
+  BlobsOptions opt;
+  opt.n = 2000;
+  opt.num_groups = 10;
+  opt.seed = 71;
+  const Dataset ds = MakeBlobs(opt);
+  std::vector<int> quotas(10, 2);
+  const auto flow = FairFlow(ds, Quotas(quotas));
+  ASSERT_TRUE(flow.ok());
+  const auto gmm_rows = GreedyGmm(ds, 20);
+  const double gmm_div = MinPairwiseDistance(ds, gmm_rows);
+  EXPECT_LT(flow->diversity, gmm_div);
+}
+
+TEST(FairFlowTest, StartIndexVariation) {
+  BlobsOptions opt;
+  opt.n = 300;
+  opt.num_groups = 3;
+  opt.seed = 73;
+  const Dataset ds = MakeBlobs(opt);
+  const std::vector<int> quotas{2, 2, 2};
+  for (const size_t start : {0u, 11u, 99u}) {
+    FairFlowOptions options;
+    options.start_index = start;
+    const auto solution = FairFlow(ds, Quotas(quotas), options);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+  }
+}
+
+}  // namespace
+}  // namespace fdm

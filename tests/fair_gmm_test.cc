@@ -1,0 +1,113 @@
+#include "baselines/fair_gmm.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+FairnessConstraint Quotas(std::vector<int> q) {
+  FairnessConstraint c;
+  c.quotas = std::move(q);
+  return c;
+}
+
+TEST(FairGmmTest, SolutionIsFair) {
+  BlobsOptions opt;
+  opt.n = 300;
+  opt.num_groups = 2;
+  opt.seed = 81;
+  const Dataset ds = MakeBlobs(opt);
+  const std::vector<int> quotas{4, 4};
+  const auto solution = FairGmm(ds, Quotas(quotas));
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->points.size(), 8u);
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+}
+
+TEST(FairGmmTest, ThreeGroups) {
+  BlobsOptions opt;
+  opt.n = 200;
+  opt.num_groups = 3;
+  opt.seed = 83;
+  const Dataset ds = MakeBlobs(opt);
+  const std::vector<int> quotas{2, 3, 1};
+  const auto solution = FairGmm(ds, Quotas(quotas));
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+}
+
+TEST(FairGmmTest, RefusesHugeEnumerations) {
+  // k = 30, m = 10: C(30,3)^10 combinations — must refuse, like the paper
+  // excludes FairGMM beyond k > 10, m > 5.
+  BlobsOptions opt;
+  opt.n = 400;
+  opt.num_groups = 10;
+  opt.seed = 85;
+  const Dataset ds = MakeBlobs(opt);
+  std::vector<int> quotas(10, 3);
+  EXPECT_EQ(FairGmm(ds, Quotas(quotas)).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(FairGmmTest, RejectsInfeasible) {
+  Dataset ds("tiny", 1, 2, MetricKind::kEuclidean);
+  ds.Add(std::vector<double>{0.0}, 0);
+  ds.Add(std::vector<double>{1.0}, 1);
+  EXPECT_EQ(FairGmm(ds, Quotas({2, 1})).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(FairGmmTest, BeatsOrMatchesOtherBaselinesOnTinyInstances) {
+  // FairGMM enumerates fair subsets of strong per-group coresets; on tiny
+  // instances it should be near-exact (the paper finds it best for small
+  // k, m). Require >= 60% of OPT_f (its theory bound is 1/5, typical
+  // performance far better).
+  int wins = 0;
+  int trials = 0;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    BlobsOptions opt;
+    opt.n = 14;
+    opt.num_groups = 2;
+    opt.seed = seed + 90;
+    const Dataset ds = MakeBlobs(opt);
+    const FairnessConstraint c = Quotas({2, 2});
+    if (!c.ValidateAgainst(ds.GroupSizes()).ok()) continue;
+    ++trials;
+    const ExactSolution exact = ExactFairDiversityMaximization(ds, c);
+    const auto solution = FairGmm(ds, c);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_GE(solution->diversity, exact.diversity / 5.0 - 1e-9);
+    if (solution->diversity >= 0.6 * exact.diversity) ++wins;
+  }
+  ASSERT_GT(trials, 0);
+  EXPECT_GE(wins, trials - 1);  // near-exact on almost every instance
+}
+
+TEST(FairGmmTest, ExactWhenCoresetIsWholeDataset) {
+  // If every group has <= k elements, the coreset is the whole group and
+  // the enumeration is exhaustive -> the result equals OPT_f. Build groups
+  // of size exactly k = 4 to force that case.
+  Rng rng(107);
+  for (int trial = 0; trial < 5; ++trial) {
+    Dataset ds("exhaustive", 2, 2, MetricKind::kEuclidean);
+    for (int i = 0; i < 8; ++i) {
+      const std::vector<double> c{rng.NextDouble(0, 10),
+                                  rng.NextDouble(0, 10)};
+      ds.Add(c, static_cast<int32_t>(i % 2));
+    }
+    const FairnessConstraint c = Quotas({2, 2});
+    const ExactSolution exact = ExactFairDiversityMaximization(ds, c);
+    const auto solution = FairGmm(ds, c);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_NEAR(solution->diversity, exact.diversity, 1e-9)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,118 @@
+#include "baselines/fair_swap.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+FairnessConstraint Quotas(std::vector<int> q) {
+  FairnessConstraint c;
+  c.quotas = std::move(q);
+  return c;
+}
+
+TEST(FairSwapTest, RejectsNonTwoGroupInputs) {
+  BlobsOptions opt;
+  opt.n = 50;
+  opt.num_groups = 3;
+  opt.seed = 1;
+  const Dataset ds = MakeBlobs(opt);
+  EXPECT_EQ(FairSwap(ds, Quotas({1, 1, 1})).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(FairSwapTest, RejectsInfeasibleQuota) {
+  Dataset ds("tiny", 1, 2, MetricKind::kEuclidean);
+  ds.Add(std::vector<double>{0.0}, 0);
+  ds.Add(std::vector<double>{1.0}, 0);
+  ds.Add(std::vector<double>{2.0}, 1);
+  EXPECT_EQ(FairSwap(ds, Quotas({1, 2})).status().code(),
+            StatusCode::kInfeasible);
+}
+
+TEST(FairSwapTest, SolutionIsFair) {
+  BlobsOptions opt;
+  opt.n = 500;
+  opt.num_groups = 2;
+  opt.seed = 3;
+  const Dataset ds = MakeBlobs(opt);
+  for (const auto& quotas :
+       {std::vector<int>{5, 5}, std::vector<int>{7, 3}, std::vector<int>{1, 9}}) {
+    const auto solution = FairSwap(ds, Quotas(quotas));
+    ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+    EXPECT_EQ(solution->points.size(), 10u);
+    EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+  }
+}
+
+TEST(FairSwapTest, AlreadyFairBlindSolutionUntouched) {
+  // Alternating far-apart points: the GMM solution is naturally balanced,
+  // so no swap happens and diversity equals the unconstrained GMM's.
+  Dataset ds("alt", 1, 2, MetricKind::kEuclidean);
+  for (int i = 0; i < 20; ++i) {
+    ds.Add(std::vector<double>{static_cast<double>(i) * 10.0}, i % 2);
+  }
+  const auto solution = FairSwap(ds, Quotas({2, 2}));
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, std::vector<int>{2, 2}));
+  EXPECT_GT(solution->diversity, 0.0);
+}
+
+TEST(FairSwapTest, QuarterApproximationOnSmallInstances) {
+  // [32]: FairSwap is a 1/4-approximation for m = 2.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    BlobsOptions opt;
+    opt.n = 14;
+    opt.num_groups = 2;
+    opt.seed = seed;
+    const Dataset ds = MakeBlobs(opt);
+    const FairnessConstraint c = Quotas({2, 2});
+    if (!c.ValidateAgainst(ds.GroupSizes()).ok()) continue;
+    const ExactSolution exact = ExactFairDiversityMaximization(ds, c);
+    const auto solution = FairSwap(ds, c);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_GE(solution->diversity, exact.diversity / 4.0 - 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(FairSwapTest, StartIndexVariesSolutionButKeepsFairness) {
+  BlobsOptions opt;
+  opt.n = 200;
+  opt.num_groups = 2;
+  opt.seed = 5;
+  const Dataset ds = MakeBlobs(opt);
+  for (const size_t start : {0u, 17u, 63u}) {
+    const auto solution = FairSwap(ds, Quotas({4, 4}), start);
+    ASSERT_TRUE(solution.ok());
+    EXPECT_TRUE(SatisfiesQuotas(solution->points, std::vector<int>{4, 4}));
+  }
+}
+
+TEST(FairSwapTest, ExtremeSkewForcesManySwaps) {
+  // Group 1 points are rare and clustered; the blind GMM solution will be
+  // dominated by group 0 — the swap loop must pull in group 1 donors.
+  Dataset ds("skew", 2, 2, MetricKind::kEuclidean);
+  Rng rng(7);
+  for (int i = 0; i < 400; ++i) {
+    const std::vector<double> c{rng.NextDouble(0, 100), rng.NextDouble(0, 100)};
+    ds.Add(c, 0);
+  }
+  for (int i = 0; i < 12; ++i) {
+    const std::vector<double> c{50.0 + rng.NextDouble(0, 1),
+                                50.0 + rng.NextDouble(0, 1)};
+    ds.Add(c, 1);
+  }
+  const std::vector<int> quotas{5, 5};
+  const auto solution = FairSwap(ds, Quotas(quotas));
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+}
+
+}  // namespace
+}  // namespace fdm

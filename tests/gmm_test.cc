@@ -1,0 +1,146 @@
+#include "core/gmm.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+
+namespace fdm {
+namespace {
+
+Dataset LinePoints(const std::vector<double>& xs) {
+  Dataset ds("line", 1, 1, MetricKind::kEuclidean);
+  for (const double x : xs) ds.Add(std::vector<double>{x}, 0);
+  return ds;
+}
+
+TEST(GmmTest, FarthestFirstOnLine) {
+  // From start 0 on {0, 1, 5, 9, 10}: picks 0, then 10, then 5.
+  const Dataset ds = LinePoints({0.0, 1.0, 5.0, 9.0, 10.0});
+  const auto sel = GreedyGmm(ds, 3);
+  EXPECT_EQ(sel, (std::vector<size_t>{0, 4, 2}));
+}
+
+TEST(GmmTest, ReturnsExactlyKDistinctRows) {
+  BlobsOptions opt;
+  opt.n = 500;
+  opt.seed = 21;
+  const Dataset ds = MakeBlobs(opt);
+  const auto sel = GreedyGmm(ds, 20);
+  EXPECT_EQ(sel.size(), 20u);
+  EXPECT_EQ(std::set<size_t>(sel.begin(), sel.end()).size(), 20u);
+}
+
+TEST(GmmTest, KLargerThanUniverseReturnsAll) {
+  const Dataset ds = LinePoints({0.0, 1.0, 2.0});
+  const auto sel = GreedyGmm(ds, 10);
+  EXPECT_EQ(sel.size(), 3u);
+}
+
+TEST(GmmTest, TwoApproximationAgainstExactOptimum) {
+  // The classic guarantee: div(GMM) >= OPT / 2.
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    BlobsOptions opt;
+    opt.n = 15;
+    opt.seed = seed;
+    const Dataset ds = MakeBlobs(opt);
+    for (const int k : {2, 3, 4, 5}) {
+      const ExactSolution exact = ExactDiversityMaximization(ds, k);
+      const auto sel = GreedyGmm(ds, static_cast<size_t>(k));
+      const double div = MinPairwiseDistance(ds, sel);
+      EXPECT_GE(div, exact.diversity / 2.0 - 1e-9)
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(GmmTest, UniverseRestrictionHonored) {
+  BlobsOptions opt;
+  opt.n = 100;
+  opt.num_groups = 2;
+  opt.seed = 23;
+  const Dataset ds = MakeBlobs(opt);
+  const std::vector<size_t> group0 = RowsOfGroup(ds, 0);
+  const auto sel = GreedyGmm(ds, group0, 5);
+  for (const size_t row : sel) {
+    EXPECT_EQ(ds.GroupOf(row), 0);
+  }
+}
+
+TEST(GmmTest, WarmStartInfluencesSelection) {
+  // Warm-starting with the far endpoint: the first greedy pick must be far
+  // from it, and the warm row itself is never returned.
+  const Dataset ds = LinePoints({0.0, 1.0, 5.0, 9.0, 10.0});
+  const std::vector<size_t> universe{0, 1, 2, 3, 4};
+  const std::vector<size_t> warm{4};  // x = 10
+  const auto sel = GreedyGmm(ds, universe, 2, warm);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(sel[0], 0u);  // farthest from 10
+  EXPECT_TRUE(std::find(sel.begin(), sel.end(), 4u) == sel.end());
+}
+
+TEST(GmmTest, StartIndexChangesFirstPick) {
+  const Dataset ds = LinePoints({0.0, 1.0, 5.0, 9.0, 10.0});
+  const std::vector<size_t> universe{0, 1, 2, 3, 4};
+  const auto from0 = GreedyGmm(ds, universe, 3, {}, 0);
+  const auto from2 = GreedyGmm(ds, universe, 3, {}, 2);
+  EXPECT_EQ(from0[0], 0u);
+  EXPECT_EQ(from2[0], 2u);
+  // Different starts may give different solutions, but both are 1/2-approx;
+  // check both achieve at least half the known OPT (OPT = 5 here).
+  EXPECT_GE(MinPairwiseDistance(ds, from0), 2.5);
+  EXPECT_GE(MinPairwiseDistance(ds, from2), 2.5);
+}
+
+TEST(GmmTest, DuplicatePointsStillReturnK) {
+  Dataset ds("dups", 1, 1, MetricKind::kEuclidean);
+  for (int i = 0; i < 6; ++i) ds.Add(std::vector<double>{1.0}, 0);
+  const auto sel = GreedyGmm(ds, 4);
+  EXPECT_EQ(sel.size(), 4u);  // duplicates are selectable (div 0)
+  EXPECT_DOUBLE_EQ(MinPairwiseDistance(ds, sel), 0.0);
+}
+
+TEST(GmmTest, ZeroKGivesEmpty) {
+  const Dataset ds = LinePoints({0.0, 1.0});
+  EXPECT_TRUE(GreedyGmm(ds, 0).empty());
+}
+
+TEST(GmmTest, UpperBoundPropertyForFdm) {
+  // The paper uses 2·div(GMM) as an upper bound for OPT_f in the
+  // evaluation; verify OPT_f <= OPT <= 2·div(GMM) on small instances.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    BlobsOptions opt;
+    opt.n = 14;
+    opt.num_groups = 2;
+    opt.seed = seed;
+    const Dataset ds = MakeBlobs(opt);
+    FairnessConstraint c;
+    c.quotas = {2, 2};
+    const ExactSolution fair = ExactFairDiversityMaximization(ds, c);
+    const auto gmm = GreedyGmm(ds, 4);
+    const double bound = 2.0 * MinPairwiseDistance(ds, gmm);
+    EXPECT_LE(fair.diversity, bound + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(RowsOfGroupTest, PartitionsDataset) {
+  BlobsOptions opt;
+  opt.n = 60;
+  opt.num_groups = 3;
+  opt.seed = 29;
+  const Dataset ds = MakeBlobs(opt);
+  size_t total = 0;
+  for (int g = 0; g < 3; ++g) {
+    const auto rows = RowsOfGroup(ds, g);
+    for (const size_t r : rows) EXPECT_EQ(ds.GroupOf(r), g);
+    total += rows.size();
+  }
+  EXPECT_EQ(total, ds.size());
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,106 @@
+#include "core/guess_ladder.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+TEST(GuessLadderTest, StartsAtDminGrowsGeometrically) {
+  const auto ladder = GuessLadder::Create(1.0, 10.0, 0.5);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_DOUBLE_EQ(ladder->At(0), 1.0);
+  EXPECT_DOUBLE_EQ(ladder->At(1), 2.0);
+  EXPECT_DOUBLE_EQ(ladder->At(2), 4.0);
+  EXPECT_DOUBLE_EQ(ladder->At(3), 8.0);
+  // One rung at or above d_max is kept.
+  EXPECT_DOUBLE_EQ(ladder->At(4), 16.0);
+  EXPECT_EQ(ladder->size(), 5u);
+}
+
+TEST(GuessLadderTest, TopRungCoversDmax) {
+  for (const double eps : {0.05, 0.1, 0.25}) {
+    const auto ladder = GuessLadder::Create(0.37, 912.0, eps);
+    ASSERT_TRUE(ladder.ok());
+    EXPECT_GE(ladder->values().back(), 912.0);
+    EXPECT_LT(ladder->values()[ladder->size() - 2], 912.0);
+  }
+}
+
+TEST(GuessLadderTest, SizeMatchesTheory) {
+  // |U| ≈ log(∆) / log(1/(1−ε)) + O(1) = O(log∆/ε).
+  const double eps = 0.1;
+  const auto ladder = GuessLadder::Create(1.0, 1000.0, eps);
+  ASSERT_TRUE(ladder.ok());
+  const double expected = std::log(1000.0) / std::log(1.0 / (1.0 - eps));
+  EXPECT_NEAR(static_cast<double>(ladder->size()), expected, 2.0);
+}
+
+TEST(GuessLadderTest, SmallerEpsilonMeansMoreRungs) {
+  const auto coarse = GuessLadder::Create(1.0, 100.0, 0.25);
+  const auto fine = GuessLadder::Create(1.0, 100.0, 0.05);
+  ASSERT_TRUE(coarse.ok());
+  ASSERT_TRUE(fine.ok());
+  EXPECT_GT(fine->size(), 3 * coarse->size());
+}
+
+TEST(GuessLadderTest, ConsecutiveRatioIsOneMinusEpsilon) {
+  const double eps = 0.1;
+  const auto ladder = GuessLadder::Create(2.0, 50.0, eps);
+  ASSERT_TRUE(ladder.ok());
+  for (size_t j = 0; j + 1 < ladder->size(); ++j) {
+    EXPECT_NEAR(ladder->At(j) / ladder->At(j + 1), 1.0 - eps, 1e-12);
+  }
+}
+
+TEST(GuessLadderTest, EveryInRangeValueHasSuccessor) {
+  // Lemma 1 uses µ'' = µ'/(1−ε): for every rung except the top one the
+  // successor must exist in the ladder.
+  const auto ladder = GuessLadder::Create(1.0, 30.0, 0.2);
+  ASSERT_TRUE(ladder.ok());
+  for (size_t j = 0; j + 1 < ladder->size(); ++j) {
+    const double successor = ladder->At(j) / 0.8;
+    EXPECT_NEAR(ladder->At(j + 1), successor, 1e-9);
+  }
+}
+
+TEST(GuessLadderTest, DegenerateEqualBounds) {
+  const auto ladder = GuessLadder::Create(5.0, 5.0, 0.1);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_GE(ladder->size(), 1u);
+  EXPECT_GE(ladder->values().back(), 5.0);
+}
+
+TEST(GuessLadderTest, RejectsBadEpsilon) {
+  EXPECT_FALSE(GuessLadder::Create(1.0, 2.0, 0.0).ok());
+  EXPECT_FALSE(GuessLadder::Create(1.0, 2.0, 1.0).ok());
+  EXPECT_FALSE(GuessLadder::Create(1.0, 2.0, -0.5).ok());
+  EXPECT_FALSE(GuessLadder::Create(1.0, 2.0, 2.0).ok());
+}
+
+TEST(GuessLadderTest, RejectsBadBounds) {
+  EXPECT_FALSE(GuessLadder::Create(0.0, 2.0, 0.1).ok());
+  EXPECT_FALSE(GuessLadder::Create(-1.0, 2.0, 0.1).ok());
+  EXPECT_FALSE(GuessLadder::Create(3.0, 2.0, 0.1).ok());
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(GuessLadder::Create(1.0, inf, 0.1).ok());
+  EXPECT_FALSE(GuessLadder::Create(inf, inf, 0.1).ok());
+}
+
+TEST(GuessLadderTest, RejectsAbsurdLadderSize) {
+  // ∆ so large the ladder would explode; the library reports the misuse
+  // instead of allocating gigabytes.
+  EXPECT_FALSE(GuessLadder::Create(1e-300, 1e300, 1e-9).ok());
+}
+
+TEST(GuessLadderTest, AccessorsReflectInputs) {
+  const auto ladder = GuessLadder::Create(2.0, 64.0, 0.5);
+  ASSERT_TRUE(ladder.ok());
+  EXPECT_DOUBLE_EQ(ladder->d_min(), 2.0);
+  EXPECT_DOUBLE_EQ(ladder->d_max(), 64.0);
+  EXPECT_DOUBLE_EQ(ladder->epsilon(), 0.5);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "data/simulated.h"
+#include "data/synthetic.h"
+#include "harness/experiment.h"
+
+namespace fdm {
+namespace {
+
+// End-to-end runs over (scaled-down) versions of each simulated dataset:
+// every algorithm must produce a fair solution whose quality lands in the
+// band the paper's Table II leads us to expect, and the streaming
+// algorithms must be dramatically cheaper in storage.
+
+struct DatasetCase {
+  std::string label;
+  Dataset dataset;
+};
+
+std::vector<DatasetCase> ScaledDatasets() {
+  std::vector<DatasetCase> cases;
+  cases.push_back({"adult-sex", SimulatedAdult(AdultGrouping::kSex, 1, 8000)});
+  cases.push_back(
+      {"celeba-sex", SimulatedCelebA(CelebAGrouping::kSex, 1, 8000)});
+  cases.push_back(
+      {"census-sex", SimulatedCensus(CensusGrouping::kSex, 1, 8000)});
+  return cases;
+}
+
+TEST(IntegrationTest, TwoGroupPipelinesAgreeOnAllDatasets) {
+  for (const auto& c : ScaledDatasets()) {
+    SCOPED_TRACE(c.label);
+    const Dataset& ds = c.dataset;
+    RunConfig config;
+    config.constraint = EqualRepresentation(10, 2).value();
+    config.epsilon = 0.1;
+    config.bounds = BoundsForExperiments(ds);
+
+    config.algorithm = AlgorithmKind::kGmm;
+    const RunResult gmm = RunAlgorithm(ds, config);
+    ASSERT_TRUE(gmm.ok) << gmm.error;
+
+    config.algorithm = AlgorithmKind::kFairSwap;
+    const RunResult fair_swap = RunAlgorithm(ds, config);
+    ASSERT_TRUE(fair_swap.ok) << fair_swap.error;
+
+    config.algorithm = AlgorithmKind::kSfdm1;
+    const RunResult sfdm1 = RunAlgorithm(ds, config);
+    ASSERT_TRUE(sfdm1.ok) << sfdm1.error;
+
+    config.algorithm = AlgorithmKind::kSfdm2;
+    const RunResult sfdm2 = RunAlgorithm(ds, config);
+    ASSERT_TRUE(sfdm2.ok) << sfdm2.error;
+
+    // Fair solutions cannot beat the unconstrained 2-approx upper bound.
+    const double upper = 2.0 * gmm.diversity;
+    for (const RunResult* r : {&fair_swap, &sfdm1, &sfdm2}) {
+      EXPECT_LE(r->diversity, upper + 1e-9);
+      // Table II band: streaming solutions are comparable to offline —
+      // well above half of FairSwap's diversity on every dataset.
+      EXPECT_GE(r->diversity, 0.4 * fair_swap.diversity);
+    }
+
+    // Streaming memory is a small fraction of the dataset.
+    EXPECT_LT(sfdm1.stored_elements, ds.size() / 10);
+    EXPECT_LT(sfdm2.stored_elements, ds.size() / 10);
+  }
+}
+
+TEST(IntegrationTest, LyricsManyGroupPipeline) {
+  const Dataset ds = SimulatedLyrics(1, 6000);
+  RunConfig config;
+  config.constraint = EqualRepresentation(20, 15).value();
+  config.epsilon = 0.05;  // the paper's choice for the angular metric
+  config.bounds = BoundsForExperiments(ds);
+
+  config.algorithm = AlgorithmKind::kSfdm2;
+  const RunResult sfdm2 = RunAlgorithm(ds, config);
+  ASSERT_TRUE(sfdm2.ok) << sfdm2.error;
+
+  config.algorithm = AlgorithmKind::kFairFlow;
+  const RunResult fair_flow = RunAlgorithm(ds, config);
+  ASSERT_TRUE(fair_flow.ok) << fair_flow.error;
+
+  // Table II on Lyrics: SFDM2's diversity dwarfs FairFlow's (1.45 vs 0.22).
+  EXPECT_GT(sfdm2.diversity, fair_flow.diversity);
+}
+
+TEST(IntegrationTest, CensusManyGroupsFairAndCheap) {
+  const Dataset ds = SimulatedCensus(CensusGrouping::kAge, 2, 10000);
+  RunConfig config;
+  config.algorithm = AlgorithmKind::kSfdm2;
+  config.constraint = EqualRepresentation(21, 7).value();
+  config.epsilon = 0.1;
+  config.bounds = BoundsForExperiments(ds);
+  const RunResult r = RunAlgorithm(ds, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.selected_ids.size(), 21u);
+  EXPECT_LT(r.stored_elements, ds.size() / 5);
+}
+
+TEST(IntegrationTest, ProportionalRepresentationEndToEnd) {
+  const Dataset ds = SimulatedAdult(AdultGrouping::kSex, 3, 8000);
+  const auto pr = ProportionalRepresentation(20, ds.GroupSizes());
+  ASSERT_TRUE(pr.ok());
+  // Adult sex skew is 67/33: PR must give the majority group more slots.
+  EXPECT_GT(pr->quotas[1], pr->quotas[0]);
+
+  RunConfig config;
+  config.algorithm = AlgorithmKind::kSfdm1;
+  config.constraint = pr.value();
+  config.epsilon = 0.1;
+  config.bounds = BoundsForExperiments(ds);
+  const RunResult r = RunAlgorithm(ds, config);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.selected_ids.size(), 20u);
+}
+
+TEST(IntegrationTest, StreamingQualityStableAcrossPermutations) {
+  // The paper reports averages over 10 permutations; the spread should be
+  // moderate (the guess-ladder construction is order-robust).
+  const Dataset ds = SimulatedAdult(AdultGrouping::kSex, 5, 6000);
+  RunConfig config;
+  config.algorithm = AlgorithmKind::kSfdm1;
+  config.constraint = EqualRepresentation(10, 2).value();
+  config.epsilon = 0.1;
+  config.bounds = BoundsForExperiments(ds);
+  double lo = 1e100;
+  double hi = 0.0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    config.permutation_seed = seed;
+    const RunResult r = RunAlgorithm(ds, config);
+    ASSERT_TRUE(r.ok) << r.error;
+    lo = std::min(lo, r.diversity);
+    hi = std::max(hi, r.diversity);
+  }
+  EXPECT_GT(lo, 0.0);
+  EXPECT_LT(hi / lo, 2.5) << "diversity should not swing wildly with order";
+}
+
+TEST(IntegrationTest, EpsilonTradeoffShrinksStorage) {
+  // Fig. 5's defining trend: larger ε → fewer guesses → fewer stored
+  // elements, with roughly stable diversity.
+  const Dataset ds = SimulatedCelebA(CelebAGrouping::kSex, 7, 6000);
+  RunConfig config;
+  config.algorithm = AlgorithmKind::kSfdm2;
+  config.constraint = EqualRepresentation(10, 2).value();
+  config.bounds = BoundsForExperiments(ds);
+
+  config.epsilon = 0.05;
+  const RunResult fine = RunAlgorithm(ds, config);
+  config.epsilon = 0.25;
+  const RunResult coarse = RunAlgorithm(ds, config);
+  ASSERT_TRUE(fine.ok) << fine.error;
+  ASSERT_TRUE(coarse.ok) << coarse.error;
+  EXPECT_LT(coarse.stored_elements, fine.stored_elements);
+  EXPECT_GT(coarse.diversity, 0.3 * fine.diversity);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,124 @@
+#include "core/matroid.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+// Ground set {0..5}; parts: {0,1,2} -> 0, {3,4} -> 1, {5} -> 2.
+PartitionMatroid MakeExample(std::vector<int> caps = {2, 1, 1}) {
+  return PartitionMatroid({0, 0, 0, 1, 1, 2}, std::move(caps));
+}
+
+TEST(PartitionMatroidTest, EmptySetIsIndependent) {
+  const PartitionMatroid m = MakeExample();
+  EXPECT_TRUE(m.IsIndependent({}));
+}
+
+TEST(PartitionMatroidTest, RespectsCapacities) {
+  const PartitionMatroid m = MakeExample();
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 1}));         // 2 of part 0
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1, 2}));     // 3 of part 0
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 3, 5}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{3, 4}));        // 2 of part 1
+}
+
+TEST(PartitionMatroidTest, RankSumsCappedPartSizes) {
+  EXPECT_EQ(MakeExample().Rank(), 4);  // min(3,2)+min(2,1)+min(1,1)
+  EXPECT_EQ(MakeExample({5, 5, 5}).Rank(), 6);  // capacities exceed parts
+  EXPECT_EQ(MakeExample({0, 0, 0}).Rank(), 0);
+}
+
+TEST(PartitionMatroidTest, CanAddMatchesDefinition) {
+  const PartitionMatroid m = MakeExample();
+  const std::vector<int> s{0, 3};
+  EXPECT_TRUE(m.CanAdd(s, 1));   // part 0 has 1 < 2
+  EXPECT_FALSE(m.CanAdd(s, 4));  // part 1 full
+  EXPECT_TRUE(m.CanAdd(s, 5));   // part 2 empty
+}
+
+TEST(PartitionMatroidTest, CanExchangeRequiresSamePart) {
+  const PartitionMatroid m = MakeExample();
+  const std::vector<int> s{3};   // part 1 at capacity
+  EXPECT_TRUE(m.CanExchange(s, 4, 3));   // same part swap
+  EXPECT_FALSE(m.CanExchange(s, 4, 5));  // removing part-2 element: 5 not in s anyway
+}
+
+TEST(PartitionMatroidTest, HereditaryProperty) {
+  // Every subset of an independent set is independent.
+  const PartitionMatroid m = MakeExample();
+  Rng rng(3);
+  const std::vector<int> base{0, 1, 3, 5};  // independent (2,1,1)
+  ASSERT_TRUE(m.IsIndependent(base));
+  for (uint32_t mask = 0; mask < (1u << base.size()); ++mask) {
+    std::vector<int> subset;
+    for (size_t i = 0; i < base.size(); ++i) {
+      if (mask & (1u << i)) subset.push_back(base[i]);
+    }
+    EXPECT_TRUE(m.IsIndependent(subset));
+  }
+}
+
+TEST(PartitionMatroidTest, AugmentationProperty) {
+  // For random independent A, B with |A| > |B| there exists x in A\B with
+  // B + x independent — the defining matroid exchange axiom.
+  Rng rng(5);
+  const PartitionMatroid m({0, 0, 0, 1, 1, 2, 2, 3}, {2, 1, 2, 1});
+  const int n = m.GroundSize();
+  auto random_independent = [&](size_t target) {
+    std::vector<int> members;
+    for (int attempt = 0; attempt < 200 && members.size() < target;
+         ++attempt) {
+      const int x = static_cast<int>(rng.NextBounded(n));
+      bool present = false;
+      for (const int e : members) present |= (e == x);
+      if (!present && m.CanAdd(members, x)) members.push_back(x);
+    }
+    return members;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int> a = random_independent(1 + rng.NextBounded(5));
+    std::vector<int> b = random_independent(1 + rng.NextBounded(5));
+    if (a.size() <= b.size()) continue;
+    bool found = false;
+    for (const int x : a) {
+      bool in_b = false;
+      for (const int e : b) in_b |= (e == x);
+      if (!in_b && m.CanAdd(b, x)) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "augmentation axiom violated";
+  }
+}
+
+TEST(PartitionMatroidTest, FairnessMatroidSemantics) {
+  // M1 of SFDM2: parts = demographic groups, capacities = quotas. A set is
+  // a fair selection iff it is a maximal independent set.
+  const PartitionMatroid m({0, 0, 1, 1, 1}, {1, 2});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 2, 3}));   // exactly fair
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{0, 1}));     // 2 from group 0
+  EXPECT_EQ(m.Rank(), 3);
+}
+
+TEST(PartitionMatroidTest, ClusterMatroidSemantics) {
+  // M2 of SFDM2: parts = clusters, all capacities 1.
+  const PartitionMatroid m({0, 0, 1, 2, 2}, {1, 1, 1});
+  EXPECT_TRUE(m.IsIndependent(std::vector<int>{0, 2, 3}));
+  EXPECT_FALSE(m.IsIndependent(std::vector<int>{3, 4}));  // same cluster
+  EXPECT_EQ(m.Rank(), 3);
+}
+
+TEST(PartitionMatroidTest, AccessorsExposeStructure) {
+  const PartitionMatroid m = MakeExample();
+  EXPECT_EQ(m.GroundSize(), 6);
+  EXPECT_EQ(m.num_parts(), 3);
+  EXPECT_EQ(m.label_of(4), 1);
+  EXPECT_EQ(m.capacity_of(0), 2);
+}
+
+}  // namespace
+}  // namespace fdm

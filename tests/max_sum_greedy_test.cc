@@ -1,0 +1,105 @@
+#include "baselines/max_sum_greedy.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "data/synthetic.h"
+
+namespace fdm {
+namespace {
+
+Dataset LinePoints(const std::vector<double>& xs) {
+  Dataset ds("line", 1, 1, MetricKind::kEuclidean);
+  for (const double x : xs) ds.Add(std::vector<double>{x}, 0);
+  return ds;
+}
+
+TEST(MaxSumGreedyTest, StartsWithFarthestPair) {
+  const Dataset ds = LinePoints({0.0, 2.0, 7.0, 10.0});
+  const auto sel = MaxSumGreedy(ds, 2);
+  ASSERT_EQ(sel.size(), 2u);
+  EXPECT_EQ(std::set<size_t>(sel.begin(), sel.end()),
+            (std::set<size_t>{0, 3}));
+}
+
+TEST(MaxSumGreedyTest, ReturnsKDistinct) {
+  BlobsOptions opt;
+  opt.n = 200;
+  opt.seed = 91;
+  const Dataset ds = MakeBlobs(opt);
+  const auto sel = MaxSumGreedy(ds, 10);
+  EXPECT_EQ(sel.size(), 10u);
+  EXPECT_EQ(std::set<size_t>(sel.begin(), sel.end()).size(), 10u);
+}
+
+TEST(MaxSumGreedyTest, EdgeCases) {
+  const Dataset ds = LinePoints({0.0, 1.0, 2.0});
+  EXPECT_TRUE(MaxSumGreedy(ds, 0).empty());
+  EXPECT_EQ(MaxSumGreedy(ds, 1).size(), 1u);
+  EXPECT_EQ(MaxSumGreedy(ds, 5).size(), 3u);  // capped at n
+}
+
+TEST(MaxSumGreedyTest, PrefersMarginalElements) {
+  // The defining contrast of Fig. 1: max-sum crowds the extremes — on a
+  // line with a dense middle, max-sum picks endpoints even when they are
+  // close together, while max-min (GMM) spreads out.
+  Dataset ds("contrast", 1, 1, MetricKind::kEuclidean);
+  // Two tight clusters at the ends and sparse middle points.
+  for (const double x : {0.0, 0.1, 0.2, 5.0, 10.0, 9.9, 9.8}) {
+    ds.Add(std::vector<double>{x}, 0);
+  }
+  const auto max_sum = MaxSumGreedy(ds, 4);
+  const auto max_min = GreedyGmm(ds, 4);
+
+  // Max-sum selects only from the end clusters (no middle point 5.0).
+  bool max_sum_has_middle = false;
+  for (const size_t i : max_sum) max_sum_has_middle |= (ds.Point(i)[0] == 5.0);
+  EXPECT_FALSE(max_sum_has_middle);
+
+  // Max-min covers the middle.
+  bool max_min_has_middle = false;
+  for (const size_t i : max_min) max_min_has_middle |= (ds.Point(i)[0] == 5.0);
+  EXPECT_TRUE(max_min_has_middle);
+
+  // And the sum objective of max-sum's answer dominates GMM's.
+  EXPECT_GE(SumPairwiseDistance(ds, max_sum),
+            SumPairwiseDistance(ds, max_min) - 1e-9);
+  // While the min objective of GMM's answer dominates max-sum's.
+  EXPECT_GE(MinPairwiseDistance(ds, max_min),
+            MinPairwiseDistance(ds, max_sum) - 1e-9);
+}
+
+TEST(MaxSumGreedyTest, GreedyObjectiveMonotonicity) {
+  // Each added point must be the argmax of sum-distance at its step;
+  // verify via recomputation on a small instance.
+  BlobsOptions opt;
+  opt.n = 40;
+  opt.seed = 93;
+  const Dataset ds = MakeBlobs(opt);
+  const auto sel = MaxSumGreedy(ds, 6);
+  const Metric metric = ds.metric();
+  for (size_t step = 2; step < sel.size(); ++step) {
+    // Sum-distance of the chosen element vs every alternative.
+    auto sum_to_prefix = [&](size_t row) {
+      double s = 0.0;
+      for (size_t j = 0; j < step; ++j) {
+        s += metric(ds.Point(row), ds.Point(sel[j]));
+      }
+      return s;
+    };
+    const double chosen = sum_to_prefix(sel[step]);
+    for (size_t row = 0; row < ds.size(); ++row) {
+      bool used = false;
+      for (size_t j = 0; j <= step; ++j) used |= (sel[j] == row);
+      if (used) continue;
+      EXPECT_LE(sum_to_prefix(row), chosen + 1e-9)
+          << "step " << step << " row " << row;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,158 @@
+#include "geo/metric.h"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+TEST(MetricTest, EuclideanKnownValues) {
+  const Metric m(MetricKind::kEuclidean);
+  const double a[2] = {0, 0};
+  const double b[2] = {3, 4};
+  EXPECT_DOUBLE_EQ(m(a, b, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(a, a, 2), 0.0);
+}
+
+TEST(MetricTest, ManhattanKnownValues) {
+  const Metric m(MetricKind::kManhattan);
+  const double a[3] = {1, -2, 0.5};
+  const double b[3] = {-1, 1, 0.5};
+  EXPECT_DOUBLE_EQ(m(a, b, 3), 5.0);
+}
+
+TEST(MetricTest, AngularKnownValues) {
+  const Metric m(MetricKind::kAngular);
+  const double x[2] = {1, 0};
+  const double y[2] = {0, 2};       // orthogonal
+  const double z[2] = {-3, 0};      // opposite
+  const double w[2] = {5, 0};       // parallel
+  EXPECT_NEAR(m(x, y, 2), std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(m(x, z, 2), std::numbers::pi, 1e-12);
+  EXPECT_NEAR(m(x, w, 2), 0.0, 1e-7);
+}
+
+TEST(MetricTest, AngularZeroVectorConvention) {
+  const Metric m(MetricKind::kAngular);
+  const double zero[2] = {0, 0};
+  const double x[2] = {1, 1};
+  EXPECT_NEAR(m(zero, x, 2), std::numbers::pi / 2, 1e-12);
+}
+
+TEST(MetricTest, AngularScaleInvariance) {
+  const Metric m(MetricKind::kAngular);
+  Rng rng(3);
+  for (int t = 0; t < 100; ++t) {
+    std::vector<double> a(5), b(5), a2(5);
+    for (int d = 0; d < 5; ++d) {
+      a[static_cast<size_t>(d)] = rng.NextDouble(0.01, 1.0);
+      b[static_cast<size_t>(d)] = rng.NextDouble(0.01, 1.0);
+      a2[static_cast<size_t>(d)] = 7.5 * a[static_cast<size_t>(d)];
+    }
+    EXPECT_NEAR(m(a.data(), b.data(), 5), m(a2.data(), b.data(), 5), 1e-9);
+  }
+}
+
+class MetricPropertyTest : public ::testing::TestWithParam<MetricKind> {};
+
+TEST_P(MetricPropertyTest, NonNegativity) {
+  const Metric m(GetParam());
+  Rng rng(11);
+  for (int t = 0; t < 500; ++t) {
+    std::vector<double> a(4), b(4);
+    for (int d = 0; d < 4; ++d) {
+      a[static_cast<size_t>(d)] = rng.NextGaussian();
+      b[static_cast<size_t>(d)] = rng.NextGaussian();
+    }
+    EXPECT_GE(m(a.data(), b.data(), 4), 0.0);
+  }
+}
+
+TEST_P(MetricPropertyTest, IdentityGivesZero) {
+  const Metric m(GetParam());
+  Rng rng(13);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<double> a(6);
+    for (int d = 0; d < 6; ++d) {
+      a[static_cast<size_t>(d)] = rng.NextDouble(0.1, 2.0);
+    }
+    EXPECT_NEAR(m(a.data(), a.data(), 6), 0.0, 1e-7);
+  }
+}
+
+TEST_P(MetricPropertyTest, Symmetry) {
+  const Metric m(GetParam());
+  Rng rng(17);
+  for (int t = 0; t < 500; ++t) {
+    std::vector<double> a(5), b(5);
+    for (int d = 0; d < 5; ++d) {
+      a[static_cast<size_t>(d)] = rng.NextGaussian();
+      b[static_cast<size_t>(d)] = rng.NextGaussian();
+    }
+    EXPECT_DOUBLE_EQ(m(a.data(), b.data(), 5), m(b.data(), a.data(), 5));
+  }
+}
+
+TEST_P(MetricPropertyTest, TriangleInequality) {
+  // The approximation guarantees of every algorithm in the paper rest on
+  // the triangle inequality; verify it holds for all three shipped metrics
+  // on random triples (positive orthant for angular, where LDA vectors
+  // live).
+  const Metric m(GetParam());
+  Rng rng(19);
+  for (int t = 0; t < 2000; ++t) {
+    std::vector<double> x(4), y(4), z(4);
+    for (int d = 0; d < 4; ++d) {
+      x[static_cast<size_t>(d)] = rng.NextDouble(0.0, 1.0);
+      y[static_cast<size_t>(d)] = rng.NextDouble(0.0, 1.0);
+      z[static_cast<size_t>(d)] = rng.NextDouble(0.0, 1.0);
+    }
+    const double xy = m(x.data(), y.data(), 4);
+    const double yz = m(y.data(), z.data(), 4);
+    const double xz = m(x.data(), z.data(), 4);
+    EXPECT_LE(xz, xy + yz + 1e-9);
+  }
+}
+
+TEST_P(MetricPropertyTest, SpanOverloadMatchesPointerOverload) {
+  const Metric m(GetParam());
+  std::vector<double> a{0.3, 0.9, 0.1};
+  std::vector<double> b{0.5, 0.2, 0.8};
+  EXPECT_DOUBLE_EQ(m(std::span<const double>(a), std::span<const double>(b)),
+                   m(a.data(), b.data(), 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricPropertyTest,
+                         ::testing::Values(MetricKind::kEuclidean,
+                                           MetricKind::kManhattan,
+                                           MetricKind::kAngular),
+                         [](const auto& info) {
+                           return std::string(MetricKindName(info.param));
+                         });
+
+TEST(ParseMetricKindTest, ValidNames) {
+  EXPECT_EQ(ParseMetricKind("euclidean").value(), MetricKind::kEuclidean);
+  EXPECT_EQ(ParseMetricKind("manhattan").value(), MetricKind::kManhattan);
+  EXPECT_EQ(ParseMetricKind("angular").value(), MetricKind::kAngular);
+}
+
+TEST(ParseMetricKindTest, InvalidNameFails) {
+  EXPECT_FALSE(ParseMetricKind("cosine").ok());
+  EXPECT_FALSE(ParseMetricKind("").ok());
+  EXPECT_FALSE(ParseMetricKind("Euclidean").ok());
+}
+
+TEST(ParseMetricKindTest, RoundTripsNames) {
+  for (const MetricKind kind :
+       {MetricKind::kEuclidean, MetricKind::kManhattan, MetricKind::kAngular}) {
+    EXPECT_EQ(ParseMetricKind(MetricKindName(kind)).value(), kind);
+  }
+}
+
+}  // namespace
+}  // namespace fdm

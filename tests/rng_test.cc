@@ -1,0 +1,156 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.NextBounded(kBuckets)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespected) {
+  Rng rng(29);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble(-2.5, 4.0);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 4.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyStandard) {
+  Rng rng(31);
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  // E[Gamma(shape, 1)] = shape.
+  for (const double shape : {0.1, 0.5, 1.0, 3.0, 9.0}) {
+    Rng rng(41);
+    constexpr int kDraws = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      const double g = rng.NextGamma(shape);
+      ASSERT_GT(g, 0.0) << "gamma deviates must be positive";
+      sum += g;
+    }
+    EXPECT_NEAR(sum / kDraws, shape, 0.05 * std::max(1.0, shape))
+        << "shape=" << shape;
+  }
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(53);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  auto shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleDeterministic) {
+  std::vector<int> a{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> b = a;
+  Rng r1(77);
+  Rng r2(77);
+  r1.Shuffle(a);
+  r2.Shuffle(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(3);
+  Rng child = parent.Fork();
+  // The child stream should not replicate the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,221 @@
+#include "core/sfdm1.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+StreamingOptions OptionsFor(const Dataset& ds, double epsilon) {
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  StreamingOptions o;
+  o.epsilon = epsilon;
+  o.d_min = b.min;
+  o.d_max = b.max;
+  return o;
+}
+
+FairnessConstraint Quotas(std::vector<int> q) {
+  FairnessConstraint c;
+  c.quotas = std::move(q);
+  return c;
+}
+
+void Feed(Sfdm1& algo, const Dataset& ds, uint64_t seed) {
+  for (const size_t row : StreamOrder(ds.size(), seed)) {
+    algo.Observe(ds.At(row));
+  }
+}
+
+TEST(Sfdm1Test, CreateRejectsWrongGroupCount) {
+  StreamingOptions o;
+  o.epsilon = 0.1;
+  o.d_min = 1.0;
+  o.d_max = 10.0;
+  EXPECT_EQ(
+      Sfdm1::Create(Quotas({1, 1, 1}), 2, MetricKind::kEuclidean, o).status()
+          .code(),
+      StatusCode::kUnsupported);
+  EXPECT_FALSE(
+      Sfdm1::Create(Quotas({5}), 2, MetricKind::kEuclidean, o).ok());
+  EXPECT_FALSE(
+      Sfdm1::Create(Quotas({0, 2}), 2, MetricKind::kEuclidean, o).ok());
+}
+
+TEST(Sfdm1Test, SolutionSatisfiesFairnessExactly) {
+  BlobsOptions opt;
+  opt.n = 800;
+  opt.num_groups = 2;
+  opt.seed = 7;
+  const Dataset ds = MakeBlobs(opt);
+  for (const auto& quotas :
+       {std::vector<int>{5, 5}, std::vector<int>{8, 2}, std::vector<int>{1, 9}}) {
+    auto algo = Sfdm1::Create(Quotas(quotas), 2, MetricKind::kEuclidean,
+                              OptionsFor(ds, 0.1));
+    ASSERT_TRUE(algo.ok());
+    Feed(*algo, ds, 3);
+    const auto solution = algo->Solve();
+    ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+    EXPECT_EQ(solution->points.size(), 10u);
+    EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+  }
+}
+
+TEST(Sfdm1Test, DiversityMatchesRecomputation) {
+  BlobsOptions opt;
+  opt.n = 500;
+  opt.num_groups = 2;
+  opt.seed = 9;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = Sfdm1::Create(Quotas({4, 4}), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 5);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->diversity,
+              MinPairwiseDistance(solution->points, ds.metric()), 1e-12);
+}
+
+TEST(Sfdm1Test, SolveIsRepeatableAnytime) {
+  // Solve() must not mutate stream state: solving twice gives the same
+  // result, and observing more elements afterwards still works.
+  BlobsOptions opt;
+  opt.n = 400;
+  opt.num_groups = 2;
+  opt.seed = 11;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = Sfdm1::Create(Quotas({3, 3}), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  const auto order = StreamOrder(ds.size(), 1);
+  for (size_t i = 0; i < 200; ++i) algo->Observe(ds.At(order[i]));
+  const auto mid1 = algo->Solve();
+  const auto mid2 = algo->Solve();
+  ASSERT_TRUE(mid1.ok());
+  ASSERT_TRUE(mid2.ok());
+  EXPECT_EQ(mid1->Ids(), mid2->Ids());
+  EXPECT_DOUBLE_EQ(mid1->diversity, mid2->diversity);
+  for (size_t i = 200; i < order.size(); ++i) algo->Observe(ds.At(order[i]));
+  const auto final_solution = algo->Solve();
+  ASSERT_TRUE(final_solution.ok());
+  // More data can only help the best candidate (weak sanity check).
+  EXPECT_GE(final_solution->diversity, 0.0);
+}
+
+TEST(Sfdm1Test, InfeasibleWhenGroupMissing) {
+  // All stream elements are group 0; quota for group 1 can never fill.
+  Dataset ds("mono", 1, 2, MetricKind::kEuclidean);
+  for (int i = 0; i < 50; ++i) {
+    ds.Add(std::vector<double>{static_cast<double>(i)}, 0);
+  }
+  auto algo = Sfdm1::Create(Quotas({2, 2}), 1, MetricKind::kEuclidean,
+                            StreamingOptions{0.1, 1.0, 49.0});
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  const auto solution = algo->Solve();
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(Sfdm1Test, StorageBoundedByLadder) {
+  BlobsOptions opt;
+  opt.n = 5000;
+  opt.num_groups = 2;
+  opt.seed = 13;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = Sfdm1::Create(Quotas({5, 5}), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  // Theorem 3: O(k log∆/ε); concretely <= 2k per rung (k for the blind
+  // candidate + k_1 + k_2 for the group candidates).
+  const size_t bound = 2u * 10u * algo->ladder().size();
+  EXPECT_LE(algo->StoredElements(), bound);
+  EXPECT_LT(algo->StoredElements(), ds.size() / 4);
+}
+
+TEST(Sfdm1Test, SkewedStreamStillFair) {
+  // 95/5 group skew — the under-filled group path is exercised heavily.
+  Dataset ds("skew", 2, 2, MetricKind::kEuclidean);
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) {
+    const std::vector<double> c{rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+    ds.Add(c, rng.NextDouble() < 0.95 ? 0 : 1);
+  }
+  auto algo = Sfdm1::Create(Quotas({5, 5}), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 2);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, std::vector<int>{5, 5}));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 2 property: div(S) >= (1−ε)/4 · OPT_f on every instance.
+// ---------------------------------------------------------------------------
+
+struct Sfdm1RatioCase {
+  uint64_t seed;
+  int k1;
+  int k2;
+  double epsilon;
+};
+
+class Sfdm1RatioTest : public ::testing::TestWithParam<Sfdm1RatioCase> {};
+
+TEST_P(Sfdm1RatioTest, AchievesTheoremTwoGuarantee) {
+  const Sfdm1RatioCase param = GetParam();
+  BlobsOptions opt;
+  opt.n = 14;
+  opt.num_blobs = 5;
+  opt.num_groups = 2;
+  opt.seed = param.seed;
+  const Dataset ds = MakeBlobs(opt);
+  const FairnessConstraint c = Quotas({param.k1, param.k2});
+  if (!c.ValidateAgainst(ds.GroupSizes()).ok()) {
+    GTEST_SKIP() << "random instance infeasible for the quota";
+  }
+  const ExactSolution exact = ExactFairDiversityMaximization(ds, c);
+  ASSERT_GT(exact.diversity, 0.0);
+
+  auto algo = Sfdm1::Create(c, 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, param.epsilon));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, param.seed * 13 + 5);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, c.quotas));
+  const double bound = (1.0 - param.epsilon) / 4.0 * exact.diversity;
+  EXPECT_GE(solution->diversity, bound - 1e-9)
+      << "seed=" << param.seed << " quotas=(" << param.k1 << "," << param.k2
+      << ") eps=" << param.epsilon << " OPT_f=" << exact.diversity;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedSweep, Sfdm1RatioTest,
+    ::testing::Values(Sfdm1RatioCase{1, 2, 2, 0.1},
+                      Sfdm1RatioCase{2, 2, 2, 0.1},
+                      Sfdm1RatioCase{3, 3, 1, 0.1},
+                      Sfdm1RatioCase{4, 1, 3, 0.1},
+                      Sfdm1RatioCase{5, 2, 3, 0.25},
+                      Sfdm1RatioCase{6, 3, 2, 0.25},
+                      Sfdm1RatioCase{7, 1, 1, 0.05},
+                      Sfdm1RatioCase{8, 2, 2, 0.05},
+                      Sfdm1RatioCase{9, 3, 3, 0.1},
+                      Sfdm1RatioCase{10, 2, 1, 0.1},
+                      Sfdm1RatioCase{11, 4, 2, 0.1},
+                      Sfdm1RatioCase{12, 2, 4, 0.25}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_q" +
+             std::to_string(info.param.k1) + std::to_string(info.param.k2) +
+             "_eps" + std::to_string(static_cast<int>(info.param.epsilon * 100));
+    });
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,247 @@
+#include "core/sfdm2.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+StreamingOptions OptionsFor(const Dataset& ds, double epsilon) {
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  StreamingOptions o;
+  o.epsilon = epsilon;
+  o.d_min = b.min;
+  o.d_max = b.max;
+  return o;
+}
+
+FairnessConstraint Quotas(std::vector<int> q) {
+  FairnessConstraint c;
+  c.quotas = std::move(q);
+  return c;
+}
+
+void Feed(Sfdm2& algo, const Dataset& ds, uint64_t seed) {
+  for (const size_t row : StreamOrder(ds.size(), seed)) {
+    algo.Observe(ds.At(row));
+  }
+}
+
+TEST(Sfdm2Test, CreateValidates) {
+  StreamingOptions o;
+  o.epsilon = 0.1;
+  o.d_min = 1.0;
+  o.d_max = 10.0;
+  EXPECT_FALSE(Sfdm2::Create(Quotas({}), 2, MetricKind::kEuclidean, o).ok());
+  EXPECT_FALSE(
+      Sfdm2::Create(Quotas({1, 0}), 2, MetricKind::kEuclidean, o).ok());
+  EXPECT_FALSE(
+      Sfdm2::Create(Quotas({1, 1}), 0, MetricKind::kEuclidean, o).ok());
+  EXPECT_TRUE(
+      Sfdm2::Create(Quotas({1, 1}), 2, MetricKind::kEuclidean, o).ok());
+}
+
+TEST(Sfdm2Test, FairnessForVariousGroupCounts) {
+  for (const int m : {2, 3, 5, 8}) {
+    BlobsOptions opt;
+    opt.n = 1200;
+    opt.num_groups = m;
+    opt.seed = static_cast<uint64_t>(m);
+    const Dataset ds = MakeBlobs(opt);
+    std::vector<int> quotas(static_cast<size_t>(m), 2);
+    auto algo = Sfdm2::Create(Quotas(quotas), 2, MetricKind::kEuclidean,
+                              OptionsFor(ds, 0.1));
+    ASSERT_TRUE(algo.ok());
+    Feed(*algo, ds, 3);
+    const auto solution = algo->Solve();
+    ASSERT_TRUE(solution.ok())
+        << "m=" << m << ": " << solution.status().ToString();
+    EXPECT_EQ(solution->points.size(), static_cast<size_t>(2 * m));
+    EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+  }
+}
+
+TEST(Sfdm2Test, UnevenQuotas) {
+  BlobsOptions opt;
+  opt.n = 900;
+  opt.num_groups = 3;
+  opt.seed = 19;
+  const Dataset ds = MakeBlobs(opt);
+  const std::vector<int> quotas{6, 1, 3};
+  auto algo = Sfdm2::Create(Quotas(quotas), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 7);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+}
+
+TEST(Sfdm2Test, DiversityMatchesRecomputation) {
+  BlobsOptions opt;
+  opt.n = 600;
+  opt.num_groups = 4;
+  opt.seed = 23;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = Sfdm2::Create(Quotas({2, 2, 2, 2}), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 9);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->diversity,
+              MinPairwiseDistance(solution->points, ds.metric()), 1e-12);
+}
+
+TEST(Sfdm2Test, WorksWithSingleGroup) {
+  // m = 1 degenerates to unconstrained streaming DM.
+  BlobsOptions opt;
+  opt.n = 300;
+  opt.num_groups = 1;
+  opt.seed = 27;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = Sfdm2::Create(Quotas({8}), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->points.size(), 8u);
+}
+
+TEST(Sfdm2Test, InfeasibleWhenGroupMissing) {
+  Dataset ds("mono", 1, 3, MetricKind::kEuclidean);
+  for (int i = 0; i < 60; ++i) {
+    ds.Add(std::vector<double>{static_cast<double>(i)}, i % 2);  // group 2 empty
+  }
+  auto algo = Sfdm2::Create(Quotas({2, 2, 2}), 1, MetricKind::kEuclidean,
+                            StreamingOptions{0.1, 1.0, 60.0});
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  const auto solution = algo->Solve();
+  ASSERT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(Sfdm2Test, StorageBoundedByLadderTimesGroups) {
+  BlobsOptions opt;
+  opt.n = 4000;
+  opt.num_groups = 5;
+  opt.seed = 29;
+  const Dataset ds = MakeBlobs(opt);
+  const std::vector<int> quotas{2, 2, 2, 2, 2};
+  auto algo = Sfdm2::Create(Quotas(quotas), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  // Theorem 5: O(km log∆/ε): (m+1) candidates of k elements per rung.
+  const size_t k = 10;
+  const size_t bound = (5 + 1) * k * algo->ladder().size();
+  EXPECT_LE(algo->StoredElements(), bound);
+}
+
+TEST(Sfdm2Test, Sfdm2StoresMoreThanNeededBySfdm1Shape) {
+  // The group-specific candidates have capacity k (not k_i) — confirm the
+  // donor pools actually hold more than k_i elements for small quotas.
+  BlobsOptions opt;
+  opt.n = 2000;
+  opt.num_groups = 2;
+  opt.seed = 31;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = Sfdm2::Create(Quotas({2, 8}), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, std::vector<int>{2, 8}));
+}
+
+TEST(Sfdm2Test, SkewedGroupsRemainFair) {
+  Dataset ds("skew", 2, 3, MetricKind::kEuclidean);
+  Rng rng(33);
+  for (int i = 0; i < 3000; ++i) {
+    const std::vector<double> c{rng.NextDouble(0, 10), rng.NextDouble(0, 10)};
+    const double u = rng.NextDouble();
+    ds.Add(c, u < 0.9 ? 0 : (u < 0.97 ? 1 : 2));
+  }
+  const std::vector<int> quotas{3, 3, 3};
+  auto algo = Sfdm2::Create(Quotas(quotas), 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 5);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, quotas));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4 property: div(S) >= (1−ε)/(3m+2) · OPT_f on every instance.
+// ---------------------------------------------------------------------------
+
+struct Sfdm2RatioCase {
+  uint64_t seed;
+  std::vector<int> quotas;
+  double epsilon;
+};
+
+class Sfdm2RatioTest : public ::testing::TestWithParam<Sfdm2RatioCase> {};
+
+TEST_P(Sfdm2RatioTest, AchievesTheoremFourGuarantee) {
+  const Sfdm2RatioCase& param = GetParam();
+  BlobsOptions opt;
+  opt.n = 14;
+  opt.num_blobs = 5;
+  opt.num_groups = static_cast<int32_t>(param.quotas.size());
+  opt.seed = param.seed;
+  const Dataset ds = MakeBlobs(opt);
+  FairnessConstraint c;
+  c.quotas = param.quotas;
+  if (!c.ValidateAgainst(ds.GroupSizes()).ok()) {
+    GTEST_SKIP() << "random instance infeasible for the quota";
+  }
+  const ExactSolution exact = ExactFairDiversityMaximization(ds, c);
+  ASSERT_GT(exact.diversity, 0.0);
+
+  auto algo = Sfdm2::Create(c, 2, MetricKind::kEuclidean,
+                            OptionsFor(ds, param.epsilon));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, param.seed * 31 + 7);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_TRUE(SatisfiesQuotas(solution->points, c.quotas));
+  const double m = static_cast<double>(param.quotas.size());
+  const double bound =
+      (1.0 - param.epsilon) / (3.0 * m + 2.0) * exact.diversity;
+  EXPECT_GE(solution->diversity, bound - 1e-9)
+      << "seed=" << param.seed << " m=" << m << " OPT_f=" << exact.diversity;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedSweep, Sfdm2RatioTest,
+    ::testing::Values(Sfdm2RatioCase{1, {2, 2}, 0.1},
+                      Sfdm2RatioCase{2, {1, 1, 1}, 0.1},
+                      Sfdm2RatioCase{3, {2, 1, 1}, 0.1},
+                      Sfdm2RatioCase{4, {1, 1, 1, 1}, 0.1},
+                      Sfdm2RatioCase{5, {2, 2, 2}, 0.25},
+                      Sfdm2RatioCase{6, {3, 1}, 0.25},
+                      Sfdm2RatioCase{7, {1, 2, 1}, 0.05},
+                      Sfdm2RatioCase{8, {2, 1, 2, 1}, 0.1},
+                      Sfdm2RatioCase{9, {1, 1}, 0.05},
+                      Sfdm2RatioCase{10, {2, 3}, 0.1},
+                      Sfdm2RatioCase{11, {1, 1, 2, 2}, 0.25},
+                      Sfdm2RatioCase{12, {4, 1, 1}, 0.1}),
+    [](const auto& info) {
+      std::string name = "seed" + std::to_string(info.param.seed) + "_m" +
+                         std::to_string(info.param.quotas.size()) + "_eps" +
+                         std::to_string(
+                             static_cast<int>(info.param.epsilon * 100));
+      return name;
+    });
+
+}  // namespace
+}  // namespace fdm

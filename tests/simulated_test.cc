@@ -1,0 +1,214 @@
+#include "data/simulated.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+// The simulated stand-ins are only useful if they preserve the *shape*
+// Table I documents: n, dim, metric, number of groups, and group skew.
+// These tests pin those invariants (at reduced n for speed; the
+// generators are linear in n and identical at any scale).
+
+constexpr size_t kTestN = 20000;
+
+TEST(SimulatedAdultTest, TableOneShape) {
+  const Dataset sex = SimulatedAdult(AdultGrouping::kSex, 1, kTestN);
+  EXPECT_EQ(sex.size(), kTestN);
+  EXPECT_EQ(sex.dim(), 6u);
+  EXPECT_EQ(sex.num_groups(), 2);
+  EXPECT_EQ(sex.metric_kind(), MetricKind::kEuclidean);
+
+  const Dataset race = SimulatedAdult(AdultGrouping::kRace, 1, kTestN);
+  EXPECT_EQ(race.num_groups(), 5);
+  const Dataset both = SimulatedAdult(AdultGrouping::kSexRace, 1, kTestN);
+  EXPECT_EQ(both.num_groups(), 10);
+}
+
+TEST(SimulatedAdultTest, DefaultSizeMatchesPaper) {
+  // Do not generate the full set here; just check the declared default.
+  const Dataset tiny = SimulatedAdult(AdultGrouping::kSex, 1, 10);
+  EXPECT_EQ(tiny.size(), 10u);
+  // Paper: 48,842 records.
+  EXPECT_EQ(SimulatedAdult(AdultGrouping::kSex, 1).size(), 48842u);
+}
+
+TEST(SimulatedAdultTest, SexSkewMatchesPaper) {
+  // Paper: "67% of the records are for males".
+  const Dataset ds = SimulatedAdult(AdultGrouping::kSex, 2, kTestN);
+  const auto sizes = ds.GroupSizes();
+  const double male_frac =
+      static_cast<double>(sizes[1]) / static_cast<double>(ds.size());
+  EXPECT_NEAR(male_frac, 0.67, 0.02);
+}
+
+TEST(SimulatedAdultTest, RaceSkewMatchesPaper) {
+  // Paper: "87% of the records are for Whites" (dominant group).
+  const Dataset ds = SimulatedAdult(AdultGrouping::kRace, 3, kTestN);
+  const auto sizes = ds.GroupSizes();
+  const double white_frac =
+      static_cast<double>(sizes[0]) / static_cast<double>(ds.size());
+  EXPECT_NEAR(white_frac, 0.855, 0.02);
+  for (const size_t s : sizes) EXPECT_GT(s, 0u);  // all races present
+}
+
+TEST(SimulatedAdultTest, FeaturesAreZScored) {
+  const Dataset ds = SimulatedAdult(AdultGrouping::kSex, 4, kTestN);
+  for (size_t d = 0; d < ds.dim(); ++d) {
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < ds.size(); ++i) {
+      sum += ds.Point(i)[d];
+      sum_sq += ds.Point(i)[d] * ds.Point(i)[d];
+    }
+    const double mean = sum / static_cast<double>(ds.size());
+    const double var = sum_sq / static_cast<double>(ds.size()) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-9) << "column " << d;
+    EXPECT_NEAR(var, 1.0, 1e-6) << "column " << d;
+  }
+}
+
+TEST(SimulatedAdultTest, CapitalGainIsZeroInflated) {
+  // The heavy-tailed zero-inflated columns are what make Adult's distance
+  // distribution skewed; verify the mode persists after z-scoring
+  // (a large fraction of identical values in column 3).
+  const Dataset ds = SimulatedAdult(AdultGrouping::kSex, 5, kTestN);
+  int mode_count = 0;
+  const double first = ds.Point(0)[3];
+  int first_count = 0;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (ds.Point(i)[3] == first) ++first_count;
+  }
+  mode_count = first_count;
+  EXPECT_GT(mode_count, static_cast<int>(kTestN / 2));
+}
+
+TEST(SimulatedCelebATest, TableOneShape) {
+  const Dataset ds = SimulatedCelebA(CelebAGrouping::kSex, 1, kTestN);
+  EXPECT_EQ(ds.dim(), 41u);
+  EXPECT_EQ(ds.num_groups(), 2);
+  EXPECT_EQ(ds.metric_kind(), MetricKind::kManhattan);
+  EXPECT_EQ(SimulatedCelebA(CelebAGrouping::kSexAge, 1, 100).num_groups(), 4);
+  // Paper: 202,599 images.
+  EXPECT_EQ(SimulatedCelebA(CelebAGrouping::kSex, 1).size(), 202599u);
+}
+
+TEST(SimulatedCelebATest, FeaturesAreBinary) {
+  const Dataset ds = SimulatedCelebA(CelebAGrouping::kAge, 2, 2000);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    for (size_t d = 0; d < ds.dim(); ++d) {
+      const double v = ds.Point(i)[d];
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+    }
+  }
+}
+
+TEST(SimulatedCelebATest, GroupSkews) {
+  const Dataset sex = SimulatedCelebA(CelebAGrouping::kSex, 3, kTestN);
+  const double female = static_cast<double>(sex.GroupSizes()[0]) /
+                        static_cast<double>(sex.size());
+  EXPECT_NEAR(female, 0.58, 0.02);
+  const Dataset age = SimulatedCelebA(CelebAGrouping::kAge, 3, kTestN);
+  const double young = static_cast<double>(age.GroupSizes()[0]) /
+                       static_cast<double>(age.size());
+  EXPECT_NEAR(young, 0.78, 0.02);
+}
+
+TEST(SimulatedCelebATest, AttributesCorrelateWithSex) {
+  // Group-conditional feature shifts are what make fair selection
+  // non-trivial; verify at least a few attributes differ strongly by sex.
+  const Dataset ds = SimulatedCelebA(CelebAGrouping::kSex, 4, kTestN);
+  int strongly_correlated = 0;
+  for (size_t d = 0; d < ds.dim(); ++d) {
+    double mean[2] = {0, 0};
+    size_t count[2] = {0, 0};
+    for (size_t i = 0; i < ds.size(); ++i) {
+      mean[ds.GroupOf(i)] += ds.Point(i)[d];
+      ++count[ds.GroupOf(i)];
+    }
+    mean[0] /= static_cast<double>(count[0]);
+    mean[1] /= static_cast<double>(count[1]);
+    if (std::fabs(mean[0] - mean[1]) > 0.15) ++strongly_correlated;
+  }
+  EXPECT_GE(strongly_correlated, 5);
+}
+
+TEST(SimulatedCensusTest, TableOneShape) {
+  const Dataset ds = SimulatedCensus(CensusGrouping::kSex, 1, kTestN);
+  EXPECT_EQ(ds.dim(), 25u);
+  EXPECT_EQ(ds.num_groups(), 2);
+  EXPECT_EQ(ds.metric_kind(), MetricKind::kManhattan);
+  EXPECT_EQ(SimulatedCensus(CensusGrouping::kAge, 1, 100).num_groups(), 7);
+  EXPECT_EQ(SimulatedCensus(CensusGrouping::kSexAge, 1, 100).num_groups(), 14);
+  // Default is the laptop-scale 1/10 size; paper scale is reachable.
+  EXPECT_EQ(kCensusFullSize, 2426116u);
+}
+
+TEST(SimulatedCensusTest, AllAgeBracketsPopulated) {
+  const Dataset ds = SimulatedCensus(CensusGrouping::kAge, 2, kTestN);
+  for (const size_t s : ds.GroupSizes()) {
+    EXPECT_GT(s, kTestN / 30);
+  }
+}
+
+TEST(SimulatedCensusTest, FeaturesAreZScored) {
+  const Dataset ds = SimulatedCensus(CensusGrouping::kSex, 3, kTestN);
+  for (size_t d = 0; d < ds.dim(); ++d) {
+    double sum = 0.0;
+    for (size_t i = 0; i < ds.size(); ++i) sum += ds.Point(i)[d];
+    EXPECT_NEAR(sum / static_cast<double>(ds.size()), 0.0, 1e-9);
+  }
+}
+
+TEST(SimulatedLyricsTest, TableOneShape) {
+  const Dataset ds = SimulatedLyrics(1, kTestN);
+  EXPECT_EQ(ds.dim(), 50u);
+  EXPECT_EQ(ds.num_groups(), 15);
+  EXPECT_EQ(ds.metric_kind(), MetricKind::kAngular);
+  // Paper: 122,448 songs.
+  EXPECT_EQ(SimulatedLyrics(1).size(), 122448u);
+}
+
+TEST(SimulatedLyricsTest, TopicVectorsOnSimplex) {
+  const Dataset ds = SimulatedLyrics(2, 2000);
+  for (size_t i = 0; i < ds.size(); ++i) {
+    double sum = 0.0;
+    for (size_t d = 0; d < ds.dim(); ++d) {
+      EXPECT_GE(ds.Point(i)[d], 0.0);
+      sum += ds.Point(i)[d];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(SimulatedLyricsTest, GenresAreZipfSkewed) {
+  const Dataset ds = SimulatedLyrics(3, kTestN);
+  const auto sizes = ds.GroupSizes();
+  EXPECT_GT(sizes[0], sizes[14] * 3);  // head genre much larger than tail
+  for (const size_t s : sizes) EXPECT_GT(s, 0u);
+}
+
+TEST(SimulatedLyricsTest, AngularDistancesWithinQuarterTurn) {
+  // Nonnegative vectors: angular distance is at most pi/2 — the property
+  // that forces the paper to use ε = 0.05 on Lyrics.
+  const Dataset ds = SimulatedLyrics(4, 500);
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  EXPECT_LE(b.max, std::acos(0.0) + 1e-9);
+  EXPECT_GT(b.min, 0.0);
+}
+
+TEST(SimulatedDatasetsTest, DeterministicAcrossCalls) {
+  const Dataset a = SimulatedAdult(AdultGrouping::kSex, 9, 500);
+  const Dataset b = SimulatedAdult(AdultGrouping::kSex, 9, 500);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.GroupOf(i), b.GroupOf(i));
+    for (size_t d = 0; d < a.dim(); ++d) {
+      EXPECT_DOUBLE_EQ(a.Point(i)[d], b.Point(i)[d]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdm

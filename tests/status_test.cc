@@ -1,0 +1,84 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "k must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::Infeasible("x").code(), StatusCode::kInfeasible);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unsupported("x").code(), StatusCode::kUnsupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInvalidArgument), "InvalidArgument");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInfeasible), "Infeasible");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnsupported), "Unsupported");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status::Ok());
+  EXPECT_EQ(Status::Infeasible("a"), Status::Infeasible("a"));
+  EXPECT_FALSE(Status::Infeasible("a") == Status::Infeasible("b"));
+  EXPECT_FALSE(Status::Infeasible("a") == Status::Internal("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Infeasible("no way"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasible);
+  EXPECT_EQ(r.status().message(), "no way");
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  ASSERT_TRUE(r.ok());
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(ResultTest, MutableValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r.value().push_back(3);
+  EXPECT_EQ(r->size(), 3u);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,100 @@
+#include "core/streaming_candidate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+StreamPoint P(int64_t id, const std::vector<double>& c, int32_t g = 0) {
+  return StreamPoint{id, g, std::span<const double>(c)};
+}
+
+TEST(StreamingCandidateTest, AcceptsFirstPoint) {
+  StreamingCandidate cand(1.0, 3, 1);
+  const Metric m(MetricKind::kEuclidean);
+  EXPECT_TRUE(cand.TryAdd(P(0, {0.0}), m));
+  EXPECT_EQ(cand.points().size(), 1u);
+}
+
+TEST(StreamingCandidateTest, RejectsCloserThanMu) {
+  StreamingCandidate cand(1.0, 3, 1);
+  const Metric m(MetricKind::kEuclidean);
+  EXPECT_TRUE(cand.TryAdd(P(0, {0.0}), m));
+  EXPECT_FALSE(cand.TryAdd(P(1, {0.5}), m));   // d = 0.5 < µ
+  EXPECT_FALSE(cand.TryAdd(P(2, {0.999}), m)); // d just below µ
+  EXPECT_TRUE(cand.TryAdd(P(3, {1.0}), m));    // d = µ accepted (>=)
+  EXPECT_EQ(cand.points().size(), 2u);
+}
+
+TEST(StreamingCandidateTest, RejectsWhenFull) {
+  StreamingCandidate cand(1.0, 2, 1);
+  const Metric m(MetricKind::kEuclidean);
+  EXPECT_TRUE(cand.TryAdd(P(0, {0.0}), m));
+  EXPECT_TRUE(cand.TryAdd(P(1, {10.0}), m));
+  EXPECT_TRUE(cand.Full());
+  EXPECT_FALSE(cand.TryAdd(P(2, {20.0}), m));  // far enough, but full
+  EXPECT_EQ(cand.points().size(), 2u);
+}
+
+TEST(StreamingCandidateTest, PairwiseInvariantHolds) {
+  // Invariant: stored points are pairwise >= µ apart, so a full candidate
+  // certifies div(S_µ) >= µ (case 1 of Theorem 1's proof).
+  const double mu = 0.35;
+  StreamingCandidate cand(mu, 8, 2);
+  const Metric m(MetricKind::kEuclidean);
+  Rng rng(5);
+  for (int64_t i = 0; i < 500; ++i) {
+    const std::vector<double> c{rng.NextDouble(), rng.NextDouble()};
+    cand.TryAdd(P(i, c), m);
+  }
+  EXPECT_GE(MinPairwiseDistance(cand.points(), m), mu);
+}
+
+TEST(StreamingCandidateTest, RejectedImpliesCloseOrFull) {
+  // Case 2 of Theorem 1's proof: while not full, any rejected point is
+  // within µ of the kept set.
+  const double mu = 0.4;
+  StreamingCandidate cand(mu, 1000, 2);  // effectively never full
+  const Metric m(MetricKind::kEuclidean);
+  Rng rng(6);
+  for (int64_t i = 0; i < 300; ++i) {
+    const std::vector<double> c{rng.NextDouble(), rng.NextDouble()};
+    const bool added = cand.TryAdd(P(i, c), m);
+    if (!added) {
+      EXPECT_LT(cand.points().MinDistanceTo(c, m), mu);
+    }
+  }
+}
+
+TEST(StreamingCandidateTest, OrderDependenceIsExpected) {
+  // The kept set depends on arrival order; both orders obey the invariant.
+  const Metric m(MetricKind::kEuclidean);
+  StreamingCandidate forward(1.0, 2, 1);
+  EXPECT_TRUE(forward.TryAdd(P(0, {0.0}), m));
+  EXPECT_FALSE(forward.TryAdd(P(1, {0.5}), m));
+  EXPECT_TRUE(forward.TryAdd(P(2, {1.5}), m));
+
+  StreamingCandidate backward(1.0, 2, 1);
+  EXPECT_TRUE(backward.TryAdd(P(2, {1.5}), m));
+  EXPECT_TRUE(backward.TryAdd(P(1, {0.5}), m));
+  EXPECT_FALSE(backward.TryAdd(P(0, {0.0}), m));
+
+  EXPECT_GE(MinPairwiseDistance(forward.points(), m), 1.0);
+  EXPECT_GE(MinPairwiseDistance(backward.points(), m), 1.0);
+}
+
+TEST(StreamingCandidateTest, MetadataPreserved) {
+  StreamingCandidate cand(0.5, 4, 1);
+  const Metric m(MetricKind::kEuclidean);
+  EXPECT_TRUE(cand.TryAdd(P(42, {0.0}, 3), m));
+  EXPECT_EQ(cand.points().IdAt(0), 42);
+  EXPECT_EQ(cand.points().GroupAt(0), 3);
+  EXPECT_DOUBLE_EQ(cand.mu(), 0.5);
+  EXPECT_EQ(cand.capacity(), 4u);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,196 @@
+#include "core/streaming_dm.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "data/synthetic.h"
+#include "exact/brute_force.h"
+
+namespace fdm {
+namespace {
+
+StreamingOptions OptionsFor(const Dataset& ds, double epsilon) {
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  StreamingOptions o;
+  o.epsilon = epsilon;
+  o.d_min = b.min;
+  o.d_max = b.max;
+  return o;
+}
+
+void Feed(StreamingDm& algo, const Dataset& ds, uint64_t seed) {
+  for (const size_t row : StreamOrder(ds.size(), seed)) {
+    algo.Observe(ds.At(row));
+  }
+}
+
+TEST(StreamingDmTest, CreateValidatesArguments) {
+  StreamingOptions o;
+  o.epsilon = 0.1;
+  o.d_min = 1.0;
+  o.d_max = 2.0;
+  EXPECT_FALSE(StreamingDm::Create(0, 2, MetricKind::kEuclidean, o).ok());
+  EXPECT_FALSE(StreamingDm::Create(5, 0, MetricKind::kEuclidean, o).ok());
+  o.epsilon = 0.0;
+  EXPECT_FALSE(StreamingDm::Create(5, 2, MetricKind::kEuclidean, o).ok());
+  o.epsilon = 0.1;
+  o.d_min = 0.0;
+  EXPECT_FALSE(StreamingDm::Create(5, 2, MetricKind::kEuclidean, o).ok());
+}
+
+TEST(StreamingDmTest, SolveFailsBeforeEnoughPoints) {
+  BlobsOptions opt;
+  opt.n = 50;
+  opt.seed = 1;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = StreamingDm::Create(5, 2, MetricKind::kEuclidean,
+                                  OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  EXPECT_FALSE(algo->Solve().ok());  // nothing observed yet
+  algo->Observe(ds.At(0));
+  algo->Observe(ds.At(1));
+  EXPECT_FALSE(algo->Solve().ok());  // fewer than k points
+}
+
+TEST(StreamingDmTest, ReturnsExactlyKDistinctElements) {
+  BlobsOptions opt;
+  opt.n = 300;
+  opt.seed = 2;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = StreamingDm::Create(10, 2, MetricKind::kEuclidean,
+                                  OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->points.size(), 10u);
+  std::set<int64_t> ids;
+  for (const int64_t id : solution->Ids()) ids.insert(id);
+  EXPECT_EQ(ids.size(), 10u);
+  EXPECT_GT(solution->diversity, 0.0);
+  EXPECT_GT(solution->mu, 0.0);
+}
+
+TEST(StreamingDmTest, DiversityMatchesRecomputation) {
+  BlobsOptions opt;
+  opt.n = 200;
+  opt.seed = 3;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = StreamingDm::Create(8, 2, MetricKind::kEuclidean,
+                                  OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 2);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->diversity,
+              MinPairwiseDistance(solution->points, ds.metric()), 1e-12);
+}
+
+TEST(StreamingDmTest, StorageIndependentOfStreamLength) {
+  // Theorem 1: O(k log∆ / ε) stored elements regardless of n. Feed two
+  // streams of very different lengths drawn from the same distribution and
+  // assert the storage bound (not just near-equality).
+  BlobsOptions small_opt;
+  small_opt.n = 500;
+  small_opt.seed = 4;
+  BlobsOptions large_opt = small_opt;
+  large_opt.n = 20000;
+  const Dataset small = MakeBlobs(small_opt);
+  const Dataset large = MakeBlobs(large_opt);
+  const StreamingOptions o = OptionsFor(large, 0.1);
+
+  const int k = 10;
+  auto algo_small =
+      StreamingDm::Create(k, 2, MetricKind::kEuclidean, o);
+  auto algo_large =
+      StreamingDm::Create(k, 2, MetricKind::kEuclidean, o);
+  ASSERT_TRUE(algo_small.ok());
+  ASSERT_TRUE(algo_large.ok());
+  Feed(*algo_small, small, 1);
+  Feed(*algo_large, large, 1);
+  const size_t bound = static_cast<size_t>(k) * algo_large->ladder().size();
+  EXPECT_LE(algo_small->StoredElements(), bound);
+  EXPECT_LE(algo_large->StoredElements(), bound);
+  // 40x more stream must not mean 40x more storage.
+  EXPECT_LT(static_cast<double>(algo_large->StoredElements()),
+            3.0 * static_cast<double>(algo_small->StoredElements()) + 50.0);
+}
+
+TEST(StreamingDmTest, ObservedElementsCounts) {
+  BlobsOptions opt;
+  opt.n = 123;
+  opt.seed = 5;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = StreamingDm::Create(5, 2, MetricKind::kEuclidean,
+                                  OptionsFor(ds, 0.2));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  EXPECT_EQ(algo->ObservedElements(), 123);
+}
+
+TEST(StreamingDmTest, KEqualsOneTrivial) {
+  BlobsOptions opt;
+  opt.n = 20;
+  opt.seed = 6;
+  const Dataset ds = MakeBlobs(opt);
+  auto algo = StreamingDm::Create(1, 2, MetricKind::kEuclidean,
+                                  OptionsFor(ds, 0.1));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, 1);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->points.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 1 property: div(S) >= (1-ε)/2 · OPT on every instance.
+// ---------------------------------------------------------------------------
+
+struct RatioCase {
+  uint64_t seed;
+  int k;
+  double epsilon;
+};
+
+class StreamingDmRatioTest : public ::testing::TestWithParam<RatioCase> {};
+
+TEST_P(StreamingDmRatioTest, AchievesTheoremOneGuarantee) {
+  const RatioCase param = GetParam();
+  BlobsOptions opt;
+  opt.n = 16;  // small enough for the exact solver
+  opt.num_blobs = 5;
+  opt.seed = param.seed;
+  const Dataset ds = MakeBlobs(opt);
+  const ExactSolution exact = ExactDiversityMaximization(ds, param.k);
+  ASSERT_GT(exact.diversity, 0.0);
+
+  auto algo = StreamingDm::Create(param.k, 2, MetricKind::kEuclidean,
+                                  OptionsFor(ds, param.epsilon));
+  ASSERT_TRUE(algo.ok());
+  Feed(*algo, ds, param.seed * 7 + 1);
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  const double bound = (1.0 - param.epsilon) / 2.0 * exact.diversity;
+  EXPECT_GE(solution->diversity, bound - 1e-9)
+      << "seed=" << param.seed << " k=" << param.k
+      << " eps=" << param.epsilon << " OPT=" << exact.diversity;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedSweep, StreamingDmRatioTest,
+    ::testing::Values(RatioCase{1, 3, 0.1}, RatioCase{2, 3, 0.1},
+                      RatioCase{3, 4, 0.1}, RatioCase{4, 4, 0.25},
+                      RatioCase{5, 5, 0.1}, RatioCase{6, 5, 0.25},
+                      RatioCase{7, 6, 0.1}, RatioCase{8, 2, 0.05},
+                      RatioCase{9, 4, 0.05}, RatioCase{10, 3, 0.25},
+                      RatioCase{11, 6, 0.25}, RatioCase{12, 5, 0.05}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_k" +
+             std::to_string(info.param.k) + "_eps" +
+             std::to_string(static_cast<int>(info.param.epsilon * 100));
+    });
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,73 @@
+#include "harness/table.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "div", "time"});
+  t.AddRow({"GMM", "5.02", "0.1"});
+  t.AddRow({"FairSwap", "4.15", "9.583"});
+  std::ostringstream out;
+  t.Print(out);
+  const std::string text = out.str();
+  // Header present, rule present, both rows present.
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  EXPECT_NE(text.find("FairSwap"), std::string::npos);
+  // Label column left-aligned: "GMM" padded to the width of "FairSwap".
+  EXPECT_NE(text.find("GMM     "), std::string::npos);
+  // Number columns right-aligned.
+  EXPECT_NE(text.find(" 5.02"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RowCountTracked) {
+  TablePrinter t({"a"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, CsvRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fdm_table_test.csv").string();
+  TablePrinter t({"algo", "k", "div"});
+  t.AddRow({"SFDM1", "20", "3.94"});
+  t.AddRow({"SFDM2", "20", "4.17"});
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "algo,k,div");
+  std::getline(in, line);
+  EXPECT_EQ(line, "SFDM1,20,3.94");
+  std::getline(in, line);
+  EXPECT_EQ(line, "SFDM2,20,4.17");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, CsvFailsOnBadPath) {
+  TablePrinter t({"a"});
+  EXPECT_FALSE(t.WriteCsv("/nonexistent/dir/x.csv").ok());
+}
+
+TEST(EnsureDirectoryTest, CreatesNestedAndIsIdempotent) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "fdm_table_test_dir" / "sub")
+          .string();
+  EXPECT_TRUE(EnsureDirectory(dir));
+  EXPECT_TRUE(std::filesystem::exists(dir));
+  EXPECT_TRUE(EnsureDirectory(dir));  // already exists: still true
+  std::filesystem::remove_all(
+      std::filesystem::temp_directory_path() / "fdm_table_test_dir");
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,72 @@
+#include "util/timer.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = t.ElapsedSeconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);  // generous upper bound for loaded CI machines
+}
+
+TEST(TimerTest, NanosConsistentWithSeconds) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const int64_t ns = t.ElapsedNanos();
+  const double s = t.ElapsedSeconds();
+  EXPECT_GE(ns, 4'000'000);
+  EXPECT_GE(s, static_cast<double>(ns) / 1e9 - 1e-3);
+}
+
+TEST(TimerTest, ResetRestartsClock) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  t.Reset();
+  EXPECT_LT(t.ElapsedSeconds(), 0.015);
+}
+
+TEST(TimerTest, Monotonic) {
+  Timer t;
+  double prev = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double now = t.ElapsedSeconds();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(AccumulatingTimerTest, SumsSections) {
+  AccumulatingTimer acc;
+  for (int i = 0; i < 3; ++i) {
+    acc.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    acc.Stop();
+  }
+  EXPECT_GE(acc.total_seconds(), 0.012);
+}
+
+TEST(AccumulatingTimerTest, StopWithoutStartIsNoop) {
+  AccumulatingTimer acc;
+  acc.Stop();
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), 0.0);
+}
+
+TEST(AccumulatingTimerTest, DoubleStopCountsOnce) {
+  AccumulatingTimer acc;
+  acc.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  acc.Stop();
+  const double after_first = acc.total_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  acc.Stop();
+  EXPECT_DOUBLE_EQ(acc.total_seconds(), after_first);
+}
+
+}  // namespace
+}  // namespace fdm

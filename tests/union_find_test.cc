@@ -1,0 +1,88 @@
+#include "util/union_find.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  EXPECT_EQ(uf.num_elements(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SizeOf(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNew) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_EQ(uf.SizeOf(1), 2);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(4, 5);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_TRUE(uf.Connected(2, 0));
+  EXPECT_FALSE(uf.Connected(0, 4));
+  EXPECT_EQ(uf.num_sets(), 3);  // {0,1,2}, {3}, {4,5}
+  EXPECT_EQ(uf.SizeOf(0), 3);
+}
+
+TEST(UnionFindTest, ChainMergeAll) {
+  constexpr int kN = 1000;
+  UnionFind uf(kN);
+  for (int i = 0; i + 1 < kN; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_sets(), 1);
+  EXPECT_EQ(uf.SizeOf(kN / 2), kN);
+  EXPECT_TRUE(uf.Connected(0, kN - 1));
+}
+
+TEST(UnionFindTest, DenseLabelsOrderOfFirstAppearance) {
+  UnionFind uf(5);
+  uf.Union(3, 4);
+  uf.Union(0, 2);
+  const auto labels = uf.DenseLabels();
+  // Element 0 appears first -> label 0; element 1 -> label 1;
+  // element 2 is connected to 0 -> label 0; 3 -> label 2; 4 -> label 2.
+  EXPECT_EQ(labels, (std::vector<int>{0, 1, 0, 2, 2}));
+}
+
+TEST(UnionFindTest, DenseLabelsCountMatchesNumSets) {
+  Rng rng(9);
+  UnionFind uf(50);
+  for (int i = 0; i < 30; ++i) {
+    uf.Union(static_cast<int>(rng.NextBounded(50)),
+             static_cast<int>(rng.NextBounded(50)));
+  }
+  const auto labels = uf.DenseLabels();
+  int max_label = -1;
+  for (const int l : labels) max_label = std::max(max_label, l);
+  EXPECT_EQ(max_label + 1, uf.num_sets());
+  // Labels agree with connectivity on random pairs.
+  for (int t = 0; t < 200; ++t) {
+    const int a = static_cast<int>(rng.NextBounded(50));
+    const int b = static_cast<int>(rng.NextBounded(50));
+    EXPECT_EQ(labels[static_cast<size_t>(a)] == labels[static_cast<size_t>(b)],
+              uf.Connected(a, b));
+  }
+}
+
+TEST(UnionFindTest, EmptyStructure) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.num_sets(), 0);
+  EXPECT_TRUE(uf.DenseLabels().empty());
+}
+
+}  // namespace
+}  // namespace fdm

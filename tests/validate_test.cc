@@ -1,0 +1,130 @@
+#include "core/validate.h"
+
+#include <gtest/gtest.h>
+
+#include "core/diversity.h"
+#include "core/sfdm2.h"
+#include "core/solution.h"
+#include "data/synthetic.h"
+
+namespace fdm {
+namespace {
+
+Dataset TestData() {
+  BlobsOptions opt;
+  opt.n = 300;
+  opt.num_groups = 2;
+  opt.seed = 91;
+  return MakeBlobs(opt);
+}
+
+TEST(ValidateSolutionTest, AcceptsGenuineOfflineSolution) {
+  const Dataset ds = TestData();
+  const std::vector<size_t> rows{1, 5, 9, 40};
+  const Solution s = Solution::FromIndices(ds, rows);
+  EXPECT_TRUE(ValidateSolution(ds, s).ok());
+}
+
+TEST(ValidateSolutionTest, AcceptsGenuineStreamingSolution) {
+  const Dataset ds = TestData();
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  StreamingOptions o;
+  o.epsilon = 0.1;
+  o.d_min = b.min;
+  o.d_max = b.max;
+  FairnessConstraint c;
+  c.quotas = {3, 3};
+  auto algo = Sfdm2::Create(c, 2, ds.metric_kind(), o);
+  ASSERT_TRUE(algo.ok());
+  for (size_t i = 0; i < ds.size(); ++i) algo->Observe(ds.At(i));
+  const auto solution = algo->Solve();
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(ValidateSolution(ds, *solution, &c).ok());
+}
+
+TEST(ValidateSolutionTest, RejectsOutOfRangeId) {
+  const Dataset ds = TestData();
+  Solution s(ds.dim());
+  const std::vector<double> coords{0.0, 0.0};
+  s.points.Add(StreamPoint{99999, 0, std::span<const double>(coords)});
+  s.diversity = MinPairwiseDistance(s.points, ds.metric());
+  EXPECT_EQ(ValidateSolution(ds, s).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateSolutionTest, RejectsDuplicateSelection) {
+  const Dataset ds = TestData();
+  Solution s(ds.dim());
+  s.points.Add(ds.At(3));
+  s.points.Add(ds.At(3));
+  s.diversity = MinPairwiseDistance(s.points, ds.metric());
+  EXPECT_EQ(ValidateSolution(ds, s).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateSolutionTest, RejectsTamperedCoordinates) {
+  const Dataset ds = TestData();
+  Solution s(ds.dim());
+  StreamPoint p = ds.At(7);
+  std::vector<double> tampered(p.coords.begin(), p.coords.end());
+  tampered[0] += 0.5;
+  s.points.Add(StreamPoint{p.id, p.group, tampered});
+  s.diversity = MinPairwiseDistance(s.points, ds.metric());
+  EXPECT_EQ(ValidateSolution(ds, s).code(), StatusCode::kInternal);
+}
+
+TEST(ValidateSolutionTest, RejectsTamperedGroup) {
+  const Dataset ds = TestData();
+  Solution s(ds.dim());
+  StreamPoint p = ds.At(7);
+  p.group = 1 - p.group;
+  s.points.Add(p);
+  s.diversity = MinPairwiseDistance(s.points, ds.metric());
+  EXPECT_EQ(ValidateSolution(ds, s).code(), StatusCode::kInternal);
+}
+
+TEST(ValidateSolutionTest, RejectsWrongDiversity) {
+  const Dataset ds = TestData();
+  Solution s = Solution::FromIndices(ds, std::vector<size_t>{1, 2, 3});
+  s.diversity *= 2.0;
+  EXPECT_EQ(ValidateSolution(ds, s).code(), StatusCode::kInternal);
+}
+
+TEST(ValidateSolutionTest, RejectsQuotaViolation) {
+  const Dataset ds = TestData();
+  // Three rows of whatever groups they happen to be — quotas {1, 2} will
+  // only pass if the counts match exactly; construct a guaranteed
+  // violation by taking three rows of the same group.
+  std::vector<size_t> same_group;
+  for (size_t i = 0; i < ds.size() && same_group.size() < 3; ++i) {
+    if (ds.GroupOf(i) == 0) same_group.push_back(i);
+  }
+  const Solution s = Solution::FromIndices(ds, same_group);
+  FairnessConstraint c;
+  c.quotas = {1, 2};
+  EXPECT_EQ(ValidateSolution(ds, s, &c).code(), StatusCode::kInfeasible);
+  EXPECT_TRUE(ValidateSolution(ds, s).ok());  // fine without constraint
+}
+
+TEST(ValidateSolutionTest, RejectsDimensionMismatch) {
+  const Dataset ds = TestData();
+  Solution s(ds.dim() + 1);
+  EXPECT_EQ(ValidateSolution(ds, s).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateSolutionTest, RejectsConstraintArityMismatch) {
+  const Dataset ds = TestData();
+  const Solution s = Solution::FromIndices(ds, std::vector<size_t>{1});
+  FairnessConstraint c;
+  c.quotas = {1, 1, 1};
+  EXPECT_EQ(ValidateSolution(ds, s, &c).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateSolutionTest, EmptySolutionIsValidWithoutConstraint) {
+  const Dataset ds = TestData();
+  Solution s(ds.dim());
+  s.diversity = MinPairwiseDistance(s.points, ds.metric());  // +inf
+  EXPECT_TRUE(ValidateSolution(ds, s).ok());
+}
+
+}  // namespace
+}  // namespace fdm
