@@ -8,6 +8,7 @@
 #include "data/dataset.h"
 #include "data/simulated.h"
 #include "harness/experiment.h"
+#include "harness/registry.h"
 #include "harness/table.h"
 #include "util/argparse.h"
 
@@ -152,7 +153,8 @@ inline std::vector<AlgorithmKind> ApplicableAlgorithms(int m, int k,
 }
 
 inline bool IsStreaming(AlgorithmKind algo) {
-  return algo == AlgorithmKind::kSfdm1 || algo == AlgorithmKind::kSfdm2;
+  const AlgorithmEntry* entry = AlgorithmRegistry::Instance().Find(algo);
+  return entry != nullptr && entry->streaming;
 }
 
 /// The paper's "time (s)" semantics: the cost of producing an up-to-date

@@ -2,8 +2,10 @@
 #define FDM_CORE_ADAPTIVE_STREAMING_DM_H_
 
 #include <deque>
+#include <span>
 
 #include "core/solution.h"
+#include "core/stream_sink.h"
 #include "core/streaming_candidate.h"
 #include "geo/metric.h"
 #include "geo/point_buffer.h"
@@ -39,7 +41,7 @@ namespace fdm {
 ///
 /// Memory: O(k·|ladder|) like Algorithm 1, with |ladder| growing
 /// logarithmically in the observed distance spread; `max_rungs` caps it.
-class AdaptiveStreamingDm {
+class AdaptiveStreamingDm : public StreamSink {
  public:
   /// `k >= 1`, `0 < epsilon < 1`, `max_rungs` bounds the lazily grown
   /// ladder (a spread of 10^9 at ε = 0.1 needs ~200 rungs).
@@ -48,15 +50,21 @@ class AdaptiveStreamingDm {
                                             size_t max_rungs = 4096);
 
   /// Processes one element, growing the ladder as needed.
-  void Observe(const StreamPoint& point);
+  void Observe(const StreamPoint& point) override;
+
+  /// Inherits the sequential `ObserveBatch` of `StreamSink`: ladder growth
+  /// is data-dependent (each element may append or prepend rungs that the
+  /// next element must see), so elements form a dependent chain and the
+  /// rung-parallel replay of the fixed-ladder algorithms would not be
+  /// equivalent here.
 
   /// Best full candidate, as in Algorithm 1. Fails if no candidate filled.
-  Result<Solution> Solve() const;
+  Result<Solution> Solve() const override;
 
   /// Distinct stored elements across rungs.
-  size_t StoredElements() const;
+  size_t StoredElements() const override;
 
-  int64_t ObservedElements() const { return observed_; }
+  int64_t ObservedElements() const override { return observed_; }
   size_t NumRungs() const { return rungs_.size(); }
   double BottomMu() const { return rungs_.empty() ? 0.0 : rungs_.front().mu(); }
   double TopMu() const { return rungs_.empty() ? 0.0 : rungs_.back().mu(); }

@@ -1,0 +1,55 @@
+#ifndef FDM_CORE_BATCH_REPLAY_H_
+#define FDM_CORE_BATCH_REPLAY_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/streaming_candidate.h"
+#include "geo/metric.h"
+#include "geo/point_buffer.h"
+#include "util/thread_pool.h"
+
+namespace fdm {
+
+/// The rung-major batched replay engine shared by the fair fixed-ladder
+/// algorithms (SFDM1 is the `m = 2` special case of SFDM2's layout, they
+/// differ only in how candidates are addressed — hence the accessors).
+///
+/// Task `j` owns rung `j`'s candidates — the group-blind `S_µj` and one
+/// `S_µj,i` per group — and replays the batch into each in stream order,
+/// so per-candidate state evolves exactly as under per-element `Observe`
+/// (`TryAdd` decisions depend only on that candidate's own contents).
+/// Rungs never share state, so partitioning them over threads is exact. A
+/// full candidate is skipped with one check per batch (full is permanent).
+///
+/// `by_group[g]` lists the batch positions holding group-`g` elements
+/// (computed once by the caller, read-only here); `blind_at(j)` and
+/// `specific_at(g, j)` return references into the caller's candidate
+/// storage.
+template <typename BlindAt, typename SpecificAt>
+void ReplayBatchRungMajor(BatchParallelism& parallelism, size_t rungs,
+                          int num_groups, std::span<const StreamPoint> batch,
+                          const std::vector<size_t>* by_group,
+                          const Metric& metric, BlindAt&& blind_at,
+                          SpecificAt&& specific_at) {
+  parallelism.Run(rungs, [&](size_t j) {
+    StreamingCandidate& blind = blind_at(j);
+    if (!blind.Full()) {
+      for (const StreamPoint& point : batch) {
+        blind.TryAdd(point, metric);
+      }
+    }
+    for (int g = 0; g < num_groups; ++g) {
+      StreamingCandidate& candidate = specific_at(g, j);
+      if (candidate.Full()) continue;
+      for (const size_t t : by_group[g]) {
+        candidate.TryAdd(batch[t], metric);
+      }
+    }
+  });
+}
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_BATCH_REPLAY_H_

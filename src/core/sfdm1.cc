@@ -4,18 +4,20 @@
 #include <set>
 #include <string>
 
+#include "core/batch_replay.h"
 #include "core/diversity.h"
 #include "util/check.h"
 
 namespace fdm {
 
 Sfdm1::Sfdm1(FairnessConstraint constraint, size_t dim, MetricKind metric,
-             GuessLadder ladder)
+             GuessLadder ladder, int batch_threads)
     : constraint_(std::move(constraint)),
       k_(constraint_.TotalK()),
       dim_(dim),
       metric_(metric),
-      ladder_(std::move(ladder)) {
+      ladder_(std::move(ladder)),
+      parallelism_(batch_threads) {
   blind_.reserve(ladder_.size());
   for (int i = 0; i < 2; ++i) specific_[i].reserve(ladder_.size());
   for (size_t j = 0; j < ladder_.size(); ++j) {
@@ -42,7 +44,8 @@ Result<Sfdm1> Sfdm1::Create(const FairnessConstraint& constraint, size_t dim,
   auto ladder =
       GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
   if (!ladder.ok()) return ladder.status();
-  return Sfdm1(constraint, dim, metric, std::move(ladder.value()));
+  return Sfdm1(constraint, dim, metric, std::move(ladder.value()),
+               options.batch_threads);
 }
 
 void Sfdm1::Observe(const StreamPoint& point) {
@@ -54,6 +57,27 @@ void Sfdm1::Observe(const StreamPoint& point) {
     blind_[j].TryAdd(point, metric_);
     specific_[point.group][j].TryAdd(point, metric_);
   }
+}
+
+void Sfdm1::ObserveBatch(std::span<const StreamPoint> raw_batch) {
+  if (raw_batch.empty()) return;
+  for (const StreamPoint& point : raw_batch) {
+    FDM_DCHECK(point.coords.size() == dim_);
+    FDM_CHECK_MSG(point.group == 0 || point.group == 1,
+                  "SFDM1 stream element outside groups {0,1}");
+  }
+  observed_ += static_cast<int64_t>(raw_batch.size());
+  const std::span<const StreamPoint> batch = packed_.Pack(raw_batch, dim_);
+  // Per-group positions, computed once and shared read-only by all rungs
+  // (member scratch, reused across batches like packed_).
+  for (auto& positions : by_group_) positions.clear();
+  for (size_t t = 0; t < batch.size(); ++t) {
+    by_group_[batch[t].group].push_back(t);
+  }
+  ReplayBatchRungMajor(
+      parallelism_, ladder_.size(), /*num_groups=*/2, batch, by_group_,
+      metric_, [&](size_t j) -> StreamingCandidate& { return blind_[j]; },
+      [&](int g, size_t j) -> StreamingCandidate& { return specific_[g][j]; });
 }
 
 PointBuffer Sfdm1::BalancedCandidate(size_t j) const {

@@ -1,15 +1,18 @@
 #ifndef FDM_CORE_SFDM1_H_
 #define FDM_CORE_SFDM1_H_
 
+#include <span>
 #include <vector>
 
 #include "core/fairness.h"
 #include "core/guess_ladder.h"
 #include "core/solution.h"
+#include "core/stream_sink.h"
 #include "core/streaming_candidate.h"
 #include "core/streaming_dm.h"
 #include "geo/metric.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace fdm {
 
@@ -30,7 +33,7 @@ namespace fdm {
 ///
 /// Costs (Theorem 3): `O(k log∆/ε)` time per element, `O(k² log∆/ε)`
 /// post-processing, `O(k log∆/ε)` stored elements.
-class Sfdm1 {
+class Sfdm1 : public StreamSink {
  public:
   /// Creates the algorithm. The constraint must have exactly two groups
   /// with positive quotas (use SFDM2 for general `m`).
@@ -39,7 +42,13 @@ class Sfdm1 {
                               const StreamingOptions& options);
 
   /// Processes one stream element (Algorithm 2, lines 3–8).
-  void Observe(const StreamPoint& point);
+  void Observe(const StreamPoint& point) override;
+
+  /// Batched ingestion: rung `j`'s three candidates (`S_µj`, `S_µj,0`,
+  /// `S_µj,1`) are touched only by rung `j`'s task, which replays the
+  /// batch in stream order — bit-identical to per-element `Observe`,
+  /// partitioned over `batch_threads`.
+  void ObserveBatch(std::span<const StreamPoint> batch) override;
 
   /// Post-processing and final selection (Algorithm 2, lines 9–18).
   /// Fails with `Infeasible` if no guess has all three candidates full
@@ -47,18 +56,18 @@ class Sfdm1 {
   ///
   /// Does not consume the stream state: more elements may be observed and
   /// `Solve` called again (anytime behaviour).
-  Result<Solution> Solve() const;
+  Result<Solution> Solve() const override;
 
   /// Distinct elements stored across all candidates (space-usage measure).
-  size_t StoredElements() const;
+  size_t StoredElements() const override;
 
-  int64_t ObservedElements() const { return observed_; }
+  int64_t ObservedElements() const override { return observed_; }
   const GuessLadder& ladder() const { return ladder_; }
   const FairnessConstraint& constraint() const { return constraint_; }
 
  private:
   Sfdm1(FairnessConstraint constraint, size_t dim, MetricKind metric,
-        GuessLadder ladder);
+        GuessLadder ladder, int batch_threads);
 
   /// Balances a copy of the group-blind candidate for guess index `j`
   /// (which must be in `U'`) and returns it; `nullopt`-like empty buffer is
@@ -72,6 +81,9 @@ class Sfdm1 {
   GuessLadder ladder_;
   std::vector<StreamingCandidate> blind_;      // S_µ, capacity k
   std::vector<StreamingCandidate> specific_[2];  // S_µ,i, capacity k_i
+  BatchParallelism parallelism_;
+  PackedBatch packed_;  // batch repack scratch, reused across batches
+  std::vector<size_t> by_group_[2];  // per-group positions scratch
   int64_t observed_ = 0;
 };
 

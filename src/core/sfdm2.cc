@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_set>
 
+#include "core/batch_replay.h"
 #include "core/clustering.h"
 #include "core/diversity.h"
 #include "core/matroid.h"
@@ -14,13 +15,14 @@
 namespace fdm {
 
 Sfdm2::Sfdm2(FairnessConstraint constraint, size_t dim, MetricKind metric,
-             GuessLadder ladder)
+             GuessLadder ladder, int batch_threads)
     : constraint_(std::move(constraint)),
       k_(constraint_.TotalK()),
       m_(constraint_.num_groups()),
       dim_(dim),
       metric_(metric),
-      ladder_(std::move(ladder)) {
+      ladder_(std::move(ladder)),
+      parallelism_(batch_threads) {
   blind_.reserve(ladder_.size());
   specific_.reserve(ladder_.size() * static_cast<size_t>(m_));
   for (size_t j = 0; j < ladder_.size(); ++j) {
@@ -43,7 +45,8 @@ Result<Sfdm2> Sfdm2::Create(const FairnessConstraint& constraint, size_t dim,
   auto ladder =
       GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
   if (!ladder.ok()) return ladder.status();
-  return Sfdm2(constraint, dim, metric, std::move(ladder.value()));
+  return Sfdm2(constraint, dim, metric, std::move(ladder.value()),
+               options.batch_threads);
 }
 
 void Sfdm2::Observe(const StreamPoint& point) {
@@ -58,6 +61,31 @@ void Sfdm2::Observe(const StreamPoint& point) {
     blind_[j].TryAdd(point, metric_);
     group_row[j].TryAdd(point, metric_);
   }
+}
+
+void Sfdm2::ObserveBatch(std::span<const StreamPoint> raw_batch) {
+  if (raw_batch.empty()) return;
+  for (const StreamPoint& point : raw_batch) {
+    FDM_DCHECK(point.coords.size() == dim_);
+    FDM_CHECK_MSG(point.group >= 0 && point.group < m_,
+                  "stream element group out of range");
+  }
+  observed_ += static_cast<int64_t>(raw_batch.size());
+  const std::span<const StreamPoint> batch = packed_.Pack(raw_batch, dim_);
+  const size_t rungs = ladder_.size();
+  // Per-group positions, computed once and shared read-only by all rungs
+  // (member scratch, reused across batches like packed_).
+  by_group_.resize(static_cast<size_t>(m_));
+  for (auto& positions : by_group_) positions.clear();
+  for (size_t t = 0; t < batch.size(); ++t) {
+    by_group_[static_cast<size_t>(batch[t].group)].push_back(t);
+  }
+  ReplayBatchRungMajor(
+      parallelism_, rungs, m_, batch, by_group_.data(), metric_,
+      [&](size_t j) -> StreamingCandidate& { return blind_[j]; },
+      [&](int g, size_t j) -> StreamingCandidate& {
+        return specific_[static_cast<size_t>(g) * rungs + j];
+      });
 }
 
 Result<Solution> Sfdm2::Solve() const {

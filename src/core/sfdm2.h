@@ -1,15 +1,18 @@
 #ifndef FDM_CORE_SFDM2_H_
 #define FDM_CORE_SFDM2_H_
 
+#include <span>
 #include <vector>
 
 #include "core/fairness.h"
 #include "core/guess_ladder.h"
 #include "core/solution.h"
+#include "core/stream_sink.h"
 #include "core/streaming_candidate.h"
 #include "core/streaming_dm.h"
 #include "geo/metric.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace fdm {
 
@@ -38,7 +41,7 @@ namespace fdm {
 /// Costs (Theorem 5): `O(k log∆/ε)` time per element,
 /// `O(k²·m·log∆/ε·(m + log²k))` post-processing, `O(km log∆/ε)` stored
 /// elements.
-class Sfdm2 {
+class Sfdm2 : public StreamSink {
  public:
   /// Creates the algorithm for any `m >= 1` constraint.
   static Result<Sfdm2> Create(const FairnessConstraint& constraint, size_t dim,
@@ -48,16 +51,22 @@ class Sfdm2 {
   /// Processes one stream element (Algorithm 3, lines 3–8). Touches only
   /// the group-blind candidate and the element's own group candidate per
   /// guess.
-  void Observe(const StreamPoint& point);
+  void Observe(const StreamPoint& point) override;
+
+  /// Batched ingestion: rung `j`'s candidates (`S_µj` and `S_µj,i` for all
+  /// `i`) are touched only by rung `j`'s task, which replays the batch in
+  /// stream order — bit-identical to per-element `Observe`, partitioned
+  /// over `batch_threads`.
+  void ObserveBatch(std::span<const StreamPoint> batch) override;
 
   /// Post-processing and final selection (Algorithm 3, lines 9–19).
   /// Fails with `Infeasible` if no guess yields a size-`k` fair solution.
-  Result<Solution> Solve() const;
+  Result<Solution> Solve() const override;
 
   /// Distinct elements stored across all candidates (space-usage measure).
-  size_t StoredElements() const;
+  size_t StoredElements() const override;
 
-  int64_t ObservedElements() const { return observed_; }
+  int64_t ObservedElements() const override { return observed_; }
   const GuessLadder& ladder() const { return ladder_; }
   const FairnessConstraint& constraint() const { return constraint_; }
 
@@ -74,7 +83,7 @@ class Sfdm2 {
 
  private:
   Sfdm2(FairnessConstraint constraint, size_t dim, MetricKind metric,
-        GuessLadder ladder);
+        GuessLadder ladder, int batch_threads);
 
   FairnessConstraint constraint_;
   int k_;
@@ -85,6 +94,9 @@ class Sfdm2 {
   std::vector<StreamingCandidate> blind_;  // S_µ, capacity k, per rung
   // specific_[i * ladder_.size() + j] = S_µj,i, capacity k.
   std::vector<StreamingCandidate> specific_;
+  BatchParallelism parallelism_;
+  PackedBatch packed_;  // batch repack scratch, reused across batches
+  std::vector<std::vector<size_t>> by_group_;  // per-group positions scratch
   int64_t observed_ = 0;
   bool warm_start_ = true;
   bool greedy_augmentation_ = true;

@@ -1,0 +1,110 @@
+#include "core/sharded_stream.h"
+
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "core/diversity.h"
+#include "core/gmm.h"
+#include "util/check.h"
+
+namespace fdm {
+
+ShardedStreamingDm::ShardedStreamingDm(int k, size_t dim, MetricKind metric,
+                                       std::vector<StreamingDm> shards,
+                                       int batch_threads)
+    : k_(k),
+      dim_(dim),
+      metric_(metric),
+      shards_(std::move(shards)),
+      parallelism_(batch_threads) {}
+
+Result<ShardedStreamingDm> ShardedStreamingDm::Create(
+    int k, size_t dim, MetricKind metric, const StreamingOptions& options,
+    const ShardedStreamingOptions& sharding) {
+  if (sharding.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  // Shards ingest sequentially within a batch partition; parallelism lives
+  // at the shard level, so nested rung-parallelism is disabled.
+  StreamingOptions shard_options = options;
+  shard_options.batch_threads = 1;
+  std::vector<StreamingDm> shards;
+  shards.reserve(sharding.num_shards);
+  for (size_t s = 0; s < sharding.num_shards; ++s) {
+    auto shard = StreamingDm::Create(k, dim, metric, shard_options);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard.value()));
+  }
+  return ShardedStreamingDm(k, dim, metric, std::move(shards),
+                            sharding.batch_threads);
+}
+
+void ShardedStreamingDm::Observe(const StreamPoint& point) {
+  shards_[static_cast<size_t>(observed_) % shards_.size()].Observe(point);
+  ++observed_;
+}
+
+void ShardedStreamingDm::ObserveBatch(std::span<const StreamPoint> batch) {
+  if (batch.empty()) return;
+  const size_t num_shards = shards_.size();
+  // Continue the round-robin rotation exactly where Observe left it, so
+  // mixing Observe and ObserveBatch routes identically to pure Observe.
+  const size_t start = static_cast<size_t>(observed_) % num_shards;
+  observed_ += static_cast<int64_t>(batch.size());
+  parallelism_.Run(num_shards, [&](size_t s) {
+    StreamingDm& shard = shards_[s];
+    // Shard s receives batch positions t with (start + t) % num_shards == s.
+    size_t t = (s + num_shards - start) % num_shards;
+    for (; t < batch.size(); t += num_shards) {
+      shard.Observe(batch[t]);
+    }
+  });
+}
+
+Result<Solution> ShardedStreamingDm::Solve() const {
+  // Merge: the union of the per-shard solutions is the composed coreset.
+  // Substreams are disjoint, so ids never collide across shards.
+  PointBuffer merged(dim_, shards_.size() * static_cast<size_t>(k_));
+  for (const StreamingDm& shard : shards_) {
+    auto local = shard.Solve();
+    if (!local.ok()) continue;  // under-filled shard contributes nothing
+    const PointBuffer& points = local.value().points;
+    for (size_t i = 0; i < points.size(); ++i) merged.Add(points.ViewAt(i));
+  }
+  if (merged.size() < static_cast<size_t>(k_)) {
+    return Status::Infeasible(
+        "sharded coresets hold " + std::to_string(merged.size()) +
+        " < k=" + std::to_string(k_) +
+        " points; stream too small for this shard count");
+  }
+
+  // Reduce (post-process once): GMM over the merged coreset, reusing the
+  // library's GreedyGmm via a throwaway Dataset view of the union (the
+  // union is small — at most num_shards·k points). Selected rows map back
+  // to `merged` to preserve the original stream ids and groups.
+  Dataset coreset("sharded-coreset", dim_, /*num_groups=*/1, metric_.kind());
+  coreset.Reserve(merged.size());
+  for (size_t i = 0; i < merged.size(); ++i) {
+    coreset.Add(merged.CoordsAt(i), /*group=*/0);
+  }
+  const std::vector<size_t> selected =
+      GreedyGmm(coreset, static_cast<size_t>(k_));
+  FDM_CHECK(selected.size() == static_cast<size_t>(k_));
+
+  Solution solution(dim_);
+  for (const size_t i : selected) solution.points.Add(merged.ViewAt(i));
+  solution.diversity = k_ >= 2
+                           ? MinPairwiseDistance(solution.points, metric_)
+                           : std::numeric_limits<double>::infinity();
+  solution.mu = 0.0;  // post-processed selection, no single winning guess
+  return solution;
+}
+
+size_t ShardedStreamingDm::StoredElements() const {
+  size_t total = 0;
+  for (const StreamingDm& shard : shards_) total += shard.StoredElements();
+  return total;
+}
+
+}  // namespace fdm

@@ -1,0 +1,29 @@
+#include "core/stream_sink.h"
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace fdm {
+
+void IngestStream(StreamSink& sink, const Dataset& dataset,
+                  std::span<const size_t> order, size_t batch_size) {
+  if (batch_size <= 1) {
+    for (const size_t row : order) {
+      sink.Observe(dataset.At(row));
+    }
+    return;
+  }
+  std::vector<StreamPoint> batch;
+  batch.reserve(batch_size);
+  for (const size_t row : order) {
+    batch.push_back(dataset.At(row));
+    if (batch.size() == batch_size) {
+      sink.ObserveBatch(batch);
+      batch.clear();
+    }
+  }
+  if (!batch.empty()) sink.ObserveBatch(batch);
+}
+
+}  // namespace fdm

@@ -9,8 +9,12 @@
 namespace fdm {
 
 StreamingDm::StreamingDm(int k, size_t dim, MetricKind metric,
-                         GuessLadder ladder)
-    : k_(k), dim_(dim), metric_(metric), ladder_(std::move(ladder)) {
+                         GuessLadder ladder, int batch_threads)
+    : k_(k),
+      dim_(dim),
+      metric_(metric),
+      ladder_(std::move(ladder)),
+      parallelism_(batch_threads) {
   candidates_.reserve(ladder_.size());
   for (size_t j = 0; j < ladder_.size(); ++j) {
     candidates_.emplace_back(ladder_.At(j), static_cast<size_t>(k_), dim_);
@@ -26,7 +30,8 @@ Result<StreamingDm> StreamingDm::Create(int k, size_t dim, MetricKind metric,
   auto ladder =
       GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
   if (!ladder.ok()) return ladder.status();
-  return StreamingDm(k, dim, metric, std::move(ladder.value()));
+  return StreamingDm(k, dim, metric, std::move(ladder.value()),
+                     options.batch_threads);
 }
 
 void StreamingDm::Observe(const StreamPoint& point) {
@@ -35,6 +40,28 @@ void StreamingDm::Observe(const StreamPoint& point) {
   for (auto& candidate : candidates_) {
     candidate.TryAdd(point, metric_);
   }
+}
+
+void StreamingDm::ObserveBatch(std::span<const StreamPoint> raw_batch) {
+  if (raw_batch.empty()) return;
+  for (const StreamPoint& point : raw_batch) {
+    FDM_DCHECK(point.coords.size() == dim_);
+    (void)point;
+  }
+  observed_ += static_cast<int64_t>(raw_batch.size());
+  const std::span<const StreamPoint> batch = packed_.Pack(raw_batch, dim_);
+  // Rung-major replay: each task owns one candidate and replays the batch
+  // in stream order, so per-rung state evolves exactly as under
+  // per-element Observe; rungs never share state. A full candidate stays
+  // full forever, so a whole rung is skipped with one check per batch
+  // (the per-element path pays that check per element).
+  parallelism_.Run(candidates_.size(), [&](size_t j) {
+    StreamingCandidate& candidate = candidates_[j];
+    if (candidate.Full()) return;
+    for (const StreamPoint& point : batch) {
+      candidate.TryAdd(point, metric_);
+    }
+  });
 }
 
 Result<Solution> StreamingDm::Solve() const {

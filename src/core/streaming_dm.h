@@ -1,14 +1,17 @@
 #ifndef FDM_CORE_STREAMING_DM_H_
 #define FDM_CORE_STREAMING_DM_H_
 
+#include <span>
 #include <vector>
 
 #include "core/guess_ladder.h"
 #include "core/solution.h"
+#include "core/stream_sink.h"
 #include "core/streaming_candidate.h"
 #include "geo/metric.h"
 #include "geo/point_buffer.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace fdm {
 
@@ -20,6 +23,10 @@ struct StreamingOptions {
   double epsilon = 0.1;
   double d_min = 0.0;
   double d_max = 0.0;
+  /// Threads `ObserveBatch` splits the guess-ladder rungs over (rungs are
+  /// independent, so results stay bit-identical to per-element
+  /// processing): `1` = sequential, `0` = all hardware threads, `n` = n.
+  int batch_threads = 1;
 };
 
 /// Algorithm 1 — one-pass streaming algorithm for *unconstrained* max-min
@@ -31,7 +38,7 @@ struct StreamingOptions {
 ///
 /// Costs (Theorem 1 discussion): `O(k·log∆/ε)` time per element and
 /// `O(k·log∆/ε)` stored elements.
-class StreamingDm {
+class StreamingDm : public StreamSink {
  public:
   /// Creates the algorithm for solution size `k` over points of dimension
   /// `dim` under `metric`.
@@ -39,31 +46,40 @@ class StreamingDm {
                                     const StreamingOptions& options);
 
   /// Processes one stream element (Algorithm 1, lines 3–6).
-  void Observe(const StreamPoint& point);
+  void Observe(const StreamPoint& point) override;
+
+  /// Batched ingestion: the per-rung insertions are independent across
+  /// rungs, so the batch is processed rung-major (each rung replays the
+  /// batch in order), partitioned over `batch_threads` — bit-identical to
+  /// per-element `Observe`.
+  void ObserveBatch(std::span<const StreamPoint> batch) override;
 
   /// Algorithm 1, line 7: the full candidate maximizing `div(S_µ)`.
   /// Fails with `Infeasible` if no candidate filled (fewer than `k`
   /// sufficiently distinct points seen).
-  Result<Solution> Solve() const;
+  Result<Solution> Solve() const override;
 
   /// Number of *distinct* elements currently stored across all candidates
   /// (the paper's space-usage measure).
-  size_t StoredElements() const;
+  size_t StoredElements() const override;
 
   /// Total elements seen so far.
-  int64_t ObservedElements() const { return observed_; }
+  int64_t ObservedElements() const override { return observed_; }
 
   const GuessLadder& ladder() const { return ladder_; }
   int k() const { return k_; }
 
  private:
-  StreamingDm(int k, size_t dim, MetricKind metric, GuessLadder ladder);
+  StreamingDm(int k, size_t dim, MetricKind metric, GuessLadder ladder,
+              int batch_threads);
 
   int k_;
   size_t dim_;
   Metric metric_;
   GuessLadder ladder_;
   std::vector<StreamingCandidate> candidates_;  // one per rung, ascending µ
+  BatchParallelism parallelism_;
+  PackedBatch packed_;  // batch repack scratch, reused across batches
   int64_t observed_ = 0;
 };
 

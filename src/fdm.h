@@ -23,10 +23,13 @@
 #include "core/guess_ladder.h"      // IWYU pragma: export
 #include "core/matroid.h"           // IWYU pragma: export
 #include "core/matroid_intersection.h"  // IWYU pragma: export
+#include "core/adaptive_streaming_dm.h"  // IWYU pragma: export
 #include "core/sfdm1.h"             // IWYU pragma: export
 #include "core/sfdm2.h"             // IWYU pragma: export
+#include "core/sharded_stream.h"    // IWYU pragma: export
 #include "core/sliding_window.h"    // IWYU pragma: export
 #include "core/solution.h"          // IWYU pragma: export
+#include "core/stream_sink.h"       // IWYU pragma: export
 #include "core/streaming_dm.h"      // IWYU pragma: export
 #include "core/validate.h"          // IWYU pragma: export
 #include "baselines/fair_flow.h"    // IWYU pragma: export

@@ -31,13 +31,14 @@ std::string_view MetricKindName(MetricKind kind);
 
 namespace internal {
 
-inline double EuclideanDistance(const double* a, const double* b, size_t dim) {
+inline double EuclideanSquaredDistance(const double* a, const double* b,
+                                       size_t dim) {
   double acc = 0.0;
   for (size_t i = 0; i < dim; ++i) {
     const double d = a[i] - b[i];
     acc += d * d;
   }
-  return std::sqrt(acc);
+  return acc;
 }
 
 inline double ManhattanDistance(const double* a, const double* b, size_t dim) {
@@ -83,11 +84,28 @@ class Metric {
   MetricKind kind() const { return kind_; }
   std::string_view name() const { return MetricKindName(kind_); }
 
-  /// Distance between two points of dimension `dim`.
+  /// Distance between two points of dimension `dim` (the raw kernel plus
+  /// its final normalization — one dispatch switch for all paths).
   double operator()(const double* a, const double* b, size_t dim) const {
+    return FinishDistance(RawDistance(a, b, dim));
+  }
+
+  /// Span overload; the spans must have equal size.
+  double operator()(std::span<const double> a, std::span<const double> b) const {
+    FDM_DCHECK(a.size() == b.size());
+    return (*this)(a.data(), b.data(), a.size());
+  }
+
+  /// Distance in *raw space* — a monotone surrogate that skips the final
+  /// normalization of the kernel. For Euclidean this is the squared
+  /// distance (no `sqrt` on the hot path); for Manhattan and angular it is
+  /// the distance itself. Raw values order identically to true distances,
+  /// so threshold tests and argmin scans are exact when the threshold is
+  /// mapped with `PrepareThreshold` and results with `FinishDistance`.
+  double RawDistance(const double* a, const double* b, size_t dim) const {
     switch (kind_) {
       case MetricKind::kEuclidean:
-        return internal::EuclideanDistance(a, b, dim);
+        return internal::EuclideanSquaredDistance(a, b, dim);
       case MetricKind::kManhattan:
         return internal::ManhattanDistance(a, b, dim);
       case MetricKind::kAngular:
@@ -97,10 +115,21 @@ class Metric {
     return 0.0;
   }
 
-  /// Span overload; the spans must have equal size.
-  double operator()(std::span<const double> a, std::span<const double> b) const {
-    FDM_DCHECK(a.size() == b.size());
-    return (*this)(a.data(), b.data(), a.size());
+  /// Maps a true-distance threshold `t >= 0` into raw space:
+  /// `RawDistance(a, b) < PrepareThreshold(t)` decides `d(a, b) < t`
+  /// comparing squared values for Euclidean. The decision can differ from
+  /// the sqrt form only when `d` is within ~1 ulp of `t` (rounding of
+  /// `t*t` vs `sqrt`), which is below the noise floor of the distances
+  /// themselves; within one build the rule is deterministic and the
+  /// candidate invariant (`pairwise >= µ` up to that rounding) holds.
+  double PrepareThreshold(double t) const {
+    return kind_ == MetricKind::kEuclidean ? t * t : t;
+  }
+
+  /// Maps a raw-space value back to a true distance
+  /// (`FinishDistance(RawDistance(a, b)) == d(a, b)`).
+  double FinishDistance(double raw) const {
+    return kind_ == MetricKind::kEuclidean ? std::sqrt(raw) : raw;
   }
 
  private:

@@ -77,28 +77,35 @@ class PointBuffer {
 
   /// `d(x, S)` — distance from `x` to its nearest neighbour in the buffer;
   /// +infinity when empty (so "add if `d(x,S) >= µ`" admits the first point).
+  ///
+  /// One-to-many kernel over the SoA coordinate block: the scan runs in the
+  /// metric's raw space (squared distances for Euclidean — no `sqrt` per
+  /// stored point) and normalizes once at the end.
   double MinDistanceTo(std::span<const double> x, const Metric& metric) const {
-    double best = std::numeric_limits<double>::infinity();
-    const size_t n = size();
-    for (size_t i = 0; i < n; ++i) {
-      const double d = metric(x.data(), coords_.data() + i * dim_, dim_);
-      if (d < best) best = d;
-    }
-    return best;
+    const double raw = MinRawDistanceTo(x, metric);
+    return raw == std::numeric_limits<double>::infinity()
+               ? raw
+               : metric.FinishDistance(raw);
   }
 
   /// As `MinDistanceTo`, but stops early once a distance below `threshold`
   /// is seen (the streaming insert only needs to know whether
-  /// `d(x,S) >= µ`, not the exact value).
+  /// `d(x,S) >= µ`, not the exact value). The comparison happens in raw
+  /// space against the prepared threshold — for Euclidean the hot path
+  /// compares squared distances against `µ²` and never calls `sqrt`.
   bool AllAtLeast(std::span<const double> x, const Metric& metric,
                   double threshold) const {
-    const size_t n = size();
-    for (size_t i = 0; i < n; ++i) {
-      if (metric(x.data(), coords_.data() + i * dim_, dim_) < threshold) {
-        return false;
-      }
-    }
-    return true;
+    const double prepared = metric.PrepareThreshold(threshold);
+    return BlockedRawScan(x, metric, /*stop_below=*/prepared) >= prepared;
+  }
+
+  /// Raw-space variant of `MinDistanceTo` (see `Metric::RawDistance`);
+  /// +infinity when empty. Callers comparing against a true-distance
+  /// threshold must map it with `PrepareThreshold` first.
+  double MinRawDistanceTo(std::span<const double> x,
+                          const Metric& metric) const {
+    return BlockedRawScan(x, metric,
+                          /*stop_below=*/-std::numeric_limits<double>::infinity());
   }
 
   /// The point at `i` as a `StreamPoint` view (valid until mutation).
@@ -122,6 +129,36 @@ class PointBuffer {
   }
 
  private:
+  /// The one-to-many kernel behind `AllAtLeast`/`MinRawDistanceTo`: a
+  /// blocked raw-space scan of the SoA buffer (branch-light, vectorizable
+  /// inner loop), returning the minimum raw distance seen but giving up as
+  /// soon as a running block minimum drops below `stop_below` (pass -inf
+  /// for an exact full scan).
+  double BlockedRawScan(std::span<const double> x, const Metric& metric,
+                        double stop_below) const {
+    double best = std::numeric_limits<double>::infinity();
+    const size_t n = size();
+    const double* base = coords_.data();
+    constexpr size_t kBlock = 8;
+    size_t i = 0;
+    for (; i + kBlock <= n; i += kBlock) {
+      double block_min = std::numeric_limits<double>::infinity();
+      for (size_t b = 0; b < kBlock; ++b) {
+        const double raw =
+            metric.RawDistance(x.data(), base + (i + b) * dim_, dim_);
+        if (raw < block_min) block_min = raw;
+      }
+      if (block_min < best) best = block_min;
+      if (best < stop_below) return best;
+    }
+    for (; i < n; ++i) {
+      const double raw = metric.RawDistance(x.data(), base + i * dim_, dim_);
+      if (raw < best) best = raw;
+      if (best < stop_below) return best;
+    }
+    return best;
+  }
+
   size_t dim_;
   std::vector<double> coords_;
   std::vector<int64_t> ids_;

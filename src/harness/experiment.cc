@@ -1,37 +1,20 @@
 #include "harness/experiment.h"
 
 #include <cmath>
+#include <vector>
 
-#include "baselines/fair_flow.h"
-#include "baselines/fair_gmm.h"
-#include "baselines/fair_swap.h"
-#include "core/diversity.h"
-#include "core/gmm.h"
-#include "core/sfdm1.h"
-#include "core/sfdm2.h"
 #include "core/solution.h"
-#include "core/streaming_dm.h"
+#include "core/stream_sink.h"
+#include "geo/point_buffer.h"
+#include "harness/registry.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace fdm {
 
 std::string_view AlgorithmName(AlgorithmKind kind) {
-  switch (kind) {
-    case AlgorithmKind::kGmm:
-      return "GMM";
-    case AlgorithmKind::kFairSwap:
-      return "FairSwap";
-    case AlgorithmKind::kFairFlow:
-      return "FairFlow";
-    case AlgorithmKind::kFairGmm:
-      return "FairGMM";
-    case AlgorithmKind::kSfdm1:
-      return "SFDM1";
-    case AlgorithmKind::kSfdm2:
-      return "SFDM2";
-  }
-  return "unknown";
+  const AlgorithmEntry* entry = AlgorithmRegistry::Instance().Find(kind);
+  return entry == nullptr ? std::string_view("unknown") : entry->name;
 }
 
 namespace {
@@ -51,75 +34,38 @@ RunResult FromSolution(const Result<Solution>& solution, double total_sec,
   return r;
 }
 
-RunResult RunOffline(const Dataset& dataset, const RunConfig& config) {
+RunResult RunOffline(const Dataset& dataset, const RunConfig& config,
+                     const AlgorithmEntry& entry) {
   Timer timer;
-  const size_t start_index =
-      static_cast<size_t>(config.permutation_seed % dataset.size());
-  switch (config.algorithm) {
-    case AlgorithmKind::kGmm: {
-      const std::vector<size_t> universe = [&dataset] {
-        std::vector<size_t> u(dataset.size());
-        for (size_t i = 0; i < u.size(); ++i) u[i] = i;
-        return u;
-      }();
-      const std::vector<size_t> rows =
-          GreedyGmm(dataset, universe,
-                    static_cast<size_t>(config.constraint.TotalK()), {},
-                    start_index);
-      const double elapsed = timer.ElapsedSeconds();
-      return FromSolution(Solution::FromIndices(dataset, rows), elapsed,
-                          dataset.size());
-    }
-    case AlgorithmKind::kFairSwap: {
-      auto sol = FairSwap(dataset, config.constraint, start_index);
-      return FromSolution(sol, timer.ElapsedSeconds(), dataset.size());
-    }
-    case AlgorithmKind::kFairFlow: {
-      FairFlowOptions options;
-      options.epsilon = config.epsilon;
-      options.start_index = start_index;
-      auto sol = FairFlow(dataset, config.constraint, options);
-      return FromSolution(sol, timer.ElapsedSeconds(), dataset.size());
-    }
-    case AlgorithmKind::kFairGmm: {
-      FairGmmOptions options;
-      options.start_index = start_index;
-      auto sol = FairGmm(dataset, config.constraint, options);
-      return FromSolution(sol, timer.ElapsedSeconds(), dataset.size());
-    }
-    default:
-      FDM_CHECK_MSG(false, "not an offline algorithm");
-      return {};
-  }
+  auto solution = entry.solve(dataset, config);
+  return FromSolution(solution, timer.ElapsedSeconds(), dataset.size());
 }
 
-template <typename Algo>
 RunResult RunStreaming(const Dataset& dataset, const RunConfig& config,
-                       Result<Algo> created) {
+                       const AlgorithmEntry& entry) {
   RunResult r;
+  auto created = entry.make_sink(dataset, config);
   if (!created.ok()) {
     r.error = created.status().ToString();
     return r;
   }
-  Algo& algo = created.value();
+  StreamSink& sink = *created.value();
   const std::vector<size_t> order =
       StreamOrder(dataset.size(), config.permutation_seed);
 
   Timer stream_timer;
-  for (const size_t row : order) {
-    algo.Observe(dataset.At(row));
-  }
+  IngestStream(sink, dataset, order, config.batch_size);
   r.stream_time_sec = stream_timer.ElapsedSeconds();
 
   Timer post_timer;
-  auto solution = algo.Solve();
+  auto solution = sink.Solve();
   r.post_time_sec = post_timer.ElapsedSeconds();
   r.total_time_sec = r.stream_time_sec + r.post_time_sec;
   r.avg_update_ms = dataset.size() > 0
                         ? 1e3 * r.stream_time_sec /
                               static_cast<double>(dataset.size())
                         : 0.0;
-  r.stored_elements = algo.StoredElements();
+  r.stored_elements = sink.StoredElements();
   if (!solution.ok()) {
     r.error = solution.status().ToString();
     return r;
@@ -134,28 +80,11 @@ RunResult RunStreaming(const Dataset& dataset, const RunConfig& config,
 
 RunResult RunAlgorithm(const Dataset& dataset, const RunConfig& config) {
   FDM_CHECK(dataset.size() > 0);
-  StreamingOptions streaming;
-  streaming.epsilon = config.epsilon;
-  streaming.d_min = config.bounds.min;
-  streaming.d_max = config.bounds.max;
-
-  switch (config.algorithm) {
-    case AlgorithmKind::kGmm:
-    case AlgorithmKind::kFairSwap:
-    case AlgorithmKind::kFairFlow:
-    case AlgorithmKind::kFairGmm:
-      return RunOffline(dataset, config);
-    case AlgorithmKind::kSfdm1:
-      return RunStreaming(dataset, config,
-                          Sfdm1::Create(config.constraint, dataset.dim(),
-                                        dataset.metric_kind(), streaming));
-    case AlgorithmKind::kSfdm2:
-      return RunStreaming(dataset, config,
-                          Sfdm2::Create(config.constraint, dataset.dim(),
-                                        dataset.metric_kind(), streaming));
-  }
-  FDM_CHECK_MSG(false, "unreachable algorithm kind");
-  return {};
+  const AlgorithmEntry* entry =
+      AlgorithmRegistry::Instance().Find(config.algorithm);
+  FDM_CHECK_MSG(entry != nullptr, "algorithm kind not registered");
+  return entry->streaming ? RunStreaming(dataset, config, *entry)
+                          : RunOffline(dataset, config, *entry);
 }
 
 AggregateResult RunRepeated(const Dataset& dataset, RunConfig config,

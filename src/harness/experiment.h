@@ -12,7 +12,12 @@
 
 namespace fdm {
 
-/// Algorithms the experiments compare (Section V-A "Algorithms").
+/// Algorithms the experiments compare (Section V-A "Algorithms"), plus the
+/// scenario sinks layered on the library (unconstrained streaming and the
+/// sharded coreset driver). Each kind is resolved through the algorithm
+/// registry (`harness/registry.h`) — benches and examples construct every
+/// algorithm uniformly, and new scenarios plug in by registering an entry
+/// rather than editing the harness.
 enum class AlgorithmKind {
   kGmm,       // unconstrained greedy upper-bound reference
   kFairSwap,  // offline, m = 2 [32]
@@ -20,6 +25,8 @@ enum class AlgorithmKind {
   kFairGmm,   // offline, small k/m [32]
   kSfdm1,     // this paper, streaming, m = 2
   kSfdm2,     // this paper, streaming, any m
+  kStreamingDm,  // Algorithm 1, streaming, unconstrained
+  kSharded,      // sharded composable-coreset driver, unconstrained
 };
 
 std::string_view AlgorithmName(AlgorithmKind kind);
@@ -36,6 +43,16 @@ struct RunConfig {
   /// Distance bounds for the streaming guess ladders (ignored by offline
   /// algorithms). Must be positive for streaming runs.
   DistanceBounds bounds;
+  /// Streaming ingestion: elements per `ObserveBatch` call; `0` or `1`
+  /// feeds the stream per-element through `Observe`. Output is identical
+  /// either way (the StreamSink contract); batching changes only the cost
+  /// profile.
+  size_t batch_size = 0;
+  /// Threads batched ingestion spreads rungs/shards over
+  /// (see `StreamingOptions::batch_threads`).
+  int batch_threads = 1;
+  /// Shard count for `AlgorithmKind::kSharded`.
+  size_t num_shards = 4;
 };
 
 /// Measured outcome of one run.

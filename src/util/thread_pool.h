@@ -1,0 +1,183 @@
+#ifndef FDM_UTIL_THREAD_POOL_H_
+#define FDM_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <thread>
+#include <vector>
+
+namespace fdm {
+
+/// A small reusable fork-join thread pool.
+///
+/// Built for the batched ingestion paths: the guess-ladder rungs (and the
+/// shards of the sharded driver) are independent, so `ObserveBatch`
+/// partitions them over a pool and joins before returning. The pool is
+/// fork-join only — one `ParallelFor` runs at a time per pool (concurrent
+/// calls serialize on an internal mutex) — which keeps it tiny and is all
+/// the ingestion engine needs.
+///
+/// Workers idle on a condition variable between batches, so a pool can be
+/// kept alive across millions of `ObserveBatch` calls without burning CPU.
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism including the calling thread;
+  /// the pool spawns `num_threads - 1` workers. `0` means one thread per
+  /// hardware thread.
+  explicit ThreadPool(size_t num_threads = 0) {
+    if (num_threads == 0) num_threads = DefaultThreads();
+    const size_t workers = num_threads > 1 ? num_threads - 1 : 0;
+    workers_.reserve(workers);
+    for (size_t t = 0; t < workers; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  /// Total parallelism (workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs `fn(0) … fn(n-1)`, distributing indices dynamically over the
+  /// workers and the calling thread; returns once every call finished.
+  /// `fn` must not throw. Distinct indices may run concurrently — callers
+  /// guarantee they touch disjoint state.
+  ///
+  /// Completion is counted per *task*, not per worker, so only as many
+  /// workers as there are tasks are woken — a pool sized for the machine
+  /// stays cheap when a batch has few rungs/shards to hand out.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    std::lock_guard<std::mutex> serialize(run_mu_);
+    // Each job owns its counters (shared with any worker that picks it
+    // up), so a stale worker waking late — or looping one extra time
+    // after this job's tasks are exhausted — saturates on the OLD job's
+    // `next` and can never claim an index of a newer job or touch its
+    // (by then destroyed) closure.
+    auto job = std::make_shared<Job>(fn, n);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      ++generation_;
+    }
+    const size_t to_wake = std::min(workers_.size(), n - 1);
+    if (to_wake >= workers_.size()) {
+      wake_.notify_all();
+    } else {
+      for (size_t w = 0; w < to_wake; ++w) wake_.notify_one();
+    }
+    Drain(*job);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&job] {
+      return job->remaining.load(std::memory_order_acquire) == 0;
+    });
+    job_ = nullptr;
+  }
+
+  static size_t DefaultThreads() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+
+ private:
+  struct Job {
+    Job(const std::function<void(size_t)>& fn_in, size_t limit_in)
+        : fn(&fn_in), limit(limit_in), remaining(limit_in) {}
+    const std::function<void(size_t)>* fn;
+    size_t limit;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> remaining;
+  };
+
+  void Drain(Job& job) {
+    for (size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+         i < job.limit;
+         i = job.next.fetch_add(1, std::memory_order_relaxed)) {
+      (*job.fn)(i);
+      if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last task: sync with the caller's wait (empty critical section
+        // prevents the notify racing past the predicate check), then wake.
+        { std::lock_guard<std::mutex> lock(mu_); }
+        done_.notify_one();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+        if (stop_) return;
+        seen = generation_;
+        job = job_;  // null when the job already finished (late wakeup)
+      }
+      if (job != nullptr) Drain(*job);
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex run_mu_;  // serializes ParallelFor calls (fork-join contract)
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  std::shared_ptr<Job> job_;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// The `batch_threads` knob shared by the streaming sinks, resolved into a
+/// lazily-created pool: `1` = sequential (no pool, no threads spawned —
+/// the default), `0` = one thread per hardware thread, `n > 1` = exactly
+/// `n` threads. Copyable; copies share the pool (safe: fork-join calls
+/// serialize).
+class BatchParallelism {
+ public:
+  explicit BatchParallelism(int batch_threads = 1)
+      : batch_threads_(batch_threads) {}
+
+  /// Runs `fn(0) … fn(n-1)`, in parallel when the knob asks for it.
+  void Run(size_t n, const std::function<void(size_t)>& fn) {
+    if (batch_threads_ == 1 || n <= 1) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    if (pool_ == nullptr) {
+      pool_ = std::make_shared<ThreadPool>(
+          batch_threads_ <= 0 ? 0 : static_cast<size_t>(batch_threads_));
+    }
+    pool_->ParallelFor(n, fn);
+  }
+
+  int batch_threads() const { return batch_threads_; }
+
+ private:
+  int batch_threads_ = 1;
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_UTIL_THREAD_POOL_H_

@@ -1,0 +1,91 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fdm {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyBatches) {
+  ThreadPool pool(3);
+  std::atomic<int64_t> sum{0};
+  for (int batch = 0; batch < 100; ++batch) {
+    pool.ParallelFor(17, [&](size_t i) {
+      sum.fetch_add(static_cast<int64_t>(i) + 1);
+    });
+  }
+  // 100 batches × Σ 1..17.
+  EXPECT_EQ(sum.load(), 100 * 17 * 18 / 2);
+}
+
+TEST(ThreadPoolTest, DefaultSizeUsesHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DisjointWritesNeedNoSynchronization) {
+  // The contract the ingestion paths rely on: each index owns a slot.
+  ThreadPool pool(4);
+  constexpr size_t kN = 512;
+  std::vector<int64_t> out(kN, -1);
+  pool.ParallelFor(kN, [&](size_t i) { out[i] = static_cast<int64_t>(i * i); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[i], static_cast<int64_t>(i * i));
+  }
+}
+
+TEST(BatchParallelismTest, SequentialKnobSpawnsNothingAndRunsInOrder) {
+  BatchParallelism parallelism(1);
+  std::vector<int> order;
+  parallelism.Run(4, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(BatchParallelismTest, ParallelKnobRunsEverything) {
+  BatchParallelism parallelism(4);
+  std::vector<std::atomic<int>> hits(64);
+  parallelism.Run(64, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(BatchParallelismTest, CopiesShareThePool) {
+  BatchParallelism a(2);
+  std::atomic<int> hits{0};
+  a.Run(8, [&](size_t) { hits.fetch_add(1); });
+  BatchParallelism b = a;  // shares the lazily created pool
+  b.Run(8, [&](size_t) { hits.fetch_add(1); });
+  EXPECT_EQ(hits.load(), 16);
+}
+
+}  // namespace
+}  // namespace fdm
