@@ -1,0 +1,212 @@
+// Service-layer microbenchmark: snapshot cost, WAL replay throughput, and
+// multi-session concurrent ingest scaling. Emits machine-readable
+// BENCH_service.json (default: results/BENCH_service.json) so future PRs
+// can track the serving-perf trajectory, plus a human-readable summary.
+//
+//   ./micro_service [--n=20000] [--dim=8] [--out=results]
+//
+// Sections:
+//   snapshot          bytes + latency of a full SFDM2 state snapshot
+//   wal_replay        crash-recovery replay points/sec (no snapshot: the
+//                     whole stream comes back through ObserveBatch)
+//   concurrent_ingest aggregate points/sec with N sessions fed from N
+//                     threads through one SessionManager
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "service/durable_session.h"
+#include "service/session_manager.h"
+#include "service/sink_spec.h"
+#include "util/argparse.h"
+#include "util/timer.h"
+
+namespace fdm {
+namespace {
+
+struct ServiceBenchResult {
+  size_t n = 0;
+  size_t dim = 0;
+  // snapshot
+  size_t snapshot_bytes = 0;
+  double snapshot_latency_ms = 0.0;
+  // wal replay
+  double wal_replay_points_per_sec = 0.0;
+  // concurrent ingest: sessions -> aggregate points/sec
+  std::vector<std::pair<int, double>> concurrent;
+};
+
+std::string SpecFor(const Dataset& ds) {
+  const DistanceBounds b = EstimateDistanceBounds(ds, 1000, 1);
+  return "algo=sfdm2 dim=" + std::to_string(ds.dim()) +
+         " quotas=10,10 dmin=" + std::to_string(b.min) +
+         " dmax=" + std::to_string(b.max);
+}
+
+size_t DirBytes(const std::string& dir) {
+  size_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const size_t n = static_cast<size_t>(args.GetInt("n", 20000));
+  const size_t dim = static_cast<size_t>(args.GetInt("dim", 8));
+  const std::string out_dir = args.GetString("out", "results");
+
+  BlobsOptions data_options;
+  data_options.n = n;
+  data_options.dim = dim;
+  data_options.num_groups = 2;
+  data_options.seed = 1;
+  const Dataset ds = MakeBlobs(data_options);
+  const std::string spec = SpecFor(ds);
+
+  const std::string scratch =
+      (std::filesystem::temp_directory_path() / "fdm_micro_service").string();
+  std::filesystem::remove_all(scratch);
+
+  ServiceBenchResult result;
+  result.n = n;
+  result.dim = dim;
+
+  std::printf("=== micro_service: durable serving engine ===\n");
+  std::printf("n=%zu dim=%zu spec: %s\n\n", n, dim, spec.c_str());
+
+  // --- Snapshot size & latency ---------------------------------------
+  {
+    DurableSessionOptions snap_options;
+    snap_options.keep_snapshots = 1;  // snap/ then holds exactly one file,
+                                      // so DirBytes measures one snapshot
+    auto session =
+        DurableSession::Create(scratch + "/snap_bench", spec, snap_options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "create: %s\n", session.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < ds.size(); ++i) {
+      if (!session->Observe(ds.At(i)).ok()) return 1;
+    }
+    // One warm-up (includes the WAL truncation), then measure.
+    if (!session->TakeSnapshot().ok()) return 1;
+    constexpr int kReps = 5;
+    Timer timer;
+    for (int r = 0; r < kReps; ++r) {
+      // Dirty the state so each snapshot actually rewrites.
+      if (!session->Observe(ds.At(r)).ok()) return 1;
+      if (!session->TakeSnapshot().ok()) return 1;
+    }
+    result.snapshot_latency_ms = timer.ElapsedSeconds() * 1000.0 / kReps;
+    result.snapshot_bytes = DirBytes(scratch + "/snap_bench/snap");
+    std::printf("snapshot:          %8zu bytes  %8.2f ms (state of %zu pts)\n",
+                result.snapshot_bytes, result.snapshot_latency_ms,
+                session->StoredElements());
+  }
+
+  // --- WAL replay throughput -----------------------------------------
+  {
+    DurableSessionOptions options;
+    {
+      auto session =
+          DurableSession::Create(scratch + "/replay_bench", spec, options);
+      if (!session.ok()) return 1;
+      std::vector<StreamPoint> batch;
+      batch.reserve(256);
+      for (size_t i = 0; i < ds.size(); ++i) {
+        batch.push_back(ds.At(i));
+        if (batch.size() == 256) {
+          if (!session->ObserveBatch(batch).ok()) return 1;
+          batch.clear();
+        }
+      }
+      if (!batch.empty() && !session->ObserveBatch(batch).ok()) return 1;
+    }  // dropped without a snapshot: recovery must replay the whole WAL
+    Timer timer;
+    auto recovered = DurableSession::Open(scratch + "/replay_bench", options);
+    const double replay_sec = timer.ElapsedSeconds();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "open: %s\n", recovered.status().ToString().c_str());
+      return 1;
+    }
+    result.wal_replay_points_per_sec =
+        static_cast<double>(recovered->ObservedElements()) / replay_sec;
+    std::printf("wal replay:      %10.0f points/sec (%lld pts in %.3f s)\n",
+                result.wal_replay_points_per_sec,
+                static_cast<long long>(recovered->ObservedElements()),
+                replay_sec);
+  }
+
+  // --- Concurrent multi-session ingest scaling -----------------------
+  for (const int sessions : {1, 2, 4}) {
+    SessionManagerOptions options;
+    options.root_dir = scratch + "/ingest_" + std::to_string(sessions);
+    auto manager = SessionManager::Create(options);
+    if (!manager.ok()) return 1;
+    for (int s = 0; s < sessions; ++s) {
+      if (!(*manager)->CreateSession("s" + std::to_string(s), spec).ok()) {
+        return 1;
+      }
+    }
+    const size_t per_session = ds.size() / static_cast<size_t>(sessions);
+    Timer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<size_t>(sessions));
+    for (int s = 0; s < sessions; ++s) {
+      workers.emplace_back([&, s] {
+        const std::string name = "s" + std::to_string(s);
+        for (size_t i = 0; i < per_session; ++i) {
+          (void)(*manager)->Observe(name, ds.At(i));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const double pps =
+        static_cast<double>(per_session * static_cast<size_t>(sessions)) /
+        timer.ElapsedSeconds();
+    result.concurrent.emplace_back(sessions, pps);
+    std::printf("ingest x%d:       %10.0f points/sec aggregate\n", sessions,
+                pps);
+  }
+
+  std::filesystem::remove_all(scratch);
+
+  // --- BENCH_service.json --------------------------------------------
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string json_path = out_dir + "/BENCH_service.json";
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"n\": " << result.n << ",\n"
+       << "  \"dim\": " << result.dim << ",\n"
+       << "  \"snapshot\": {\"bytes\": " << result.snapshot_bytes
+       << ", \"latency_ms\": " << result.snapshot_latency_ms << "},\n"
+       << "  \"wal_replay\": {\"points_per_sec\": "
+       << result.wal_replay_points_per_sec << "},\n"
+       << "  \"concurrent_ingest\": [";
+  for (size_t i = 0; i < result.concurrent.size(); ++i) {
+    if (i > 0) json << ", ";
+    json << "{\"sessions\": " << result.concurrent[i].first
+         << ", \"points_per_sec\": " << result.concurrent[i].second << "}";
+  }
+  json << "]\n}\n";
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm
+
+int main(int argc, char** argv) { return fdm::Main(argc, argv); }

@@ -68,7 +68,8 @@ int main() {
   constexpr int kTotal = 30000;
   for (int i = 0; i < kTotal; ++i) {
     const bool drifted = i >= kTotal / 2;  // behaviour shift at half-time
-    if (!panel->Observe(stream.Next(drifted)).ok()) return 1;
+    panel->Observe(stream.Next(drifted));
+    if (!panel->error().ok()) return 1;
     if ((i + 1) % 5000 == 0) {
       const auto solution = panel->Solve();
       std::printf("after %5d txns (replicas=%zu, stored=%zu): ", i + 1,

@@ -5,6 +5,9 @@
 #include <vector>
 
 #include "core/diversity.h"
+#include "core/snapshot_util.h"
+#include "geo/point_buffer_io.h"
+#include "util/binary_io.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -124,6 +127,59 @@ Result<Solution> AdaptiveStreamingDm::Solve() const {
   solution.diversity = best_div;
   solution.mu = best->mu();
   return solution;
+}
+
+Status AdaptiveStreamingDm::Snapshot(SnapshotWriter& writer) const {
+  writer.WriteString(kSnapshotTag);
+  writer.WriteI32(k_);
+  writer.WriteU64(dim_);
+  writer.WriteU8(static_cast<uint8_t>(metric_.kind()));
+  writer.WriteDouble(epsilon_);
+  writer.WriteU64(max_rungs_);
+  writer.WriteI64(observed_);
+  writer.WriteBool(pending_valid_);
+  SerializePointBuffer(writer, pending_);
+  writer.WriteU64(rungs_.size());
+  for (const StreamingCandidate& rung : rungs_) {
+    writer.WriteDouble(rung.mu());
+    SerializePointBuffer(writer, rung.points());
+  }
+  return Status::Ok();
+}
+
+Result<AdaptiveStreamingDm> AdaptiveStreamingDm::Restore(
+    SnapshotReader& reader) {
+  if (!internal::ConsumeTag(reader, kSnapshotTag)) return reader.status();
+  const int k = reader.ReadI32();
+  const size_t dim = reader.ReadU64();
+  const MetricKind metric = internal::ReadMetricKind(reader);
+  const double epsilon = reader.ReadDouble();
+  const size_t max_rungs = reader.ReadU64();
+  const int64_t observed = reader.ReadI64();
+  const bool pending_valid = reader.ReadBool();
+  if (!reader.ok()) return reader.status();
+  auto created = Create(k, dim, metric, epsilon, max_rungs);
+  if (!created.ok()) return created.status();
+  AdaptiveStreamingDm algo = std::move(created.value());
+  DeserializePointBuffer(reader, algo.pending_);
+  const size_t rungs = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (rungs > max_rungs) {
+    reader.Fail("rung count " + std::to_string(rungs) + " exceeds max_rungs " +
+                std::to_string(max_rungs));
+    return reader.status();
+  }
+  for (size_t j = 0; j < rungs; ++j) {
+    const double mu = reader.ReadDouble();
+    if (!reader.ok()) return reader.status();
+    StreamingCandidate rung(mu, static_cast<size_t>(k), dim);
+    internal::RestoreCandidatePoints(reader, rung);
+    if (!reader.ok()) return reader.status();
+    algo.rungs_.push_back(std::move(rung));
+  }
+  algo.pending_valid_ = pending_valid;
+  algo.observed_ = observed;
+  return algo;
 }
 
 size_t AdaptiveStreamingDm::StoredElements() const {

@@ -3,6 +3,7 @@
 
 #include <deque>
 #include <span>
+#include <string_view>
 
 #include "core/solution.h"
 #include "core/stream_sink.h"
@@ -65,6 +66,17 @@ class AdaptiveStreamingDm : public StreamSink {
   size_t StoredElements() const override;
 
   int64_t ObservedElements() const override { return observed_; }
+
+  /// Versioned state serialization; unlike the fixed-ladder algorithms the
+  /// lazily grown rung µs are data-dependent, so each rung's µ is stored
+  /// explicitly. See `StreamSink::Snapshot`.
+  Status Snapshot(SnapshotWriter& writer) const override;
+
+  /// Rebuilds the algorithm from a snapshot taken by `Snapshot`.
+  static Result<AdaptiveStreamingDm> Restore(SnapshotReader& reader);
+
+  static constexpr std::string_view kSnapshotTag = "adaptive_streaming_dm";
+
   size_t NumRungs() const { return rungs_.size(); }
   double BottomMu() const { return rungs_.empty() ? 0.0 : rungs_.front().mu(); }
   double TopMu() const { return rungs_.empty() ? 0.0 : rungs_.back().mu(); }

@@ -6,6 +6,9 @@
 
 #include "core/batch_replay.h"
 #include "core/diversity.h"
+#include "core/snapshot_util.h"
+#include "geo/point_buffer_io.h"
+#include "util/binary_io.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -197,6 +200,60 @@ size_t Sfdm1::StoredElements() const {
   collect(specific_[0]);
   collect(specific_[1]);
   return distinct.size();
+}
+
+Status Sfdm1::Snapshot(SnapshotWriter& writer) const {
+  writer.WriteString(kSnapshotTag);
+  writer.WriteU64(constraint_.quotas.size());
+  for (const int quota : constraint_.quotas) writer.WriteI32(quota);
+  internal::WriteStreamingHeader(writer, dim_, metric_, ladder_,
+                                 parallelism_.batch_threads());
+  writer.WriteI64(observed_);
+  writer.WriteU64(ladder_.size());
+  // Rung-major: S_µj, then S_µj,0, S_µj,1 — the read side mirrors this.
+  for (size_t j = 0; j < ladder_.size(); ++j) {
+    SerializePointBuffer(writer, blind_[j].points());
+    SerializePointBuffer(writer, specific_[0][j].points());
+    SerializePointBuffer(writer, specific_[1][j].points());
+  }
+  return Status::Ok();
+}
+
+Result<Sfdm1> Sfdm1::Restore(SnapshotReader& reader) {
+  if (!internal::ConsumeTag(reader, kSnapshotTag)) return reader.status();
+  FairnessConstraint constraint;
+  const size_t num_groups = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (num_groups != 2) {
+    reader.Fail("SFDM1 snapshot must have 2 groups, has " +
+                std::to_string(num_groups));
+    return reader.status();
+  }
+  for (size_t g = 0; g < num_groups; ++g) {
+    constraint.quotas.push_back(reader.ReadI32());
+  }
+  const internal::StreamingHeader header =
+      internal::ReadStreamingHeader(reader);
+  const int64_t observed = reader.ReadI64();
+  const size_t rungs = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  auto created = Create(constraint, header.dim, header.metric, header.options);
+  if (!created.ok()) return created.status();
+  Sfdm1 algo = std::move(created.value());
+  if (rungs != algo.ladder_.size()) {
+    reader.Fail("rung count " + std::to_string(rungs) +
+                " does not match rebuilt ladder of " +
+                std::to_string(algo.ladder_.size()));
+    return reader.status();
+  }
+  for (size_t j = 0; j < rungs; ++j) {
+    internal::RestoreCandidatePoints(reader, algo.blind_[j]);
+    internal::RestoreCandidatePoints(reader, algo.specific_[0][j]);
+    internal::RestoreCandidatePoints(reader, algo.specific_[1][j]);
+  }
+  if (!reader.ok()) return reader.status();
+  algo.observed_ = observed;
+  return algo;
 }
 
 }  // namespace fdm

@@ -2,6 +2,7 @@
 #define FDM_CORE_SFDM1_H_
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/fairness.h"
@@ -64,6 +65,14 @@ class Sfdm1 : public StreamSink {
   int64_t ObservedElements() const override { return observed_; }
   const GuessLadder& ladder() const { return ladder_; }
   const FairnessConstraint& constraint() const { return constraint_; }
+
+  /// Versioned state serialization; see `StreamSink::Snapshot`.
+  Status Snapshot(SnapshotWriter& writer) const override;
+
+  /// Rebuilds the algorithm from a snapshot taken by `Snapshot`.
+  static Result<Sfdm1> Restore(SnapshotReader& reader);
+
+  static constexpr std::string_view kSnapshotTag = "sfdm1";
 
  private:
   Sfdm1(FairnessConstraint constraint, size_t dim, MetricKind metric,

@@ -8,6 +8,9 @@
 #include "core/batch_replay.h"
 #include "core/clustering.h"
 #include "core/diversity.h"
+#include "core/snapshot_util.h"
+#include "geo/point_buffer_io.h"
+#include "util/binary_io.h"
 #include "core/matroid.h"
 #include "core/matroid_intersection.h"
 #include "util/check.h"
@@ -209,6 +212,70 @@ size_t Sfdm2::StoredElements() const {
   for (const auto& c : blind_) collect(c);
   for (const auto& c : specific_) collect(c);
   return distinct.size();
+}
+
+Status Sfdm2::Snapshot(SnapshotWriter& writer) const {
+  writer.WriteString(kSnapshotTag);
+  writer.WriteU64(constraint_.quotas.size());
+  for (const int quota : constraint_.quotas) writer.WriteI32(quota);
+  internal::WriteStreamingHeader(writer, dim_, metric_, ladder_,
+                                 parallelism_.batch_threads());
+  writer.WriteBool(warm_start_);
+  writer.WriteBool(greedy_augmentation_);
+  writer.WriteI64(observed_);
+  writer.WriteU64(ladder_.size());
+  // Rung-major: S_µj, then S_µj,i for every group i (ascending).
+  for (size_t j = 0; j < ladder_.size(); ++j) {
+    SerializePointBuffer(writer, blind_[j].points());
+    for (int i = 0; i < m_; ++i) {
+      SerializePointBuffer(writer,
+                           specific_[static_cast<size_t>(i) * ladder_.size() +
+                                     j].points());
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Sfdm2> Sfdm2::Restore(SnapshotReader& reader) {
+  if (!internal::ConsumeTag(reader, kSnapshotTag)) return reader.status();
+  FairnessConstraint constraint;
+  const size_t num_groups = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (num_groups == 0 || num_groups > (1u << 20)) {
+    reader.Fail("implausible group count " + std::to_string(num_groups));
+    return reader.status();
+  }
+  for (size_t g = 0; g < num_groups; ++g) {
+    constraint.quotas.push_back(reader.ReadI32());
+  }
+  const internal::StreamingHeader header =
+      internal::ReadStreamingHeader(reader);
+  const bool warm_start = reader.ReadBool();
+  const bool greedy_augmentation = reader.ReadBool();
+  const int64_t observed = reader.ReadI64();
+  const size_t rungs = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  auto created = Create(constraint, header.dim, header.metric, header.options);
+  if (!created.ok()) return created.status();
+  Sfdm2 algo = std::move(created.value());
+  if (rungs != algo.ladder_.size()) {
+    reader.Fail("rung count " + std::to_string(rungs) +
+                " does not match rebuilt ladder of " +
+                std::to_string(algo.ladder_.size()));
+    return reader.status();
+  }
+  for (size_t j = 0; j < rungs; ++j) {
+    internal::RestoreCandidatePoints(reader, algo.blind_[j]);
+    for (int i = 0; i < algo.m_; ++i) {
+      internal::RestoreCandidatePoints(
+          reader, algo.specific_[static_cast<size_t>(i) * rungs + j]);
+    }
+  }
+  if (!reader.ok()) return reader.status();
+  algo.warm_start_ = warm_start;
+  algo.greedy_augmentation_ = greedy_augmentation;
+  algo.observed_ = observed;
+  return algo;
 }
 
 }  // namespace fdm

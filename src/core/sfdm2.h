@@ -2,6 +2,7 @@
 #define FDM_CORE_SFDM2_H_
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/fairness.h"
@@ -69,6 +70,15 @@ class Sfdm2 : public StreamSink {
   int64_t ObservedElements() const override { return observed_; }
   const GuessLadder& ladder() const { return ladder_; }
   const FairnessConstraint& constraint() const { return constraint_; }
+
+  /// Versioned state serialization (including the ablation knobs); see
+  /// `StreamSink::Snapshot`.
+  Status Snapshot(SnapshotWriter& writer) const override;
+
+  /// Rebuilds the algorithm from a snapshot taken by `Snapshot`.
+  static Result<Sfdm2> Restore(SnapshotReader& reader);
+
+  static constexpr std::string_view kSnapshotTag = "sfdm2";
 
   /// Ablation knobs for the two post-processing design choices the paper
   /// credits for SFDM2's practical edge over FairFlow (Section IV-B:

@@ -6,6 +6,8 @@
 
 #include "core/diversity.h"
 #include "core/gmm.h"
+#include "core/snapshot_util.h"
+#include "util/binary_io.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -99,6 +101,45 @@ Result<Solution> ShardedStreamingDm::Solve() const {
                            : std::numeric_limits<double>::infinity();
   solution.mu = 0.0;  // post-processed selection, no single winning guess
   return solution;
+}
+
+Status ShardedStreamingDm::Snapshot(SnapshotWriter& writer) const {
+  writer.WriteString(kSnapshotTag);
+  writer.WriteI32(k_);
+  writer.WriteU64(dim_);
+  writer.WriteU8(static_cast<uint8_t>(metric_.kind()));
+  writer.WriteI32(parallelism_.batch_threads());
+  writer.WriteI64(observed_);
+  writer.WriteU64(shards_.size());
+  for (const StreamingDm& shard : shards_) {
+    if (Status s = shard.Snapshot(writer); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Result<ShardedStreamingDm> ShardedStreamingDm::Restore(SnapshotReader& reader) {
+  if (!internal::ConsumeTag(reader, kSnapshotTag)) return reader.status();
+  const int k = reader.ReadI32();
+  const size_t dim = reader.ReadU64();
+  const MetricKind metric = internal::ReadMetricKind(reader);
+  const int batch_threads = reader.ReadI32();
+  const int64_t observed = reader.ReadI64();
+  const size_t num_shards = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  if (num_shards == 0 || num_shards > (1u << 20)) {
+    reader.Fail("implausible shard count " + std::to_string(num_shards));
+    return reader.status();
+  }
+  std::vector<StreamingDm> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = StreamingDm::Restore(reader);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard.value()));
+  }
+  ShardedStreamingDm driver(k, dim, metric, std::move(shards), batch_threads);
+  driver.observed_ = observed;
+  return driver;
 }
 
 size_t ShardedStreamingDm::StoredElements() const {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/solution.h"
@@ -71,6 +72,15 @@ class ShardedStreamingDm : public StreamSink {
   size_t StoredElements() const override;
 
   int64_t ObservedElements() const override { return observed_; }
+
+  /// Versioned state serialization: the driver header plus each shard's own
+  /// self-contained snapshot. See `StreamSink::Snapshot`.
+  Status Snapshot(SnapshotWriter& writer) const override;
+
+  /// Rebuilds the driver (and every shard) from a snapshot.
+  static Result<ShardedStreamingDm> Restore(SnapshotReader& reader);
+
+  static constexpr std::string_view kSnapshotTag = "sharded_streaming_dm";
 
   size_t num_shards() const { return shards_.size(); }
   const StreamingDm& shard(size_t s) const { return shards_[s]; }

@@ -1,0 +1,36 @@
+#ifndef FDM_CORE_SINK_SNAPSHOT_H_
+#define FDM_CORE_SINK_SNAPSHOT_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/stream_sink.h"
+#include "util/binary_io.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Lifts a concrete-algorithm factory result to the polymorphic sink
+/// pointer the registry, service layer, and snapshot dispatcher all hand
+/// around.
+template <typename Algo>
+Result<std::unique_ptr<StreamSink>> WrapSink(Result<Algo> created) {
+  if (!created.ok()) return created.status();
+  return std::unique_ptr<StreamSink>(
+      std::make_unique<Algo>(std::move(created.value())));
+}
+
+/// Restores a sink of any built-in kind from a snapshot, dispatching on the
+/// type tag at the reader's cursor (the first field every
+/// `StreamSink::Snapshot` implementation writes). This is how the service
+/// layer reloads a session whose concrete algorithm type is only known from
+/// its on-disk state.
+///
+/// Supported tags: `streaming_dm`, `sfdm1`, `sfdm2`,
+/// `adaptive_streaming_dm`, `sharded_streaming_dm`, and `sliding_window`
+/// (over a `streaming_dm` inner algorithm — the registered windowed kind).
+Result<std::unique_ptr<StreamSink>> RestoreSink(SnapshotReader& reader);
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_SINK_SNAPSHOT_H_

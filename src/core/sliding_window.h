@@ -3,10 +3,15 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
+#include <string_view>
 #include <utility>
 
+#include "core/snapshot_util.h"
 #include "core/solution.h"
+#include "core/stream_sink.h"
 #include "geo/point_buffer.h"
+#include "util/binary_io.h"
 #include "util/check.h"
 #include "util/status.h"
 
@@ -31,13 +36,24 @@ namespace fdm {
 /// theoretically stronger smooth-histogram construction of Borassi et
 /// al. [7]; the trade-off is documented here and in DESIGN.md §2.5.
 ///
+/// The adapter is itself a `StreamSink`, so the harness, the service
+/// layer, and WAL replay drive it through the same contract as the
+/// one-pass algorithms. `Observe` cannot report a factory failure through
+/// the sink interface, so a mid-stream factory error latches a sticky
+/// error that the next `Solve()` returns (Create probes the factory once,
+/// so this only fires for genuinely stateful factories).
+///
 /// `Algo` must provide `Observe(const StreamPoint&)`,
-/// `Result<Solution> Solve() const`, and `size_t StoredElements() const`.
+/// `Result<Solution> Solve() const`, `size_t StoredElements() const`, and
+/// — for `Snapshot`/`Restore` — the static `Restore(SnapshotReader&)`
+/// hook plus copyability.
 template <typename Algo>
-class SlidingWindow {
+class SlidingWindow : public StreamSink {
  public:
   /// Creates fresh instances of the underlying algorithm.
   using Factory = std::function<Result<Algo>()>;
+
+  static constexpr std::string_view kSnapshotTag = "sliding_window";
 
   /// `window` is the number of most recent elements a solution may use;
   /// `checkpoints >= 1` controls the coverage granularity.
@@ -58,11 +74,15 @@ class SlidingWindow {
   }
 
   /// Feeds one element to every live replica and manages their lifecycle.
-  Status Observe(const StreamPoint& point) {
+  void Observe(const StreamPoint& point) override {
+    if (!error_.ok()) return;  // latched factory failure; stream is dead
     // Start a new replica at every stride boundary.
     if (position_ % stride_ == 0) {
       Result<Algo> fresh = factory_();
-      if (!fresh.ok()) return fresh.status();
+      if (!fresh.ok()) {
+        error_ = fresh.status();
+        return;
+      }
       replicas_.push_back({position_, std::move(fresh.value())});
     }
     for (auto& replica : replicas_) {
@@ -78,12 +98,12 @@ class SlidingWindow {
       replicas_.pop_front();
     }
     FDM_DCHECK(!replicas_.empty());
-    return Status::Ok();
   }
 
   /// Solution over (a suffix of) the current window. Every element id in
   /// the result was observed within the last `window` elements.
-  Result<Solution> Solve() const {
+  Result<Solution> Solve() const override {
+    if (!error_.ok()) return error_;
     const int64_t window_start = WindowStart();
     for (const auto& replica : replicas_) {
       if (replica.start >= window_start) {
@@ -96,7 +116,7 @@ class SlidingWindow {
   }
 
   /// Elements stored across all live replicas.
-  size_t StoredElements() const {
+  size_t StoredElements() const override {
     size_t total = 0;
     for (const auto& replica : replicas_) {
       total += replica.algo.StoredElements();
@@ -104,9 +124,72 @@ class SlidingWindow {
     return total;
   }
 
-  int64_t ObservedElements() const { return position_; }
+  int64_t ObservedElements() const override { return position_; }
+
+  /// Serializes the window geometry, a pristine instance of the underlying
+  /// algorithm (the restored factory clones it for future replicas), and
+  /// every live replica. See `StreamSink::Snapshot`.
+  Status Snapshot(SnapshotWriter& writer) const override {
+    if (!error_.ok()) return error_;
+    Result<Algo> pristine = factory_();
+    if (!pristine.ok()) return pristine.status();
+    writer.WriteString(kSnapshotTag);
+    writer.WriteI64(window_);
+    writer.WriteI64(stride_);
+    writer.WriteI64(position_);
+    if (Status s = pristine.value().Snapshot(writer); !s.ok()) return s;
+    writer.WriteU64(replicas_.size());
+    for (const auto& replica : replicas_) {
+      writer.WriteI64(replica.start);
+      if (Status s = replica.algo.Snapshot(writer); !s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+
+  /// Rebuilds the adapter from a snapshot. The factory for future replicas
+  /// copies the serialized pristine instance, so the restored adapter keeps
+  /// spawning replicas with the original configuration.
+  static Result<SlidingWindow> Restore(SnapshotReader& reader) {
+    if (!internal::ConsumeTag(reader, kSnapshotTag)) return reader.status();
+    const int64_t window = reader.ReadI64();
+    const int64_t stride = reader.ReadI64();
+    const int64_t position = reader.ReadI64();
+    if (!reader.ok()) return reader.status();
+    Result<Algo> pristine = Algo::Restore(reader);
+    if (!pristine.ok()) return pristine.status();
+    auto prototype =
+        std::make_shared<const Algo>(std::move(pristine.value()));
+    if (prototype->ObservedElements() != 0) {
+      reader.Fail("sliding-window prototype has observed elements");
+      return reader.status();
+    }
+    const size_t replica_count = reader.ReadU64();
+    if (!reader.ok()) return reader.status();
+    if (stride < 1 || window < 1 ||
+        replica_count > static_cast<size_t>(window / stride) + 2) {
+      reader.Fail("implausible sliding-window geometry");
+      return reader.status();
+    }
+    SlidingWindow restored(window, stride,
+                           [prototype]() -> Result<Algo> {
+                             return Algo(*prototype);
+                           });
+    for (size_t r = 0; r < replica_count; ++r) {
+      const int64_t start = reader.ReadI64();
+      Result<Algo> algo = Algo::Restore(reader);
+      if (!algo.ok()) return algo.status();
+      restored.replicas_.push_back({start, std::move(algo.value())});
+    }
+    if (!reader.ok()) return reader.status();
+    restored.position_ = position;
+    return restored;
+  }
+
   int64_t window() const { return window_; }
   size_t live_replicas() const { return replicas_.size(); }
+
+  /// The latched factory error, if any (`Ok` during normal operation).
+  const Status& error() const { return error_; }
 
  private:
   struct Replica {
@@ -128,6 +211,7 @@ class SlidingWindow {
   Factory factory_;
   std::deque<Replica> replicas_;
   int64_t position_ = 0;
+  Status error_;
 };
 
 }  // namespace fdm

@@ -13,6 +13,9 @@
 
 namespace fdm {
 
+class SnapshotWriter;
+class SnapshotReader;
+
 /// The uniform ingestion interface of the streaming algorithms
 /// (`StreamingDm`, `Sfdm1`, `Sfdm2`, `AdaptiveStreamingDm`, and drivers
 /// layered on top of them, like `ShardedStreamingDm`). The harness, the
@@ -55,6 +58,21 @@ class StreamSink {
 
   /// Total elements observed so far.
   virtual int64_t ObservedElements() const = 0;
+
+  /// Serializes the sink's complete internal state (guess-ladder
+  /// configuration, retained points, fairness counters) into `writer`,
+  /// prefixed by the sink's type tag. The contract is a round-trip
+  /// invariant: the matching static `Restore(SnapshotReader&)` on the
+  /// concrete class yields a sink whose `Solve()`, `StoredElements()`, and
+  /// `ObservedElements()` are bit-identical to this one, and which evolves
+  /// identically under further `Observe` calls. `RestoreSink`
+  /// (core/sink_snapshot.h) dispatches on the tag when the concrete type is
+  /// not known statically. Sinks without durability support keep the
+  /// default.
+  virtual Status Snapshot(SnapshotWriter& writer) const {
+    (void)writer;
+    return Status::Unsupported("this sink does not support snapshots");
+  }
 };
 
 /// Feeds the dataset rows listed in `order` into `sink`: chopped into

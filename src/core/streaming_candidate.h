@@ -25,6 +25,13 @@ class StreamingCandidate {
     return true;
   }
 
+  /// Snapshot-restore path: direct mutable access to the underlying
+  /// storage, bypassing the µ-distance admission check. Only the
+  /// `Restore` hooks use this — the snapshot was written from a state
+  /// where the pairwise-`≥ µ` invariant held, and the file is checksummed,
+  /// so re-verifying every insertion would only redo the stream's work.
+  PointBuffer& MutablePointsForRestore() { return points_; }
+
   bool Full() const { return points_.size() >= capacity_; }
   double mu() const { return mu_; }
   size_t capacity() const { return capacity_; }

@@ -4,6 +4,9 @@
 #include <string>
 
 #include "core/diversity.h"
+#include "core/snapshot_util.h"
+#include "geo/point_buffer_io.h"
+#include "util/binary_io.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -90,6 +93,47 @@ Result<Solution> StreamingDm::Solve() const {
   solution.diversity = best_div;
   solution.mu = best->mu();
   return solution;
+}
+
+Status StreamingDm::Snapshot(SnapshotWriter& writer) const {
+  writer.WriteString(kSnapshotTag);
+  writer.WriteI32(k_);
+  internal::WriteStreamingHeader(writer, dim_, metric_, ladder_,
+                                 parallelism_.batch_threads());
+  writer.WriteI64(observed_);
+  writer.WriteU64(candidates_.size());
+  for (const StreamingCandidate& candidate : candidates_) {
+    SerializePointBuffer(writer, candidate.points());
+  }
+  return Status::Ok();
+}
+
+Result<StreamingDm> StreamingDm::Restore(SnapshotReader& reader) {
+  if (!internal::ConsumeTag(reader, kSnapshotTag)) return reader.status();
+  const int k = reader.ReadI32();
+  const internal::StreamingHeader header =
+      internal::ReadStreamingHeader(reader);
+  const int64_t observed = reader.ReadI64();
+  const size_t rungs = reader.ReadU64();
+  if (!reader.ok()) return reader.status();
+  // The guess ladder is a pure function of (d_min, d_max, ε), so Create
+  // rebuilds the rung structure deterministically; the snapshot carries
+  // only the retained points.
+  auto created = Create(k, header.dim, header.metric, header.options);
+  if (!created.ok()) return created.status();
+  StreamingDm algo = std::move(created.value());
+  if (rungs != algo.candidates_.size()) {
+    reader.Fail("rung count " + std::to_string(rungs) +
+                " does not match rebuilt ladder of " +
+                std::to_string(algo.candidates_.size()));
+    return reader.status();
+  }
+  for (StreamingCandidate& candidate : algo.candidates_) {
+    internal::RestoreCandidatePoints(reader, candidate);
+  }
+  if (!reader.ok()) return reader.status();
+  algo.observed_ = observed;
+  return algo;
 }
 
 size_t StreamingDm::StoredElements() const {

@@ -2,6 +2,7 @@
 #define FDM_CORE_STREAMING_DM_H_
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/guess_ladder.h"
@@ -65,6 +66,14 @@ class StreamingDm : public StreamSink {
 
   /// Total elements seen so far.
   int64_t ObservedElements() const override { return observed_; }
+
+  /// Versioned state serialization; see `StreamSink::Snapshot`.
+  Status Snapshot(SnapshotWriter& writer) const override;
+
+  /// Rebuilds the algorithm from a snapshot taken by `Snapshot`.
+  static Result<StreamingDm> Restore(SnapshotReader& reader);
+
+  static constexpr std::string_view kSnapshotTag = "streaming_dm";
 
   const GuessLadder& ladder() const { return ladder_; }
   int k() const { return k_; }

@@ -1,6 +1,8 @@
 #include "data/csv.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -9,6 +11,15 @@
 #include "util/stringutil.h"
 
 namespace fdm {
+
+namespace {
+
+/// Group ids must be dense `0..m-1`; anything above this is a malformed
+/// file, not a plausible grouping (and would make `Dataset` allocate one
+/// bucket per id up to it).
+constexpr long kMaxGroupId = 1 << 20;
+
+}  // namespace
 
 Status WriteDatasetCsv(const Dataset& dataset, const std::string& path) {
   std::ofstream out(path);
@@ -55,18 +66,38 @@ Result<Dataset> ReadDatasetCsv(const std::string& path, MetricKind metric,
       return Status::IoError("row " + std::to_string(line_no) +
                              " has wrong arity in " + path);
     }
+    // `strtol`/`strtod` accept an empty field (no conversion: `end` stays
+    // at the start and `*end == '\0'`), silently yielding 0 — so "did any
+    // characters convert" must be checked alongside "did all characters
+    // convert". `errno` catches out-of-range magnitudes.
     char* end = nullptr;
+    errno = 0;
     const long g = std::strtol(fields[0].c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || g < 0) {
-      return Status::IoError("bad group id at row " + std::to_string(line_no));
+    if (end == fields[0].c_str() || *end != '\0' || errno == ERANGE ||
+        g < 0) {
+      return Status::IoError("bad group id at row " + std::to_string(line_no) +
+                             " in " + path + ": '" + fields[0] + "'");
+    }
+    if (g > kMaxGroupId) {
+      return Status::IoError("group id " + std::to_string(g) + " at row " +
+                             std::to_string(line_no) + " in " + path +
+                             " out of range (group ids must be dense 0..m-1)");
     }
     groups.push_back(static_cast<int32_t>(g));
     max_group = std::max(max_group, static_cast<int32_t>(g));
     for (size_t d = 0; d < dim; ++d) {
       const double v = std::strtod(fields[d + 1].c_str(), &end);
-      if (end == nullptr || *end != '\0') {
+      if (end == fields[d + 1].c_str() || *end != '\0') {
         return Status::IoError("bad feature at row " +
-                               std::to_string(line_no));
+                               std::to_string(line_no) + " in " + path +
+                               ": '" + fields[d + 1] + "'");
+      }
+      // Rejects literal nan/inf and overflowed magnitudes alike (overflow
+      // yields ±HUGE_VAL = ±inf); underflow to 0/subnormal stays legal.
+      if (!std::isfinite(v)) {
+        return Status::IoError("non-finite feature at row " +
+                               std::to_string(line_no) + " in " + path +
+                               ": '" + fields[d + 1] + "'");
       }
       coords.push_back(v);
     }

@@ -12,8 +12,10 @@
 ///   * distance bounds         — data/dataset.h (EstimateDistanceBounds)
 ///
 /// The offline baselines (baselines/*.h), the sliding-window adapter
-/// (core/sliding_window.h), and the experiment harness (harness/*.h) are
-/// included here for convenience; fine-grained includes compile faster.
+/// (core/sliding_window.h), the durable serving layer (service/*.h —
+/// snapshots, write-ahead log, session manager), and the experiment
+/// harness (harness/*.h) are included here for convenience; fine-grained
+/// includes compile faster.
 
 #include "core/clustering.h"        // IWYU pragma: export
 #include "core/composable_coreset.h"  // IWYU pragma: export
@@ -28,10 +30,15 @@
 #include "core/sfdm2.h"             // IWYU pragma: export
 #include "core/sharded_stream.h"    // IWYU pragma: export
 #include "core/sliding_window.h"    // IWYU pragma: export
+#include "core/sink_snapshot.h"     // IWYU pragma: export
 #include "core/solution.h"          // IWYU pragma: export
 #include "core/stream_sink.h"       // IWYU pragma: export
 #include "core/streaming_dm.h"      // IWYU pragma: export
 #include "core/validate.h"          // IWYU pragma: export
+#include "service/durable_session.h"  // IWYU pragma: export
+#include "service/session_manager.h"  // IWYU pragma: export
+#include "service/sink_spec.h"      // IWYU pragma: export
+#include "service/wal.h"            // IWYU pragma: export
 #include "baselines/fair_flow.h"    // IWYU pragma: export
 #include "baselines/fair_gmm.h"     // IWYU pragma: export
 #include "baselines/fair_swap.h"    // IWYU pragma: export
@@ -42,6 +49,8 @@
 #include "data/synthetic.h"         // IWYU pragma: export
 #include "geo/metric.h"             // IWYU pragma: export
 #include "geo/point_buffer.h"       // IWYU pragma: export
+#include "geo/point_buffer_io.h"    // IWYU pragma: export
+#include "util/binary_io.h"         // IWYU pragma: export
 #include "util/status.h"            // IWYU pragma: export
 
 #endif  // FDM_FDM_H_

@@ -75,6 +75,11 @@ class PointBuffer {
   int64_t IdAt(size_t i) const { return ids_[i]; }
   int32_t GroupAt(size_t i) const { return groups_[i]; }
 
+  /// Whole-buffer views of the SoA arrays (serialization and bulk scans).
+  std::span<const int64_t> ids() const { return ids_; }
+  std::span<const int32_t> groups() const { return groups_; }
+  std::span<const double> coords() const { return coords_; }
+
   /// `d(x, S)` — distance from `x` to its nearest neighbour in the buffer;
   /// +infinity when empty (so "add if `d(x,S) >= µ`" admits the first point).
   ///

@@ -27,6 +27,7 @@ enum class AlgorithmKind {
   kSfdm2,     // this paper, streaming, any m
   kStreamingDm,  // Algorithm 1, streaming, unconstrained
   kSharded,      // sharded composable-coreset driver, unconstrained
+  kSlidingWindow,  // checkpointed sliding-window adapter over Algorithm 1
 };
 
 std::string_view AlgorithmName(AlgorithmKind kind);
@@ -53,6 +54,12 @@ struct RunConfig {
   int batch_threads = 1;
   /// Shard count for `AlgorithmKind::kSharded`.
   size_t num_shards = 4;
+  /// Window length for `AlgorithmKind::kSlidingWindow`; `0` means the whole
+  /// dataset (the windowed run then matches the one-pass setting).
+  int64_t window_size = 0;
+  /// Checkpoint replicas for `AlgorithmKind::kSlidingWindow` (coverage
+  /// granularity; live instances ≤ checkpoints + 1).
+  int64_t window_checkpoints = 4;
 };
 
 /// Measured outcome of one run.

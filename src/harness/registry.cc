@@ -6,9 +6,11 @@
 #include "baselines/fair_gmm.h"
 #include "baselines/fair_swap.h"
 #include "core/gmm.h"
+#include "core/sink_snapshot.h"
 #include "core/sfdm1.h"
 #include "core/sfdm2.h"
 #include "core/sharded_stream.h"
+#include "core/sliding_window.h"
 
 namespace fdm {
 
@@ -28,14 +30,6 @@ namespace {
 /// instead).
 size_t StartIndexFor(const Dataset& dataset, const RunConfig& config) {
   return static_cast<size_t>(config.permutation_seed % dataset.size());
-}
-
-/// Wraps a `Result<Algo>` factory result into a `Result` of sink pointer.
-template <typename Algo>
-Result<std::unique_ptr<StreamSink>> WrapSink(Result<Algo> created) {
-  if (!created.ok()) return created.status();
-  return std::unique_ptr<StreamSink>(
-      std::make_unique<Algo>(std::move(created.value())));
 }
 
 AlgorithmEntry GmmEntry() {
@@ -137,6 +131,31 @@ AlgorithmEntry ShardedEntry() {
   return entry;
 }
 
+AlgorithmEntry SlidingWindowEntry() {
+  AlgorithmEntry entry;
+  entry.name = "SlidingWindowDM";
+  entry.streaming = true;
+  entry.make_sink = [](const Dataset& dataset, const RunConfig& config) {
+    // Window 0 covers the whole dataset, making the windowed run directly
+    // comparable to the one-pass algorithms on the same stream.
+    const int64_t window =
+        config.window_size > 0 ? config.window_size
+                               : static_cast<int64_t>(dataset.size());
+    int64_t checkpoints = config.window_checkpoints;
+    if (checkpoints < 1) checkpoints = 1;
+    if (checkpoints > window) checkpoints = window;
+    const int k = config.constraint.TotalK();
+    const size_t dim = dataset.dim();
+    const MetricKind metric = dataset.metric_kind();
+    const StreamingOptions streaming = StreamingOptionsFrom(config);
+    return WrapSink(SlidingWindow<StreamingDm>::Create(
+        window, checkpoints, [k, dim, metric, streaming] {
+          return StreamingDm::Create(k, dim, metric, streaming);
+        }));
+  };
+  return entry;
+}
+
 }  // namespace
 
 AlgorithmRegistry::AlgorithmRegistry() {
@@ -148,6 +167,7 @@ AlgorithmRegistry::AlgorithmRegistry() {
   Register(AlgorithmKind::kSfdm2, Sfdm2Entry());
   Register(AlgorithmKind::kStreamingDm, StreamingDmEntry());
   Register(AlgorithmKind::kSharded, ShardedEntry());
+  Register(AlgorithmKind::kSlidingWindow, SlidingWindowEntry());
 }
 
 AlgorithmRegistry& AlgorithmRegistry::Instance() {

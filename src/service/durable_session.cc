@@ -1,0 +1,251 @@
+#include "service/durable_session.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "core/sink_snapshot.h"
+#include "service/sink_spec.h"
+#include "util/binary_io.h"
+
+namespace fdm {
+
+namespace {
+
+constexpr std::string_view kSessionTag = "fdm.session";
+
+std::string SpecPath(const std::string& dir) { return dir + "/SPEC"; }
+std::string WalDir(const std::string& dir) { return dir + "/wal"; }
+std::string SnapDir(const std::string& dir) { return dir + "/snap"; }
+
+/// Snapshot files in `dir`, as (seq, path), sorted ascending by seq.
+std::vector<std::pair<int64_t, std::string>> ListSnapshots(
+    const std::string& snap_dir) {
+  std::vector<std::pair<int64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(snap_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snap-", 0) != 0 ||
+        name.size() < 6 + 5 ||  // "snap-" + at least one digit + ".snap"
+        name.substr(name.size() - 5) != ".snap") {
+      continue;
+    }
+    char* end = nullptr;
+    const long long seq = std::strtoll(name.c_str() + 5, &end, 10);
+    if (end == nullptr || std::strcmp(end, ".snap") != 0 || seq < 1) continue;
+    found.emplace_back(seq, entry.path().string());
+  }
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+}  // namespace
+
+std::string DurableSession::SnapshotPath(int64_t seq) const {
+  char name[48];
+  std::snprintf(name, sizeof(name), "snap-%020lld.snap",
+                static_cast<long long>(seq));
+  return SnapDir(dir_) + "/" + name;
+}
+
+bool DurableSession::Exists(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(SpecPath(dir), ec);
+}
+
+Result<DurableSession> DurableSession::Create(std::string dir,
+                                              std::string spec,
+                                              DurableSessionOptions options) {
+  if (options.keep_snapshots == 0) options.keep_snapshots = 1;
+  if (Exists(dir)) {
+    return Status::InvalidArgument("session dir already holds a session: " +
+                                   dir + " (use Open)");
+  }
+  auto parsed = SinkSpec::Parse(spec);
+  if (!parsed.ok()) return parsed.status();
+  auto sink = parsed->MakeSink();
+  if (!sink.ok()) return sink.status();
+
+  std::error_code ec;
+  std::filesystem::create_directories(SnapDir(dir), ec);
+  if (ec) {
+    return Status::IoError("cannot create session dir " + dir + ": " +
+                           ec.message());
+  }
+  auto wal = WriteAheadLog::Open(WalDir(dir), options.wal);
+  if (!wal.ok()) return wal.status();
+
+  // SPEC is written last: its existence marks the directory as a session.
+  {
+    std::ofstream out(SpecPath(dir));
+    out << spec << "\n";
+    if (!out) return Status::IoError("cannot write " + SpecPath(dir));
+  }
+
+  DurableSession session(std::move(dir), std::move(spec), options);
+  session.sink_ = std::move(sink.value());
+  session.wal_ =
+      std::make_unique<WriteAheadLog>(std::move(wal.value()));
+  session.dim_ = parsed->dim;
+  return session;
+}
+
+Result<DurableSession> DurableSession::Open(std::string dir,
+                                            DurableSessionOptions options) {
+  if (options.keep_snapshots == 0) options.keep_snapshots = 1;
+  std::string spec;
+  {
+    std::ifstream in(SpecPath(dir));
+    if (!in || !std::getline(in, spec)) {
+      return Status::IoError("no session at " + dir + " (missing SPEC)");
+    }
+  }
+  auto parsed = SinkSpec::Parse(spec);
+  if (!parsed.ok()) return parsed.status();
+
+  // Newest loadable snapshot wins; a corrupt snapshot (torn write, bit
+  // rot — checksums catch both) falls back to the previous one, and
+  // ultimately to a fresh sink replaying the whole WAL.
+  std::unique_ptr<StreamSink> sink;
+  int64_t snapshot_seq = 0;
+  auto snapshots = ListSnapshots(SnapDir(dir));
+  for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
+    auto reader = SnapshotReader::FromFile(it->second);
+    if (!reader.ok()) continue;
+    const std::string tag = reader->ReadString();
+    const std::string stored_spec = reader->ReadString();
+    const int64_t seq = reader->ReadI64();
+    // A snapshot written under a different spec (edited SPEC file, foreign
+    // file copied in) must not restore silently — dim_ and the fresh-sink
+    // fallback would disagree with the restored sink's configuration.
+    if (!reader->ok() || tag != kSessionTag || stored_spec != spec ||
+        seq != it->first) {
+      continue;
+    }
+    auto restored = RestoreSink(*reader);
+    if (!restored.ok()) continue;
+    if ((*restored)->ObservedElements() != seq) continue;
+    sink = std::move(restored.value());
+    snapshot_seq = seq;
+    break;
+  }
+  if (sink == nullptr) {
+    auto fresh = parsed->MakeSink();
+    if (!fresh.ok()) return fresh.status();
+    sink = std::move(fresh.value());
+    snapshot_seq = 0;
+  }
+
+  auto wal = WriteAheadLog::Open(WalDir(dir), options.wal);
+  if (!wal.ok()) return wal.status();
+  auto replayed = wal->Replay(snapshot_seq, *sink);
+  if (!replayed.ok()) return replayed.status();
+
+  DurableSession session(std::move(dir), std::move(spec), options);
+  session.sink_ = std::move(sink);
+  session.wal_ = std::make_unique<WriteAheadLog>(std::move(wal.value()));
+  session.dim_ = parsed->dim;
+  session.snapshot_seq_ = snapshot_seq;
+  return session;
+}
+
+Status DurableSession::CheckDim(std::span<const StreamPoint> batch) const {
+  for (const StreamPoint& point : batch) {
+    if (point.coords.size() != dim_) {
+      return Status::InvalidArgument(
+          "point dimension " + std::to_string(point.coords.size()) +
+          " does not match session dim " + std::to_string(dim_));
+    }
+  }
+  return Status::Ok();
+}
+
+Status DurableSession::Observe(const StreamPoint& point) {
+  if (!broken_.ok()) return broken_;
+  if (Status s = CheckDim({&point, 1}); !s.ok()) return s;
+  // WAL first: a record applied to the sink but absent from the log could
+  // never be recovered; the converse (logged, crash before apply) replays.
+  if (Status s = wal_->Append(point); !s.ok()) {
+    // The log may now be ahead of the sink; latch the failure so no later
+    // ingest or snapshot can act on the diverged pair (see header).
+    broken_ = Status(s.code(),
+                     "session poisoned by WAL failure, reopen to recover: " +
+                         s.message());
+    return broken_;
+  }
+  sink_->Observe(point);
+  return MaybeAutoSnapshot();
+}
+
+Status DurableSession::ObserveBatch(std::span<const StreamPoint> batch) {
+  if (!broken_.ok()) return broken_;
+  if (Status s = CheckDim(batch); !s.ok()) return s;
+  if (Status s = wal_->AppendBatch(batch); !s.ok()) {
+    broken_ = Status(s.code(),
+                     "session poisoned by WAL failure, reopen to recover: " +
+                         s.message());
+    return broken_;
+  }
+  sink_->ObserveBatch(batch);
+  return MaybeAutoSnapshot();
+}
+
+Status DurableSession::MaybeAutoSnapshot() {
+  if (options_.snapshot_every == 0) return Status::Ok();
+  if (UnsnapshottedRecords() <
+      static_cast<int64_t>(options_.snapshot_every)) {
+    return Status::Ok();
+  }
+  return TakeSnapshot();
+}
+
+Status DurableSession::TakeSnapshot() {
+  if (!broken_.ok()) return broken_;
+  // The log must be durable through this stream position first: the
+  // snapshot claims "everything up to seq is covered", which is only true
+  // if no acknowledged record can disappear behind it.
+  if (Status s = wal_->Sync(); !s.ok()) return s;
+  const int64_t seq = sink_->ObservedElements();
+  if (seq == snapshot_seq_) return Status::Ok();  // up to date (or empty)
+
+  SnapshotWriter writer;
+  writer.WriteString(kSessionTag);
+  writer.WriteString(spec_);
+  writer.WriteI64(seq);
+  if (Status s = sink_->Snapshot(writer); !s.ok()) return s;
+  if (Status s = writer.WriteFile(SnapshotPath(seq)); !s.ok()) return s;
+  snapshot_seq_ = seq;
+
+  // Prune snapshots beyond keep_snapshots first, then drop only the WAL
+  // prefix below the OLDEST snapshot still retained: if the newest
+  // snapshot later fails its checksum, Open's fallback replays forward
+  // from an older one — which needs the log from that point on.
+  auto oldest_retained = PruneSnapshots();
+  if (!oldest_retained.ok()) return oldest_retained.status();
+  return wal_->TruncateBefore(*oldest_retained + 1);
+}
+
+Result<int64_t> DurableSession::PruneSnapshots() {
+  auto snapshots = ListSnapshots(SnapDir(dir_));
+  if (snapshots.size() > options_.keep_snapshots) {
+    const size_t excess = snapshots.size() - options_.keep_snapshots;
+    for (size_t i = 0; i < excess; ++i) {
+      std::error_code ec;
+      std::filesystem::remove(snapshots[i].second, ec);
+      if (ec) {
+        return Status::IoError("cannot prune snapshot " + snapshots[i].second +
+                               ": " + ec.message());
+      }
+    }
+    snapshots.erase(snapshots.begin(),
+                    snapshots.begin() + static_cast<ptrdiff_t>(excess));
+  }
+  return snapshots.empty() ? snapshot_seq_ : snapshots.front().first;
+}
+
+}  // namespace fdm

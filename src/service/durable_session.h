@@ -1,0 +1,123 @@
+#ifndef FDM_SERVICE_DURABLE_SESSION_H_
+#define FDM_SERVICE_DURABLE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/solution.h"
+#include "core/stream_sink.h"
+#include "service/wal.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Durability knobs of one session.
+struct DurableSessionOptions {
+  WalOptions wal;
+  /// Take a snapshot automatically after this many new records (0 = only
+  /// explicit/background snapshots).
+  size_t snapshot_every = 0;
+  /// Snapshots retained on disk (older ones are pruned after each new one;
+  /// at least 1).
+  size_t keep_snapshots = 2;
+};
+
+/// One durable streaming session: a sink plus its write-ahead log and
+/// snapshot chain, under one directory:
+///
+///   <dir>/SPEC               the sink spec (text, one line)
+///   <dir>/wal/wal-*.log      the write-ahead log segments
+///   <dir>/snap/snap-<seq>.snap   checksummed snapshots (seq = observed)
+///
+/// Write path (WAL discipline): every observation is appended to the log
+/// *before* it reaches the sink, so after a crash the union of the newest
+/// loadable snapshot and the log tail always covers the applied stream.
+/// fsyncs are batched (`WalOptions::sync_every`), so up to one batch of
+/// acknowledged records can be lost on power failure — but never torn:
+/// recovery replays the intact prefix of the tail and the restored sink is
+/// bit-identical to an uninterrupted run over that prefix.
+///
+/// `TakeSnapshot` writes snap/<observed>.snap atomically, then prunes WAL
+/// segments the snapshot made redundant and snapshots beyond
+/// `keep_snapshots`.
+///
+/// Not thread-safe; `SessionManager` serializes access per session.
+class DurableSession {
+ public:
+  /// Creates a fresh session directory. Fails if `dir` already contains a
+  /// session (use `Open`).
+  static Result<DurableSession> Create(std::string dir, std::string spec,
+                                       DurableSessionOptions options = {});
+
+  /// Opens an existing session: restores the newest loadable snapshot
+  /// (falling back to older snapshots, then to a fresh sink, on checksum
+  /// failure) and replays the WAL tail after it through `ObserveBatch`.
+  static Result<DurableSession> Open(std::string dir,
+                                     DurableSessionOptions options = {});
+
+  /// True iff `dir` holds a session (its SPEC file exists).
+  static bool Exists(const std::string& dir);
+
+  /// WAL-append then apply. May trigger an automatic snapshot
+  /// (`snapshot_every`). Rejects points whose dimension does not match the
+  /// spec *before* they reach the WAL — a malformed point must never be
+  /// persisted, or every future recovery would replay it (the sinks
+  /// themselves only DCHECK the dimension).
+  ///
+  /// A failed WAL append POISONS the session (every later call returns
+  /// the latched error): the log may then hold a record the sink never
+  /// applied, so continuing — or snapshotting — would break the
+  /// `snapshot seq + WAL tail == stream` invariant recovery relies on.
+  /// The cure is to drop the object and `Open` again: the WAL is the
+  /// source of truth, and replay reconciles the sink to it.
+  Status Observe(const StreamPoint& point);
+  Status ObserveBatch(std::span<const StreamPoint> batch);
+
+  Result<Solution> Solve() const { return sink_->Solve(); }
+
+  /// Fsyncs the WAL and writes a snapshot at the current stream position.
+  Status TakeSnapshot();
+
+  /// Fsyncs the WAL (durability barrier without a snapshot).
+  Status Sync() { return wal_->Sync(); }
+
+  const std::string& dir() const { return dir_; }
+  const std::string& spec() const { return spec_; }
+  int64_t ObservedElements() const { return sink_->ObservedElements(); }
+  size_t StoredElements() const { return sink_->StoredElements(); }
+  /// Stream position of the newest on-disk snapshot (0 = none).
+  int64_t SnapshotSeq() const { return snapshot_seq_; }
+  /// Records observed since the newest snapshot.
+  int64_t UnsnapshottedRecords() const {
+    return sink_->ObservedElements() - snapshot_seq_;
+  }
+  StreamSink& sink() { return *sink_; }
+  const StreamSink& sink() const { return *sink_; }
+
+ private:
+  DurableSession(std::string dir, std::string spec,
+                 DurableSessionOptions options)
+      : dir_(std::move(dir)), spec_(std::move(spec)), options_(options) {}
+
+  Status MaybeAutoSnapshot();
+  /// Deletes snapshots beyond `keep_snapshots`; returns the seq of the
+  /// oldest snapshot still on disk (`snapshot_seq_` if none).
+  Result<int64_t> PruneSnapshots();
+  std::string SnapshotPath(int64_t seq) const;
+  Status CheckDim(std::span<const StreamPoint> batch) const;
+
+  std::string dir_;
+  std::string spec_;
+  DurableSessionOptions options_;
+  std::unique_ptr<StreamSink> sink_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  size_t dim_ = 0;  // from the spec; every ingested point must match
+  int64_t snapshot_seq_ = 0;
+  Status broken_;  // latched WAL-append failure; session needs a reopen
+};
+
+}  // namespace fdm
+
+#endif  // FDM_SERVICE_DURABLE_SESSION_H_

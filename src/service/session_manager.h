@@ -1,0 +1,154 @@
+#ifndef FDM_SERVICE_SESSION_MANAGER_H_
+#define FDM_SERVICE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solution.h"
+#include "service/durable_session.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace fdm {
+
+struct SessionManagerOptions {
+  /// Root directory; each session lives in `<root_dir>/<name>/`.
+  std::string root_dir;
+  /// Sessions kept live in memory; beyond this the least-recently-used
+  /// idle session is snapshotted and spilled to disk (it reloads lazily on
+  /// the next touch). 0 = unlimited.
+  size_t max_resident = 0;
+  /// Per-session durability knobs (auto-snapshot cadence, WAL batching).
+  DurableSessionOptions session;
+  /// Period of the background snapshot thread, which persists every
+  /// resident session with unsnapshotted records. 0 = no background
+  /// thread.
+  int background_snapshot_ms = 0;
+  /// Threads for manager-wide parallel operations (`SnapshotAll`,
+  /// shutdown flush): `1` = sequential, `0` = hardware threads.
+  int threads = 1;
+};
+
+/// Serving-side façade: many named, concurrently accessible durable
+/// sessions, each a `StreamSink` built from a spec string.
+///
+/// Concurrency model: a manager-level mutex guards only the name→entry map
+/// and LRU bookkeeping; every session has its own mutex, so ingest into
+/// different sessions proceeds in parallel (and each sink can additionally
+/// parallelize `ObserveBatch` internally over its own rungs/shards).
+/// Manager-wide sweeps (`SnapshotAll`, destructor flush) fan the sessions
+/// out over a `util/thread_pool.h` pool.
+///
+/// Lifecycle: `CreateSession` builds a fresh sink + WAL; a session touched
+/// after a spill (or after a restart — `Create` scans `root_dir`) is
+/// recovered transparently from its snapshot + WAL tail. The destructor
+/// stops the background thread and snapshots every resident session, so a
+/// clean shutdown restarts with empty WAL tails.
+class SessionManager {
+ public:
+  static Result<std::unique_ptr<SessionManager>> Create(
+      SessionManagerOptions options);
+
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Creates a new named session from a sink spec (see
+  /// `service/sink_spec.h`). Names are path components: `[A-Za-z0-9._-]+`.
+  Status CreateSession(const std::string& name, const std::string& spec);
+
+  /// Ingest. The point's coordinate span only needs to live for the call.
+  Status Observe(const std::string& name, const StreamPoint& point);
+  Status ObserveBatch(const std::string& name,
+                      std::span<const StreamPoint> batch);
+
+  Result<Solution> Solve(const std::string& name);
+
+  /// Explicit durability points.
+  Status Snapshot(const std::string& name);
+  Status SnapshotAll();
+
+  /// Drops the in-memory state of a session WITHOUT snapshotting — the
+  /// next touch recovers from disk (snapshot + WAL tail). This is the
+  /// kill-point used by crash-recovery tests and the serve CLI's RESTORE.
+  Status DropResident(const std::string& name);
+
+  struct SessionStats {
+    std::string name;
+    std::string spec;
+    bool resident = false;
+    int64_t observed = 0;
+    size_t stored = 0;
+    int64_t snapshot_seq = 0;
+  };
+  Result<SessionStats> Stats(const std::string& name);
+
+  /// All known sessions (resident and spilled), sorted by name.
+  std::vector<std::string> SessionNames() const;
+
+  size_t ResidentCount() const;
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::unique_ptr<DurableSession> session;  // null = spilled to disk
+    /// Mirrors `session != nullptr`, updated at every transition while
+    /// `mu` is held. Scans that only hold the MAP mutex (LRU victim
+    /// selection, SnapshotAll collection) read this flag — reading
+    /// `session` itself there would race with a concurrent load/spill.
+    std::atomic<bool> resident{false};
+    uint64_t last_used = 0;
+  };
+
+  explicit SessionManager(SessionManagerOptions options);
+
+  std::string DirFor(const std::string& name) const {
+    return options_.root_dir + "/" + name;
+  }
+
+  /// Returns the entry for `name`, recovering it from disk if spilled, and
+  /// bumps its LRU stamp. May spill another (least-recently-used) session
+  /// to honor `max_resident`.
+  Result<std::shared_ptr<Entry>> Resident(const std::string& name);
+
+  /// Runs `fn(session)` with the entry lock held, transparently reloading
+  /// if the session was spilled between `Resident` and the lock (the lock
+  /// is released before each retry — never recurse while holding it).
+  template <typename Fn>
+  auto WithSession(const std::string& name, Fn&& fn)
+      -> decltype(fn(std::declval<DurableSession&>()));
+
+  /// Spills LRU sessions until the resident count is within bounds.
+  void EnforceResidencyLimit();
+
+  void BackgroundLoop();
+
+  SessionManagerOptions options_;
+  mutable std::mutex mu_;  // guards entries_ + tick_
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+  uint64_t tick_ = 0;
+  /// Live-session count, maintained at every load/spill transition so the
+  /// per-operation residency check is O(1); the O(sessions) LRU scan only
+  /// runs once the cap is actually exceeded.
+  std::atomic<size_t> resident_count_{0};
+
+  BatchParallelism sweep_parallelism_;
+
+  std::thread background_;
+  std::mutex background_mu_;
+  std::condition_variable background_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_SERVICE_SESSION_MANAGER_H_

@@ -1,0 +1,459 @@
+#include "service/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/binary_io.h"
+#include "util/check.h"
+
+namespace fdm {
+
+namespace {
+
+constexpr char kSegmentMagic[8] = {'F', 'D', 'M', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kRecordHeaderBytes = sizeof(uint32_t);
+constexpr size_t kRecordChecksumBytes = sizeof(uint64_t);
+/// A record payload beyond this is corruption, not data (it would imply a
+/// ~8M-dimensional point).
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+/// Flush the append buffer to the fd once it grows past this.
+constexpr size_t kFlushThresholdBytes = 256u << 10;
+
+std::string SegmentName(int64_t first_seq) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "wal-%020lld.log",
+                static_cast<long long>(first_seq));
+  return name;
+}
+
+template <typename T>
+void AppendScalar(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+T ReadScalarAt(const std::string& bytes, size_t offset) {
+  T v{};
+  std::memcpy(&v, bytes.data() + offset, sizeof(v));
+  return v;
+}
+
+/// Outcome of scanning one segment file.
+struct SegmentScan {
+  Status status;             // non-OK: unreadable / not a WAL segment
+  size_t valid_bytes = 0;    // offset just past the last intact record
+  bool torn_tail = false;    // trailing bytes exist past `valid_bytes`
+  int64_t first_seq = 0;     // of the records actually present (0 if none)
+  int64_t last_seq = 0;      // 0 if the segment holds no intact record
+};
+
+/// Walks the records of a loaded segment, invoking `on_record(payload
+/// bytes, payload size)` for each intact one. Stops at the first torn or
+/// corrupt record and reports where.
+template <typename OnRecord>
+SegmentScan ScanSegment(const std::string& bytes, OnRecord&& on_record) {
+  SegmentScan scan;
+  if (bytes.size() < sizeof(kSegmentMagic) ||
+      std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    scan.status = Status::IoError("not a WAL segment (bad magic)");
+    return scan;
+  }
+  size_t offset = sizeof(kSegmentMagic);
+  scan.valid_bytes = offset;
+  while (offset + kRecordHeaderBytes <= bytes.size()) {
+    const uint32_t len = ReadScalarAt<uint32_t>(bytes, offset);
+    if (len > kMaxPayloadBytes ||
+        offset + kRecordHeaderBytes + len + kRecordChecksumBytes >
+            bytes.size()) {
+      break;  // torn or corrupt tail
+    }
+    const char* payload = bytes.data() + offset + kRecordHeaderBytes;
+    const uint64_t stored = ReadScalarAt<uint64_t>(
+        bytes, offset + kRecordHeaderBytes + len);
+    if (stored != Fnv1a64(payload, len)) break;
+    const int64_t seq = on_record(payload, len);
+    if (seq < 0) {
+      scan.status = Status::IoError("malformed WAL record payload");
+      return scan;
+    }
+    if (scan.first_seq == 0) scan.first_seq = seq;
+    scan.last_seq = seq;
+    offset += kRecordHeaderBytes + len + kRecordChecksumBytes;
+    scan.valid_bytes = offset;
+  }
+  scan.torn_tail = scan.valid_bytes < bytes.size();
+  return scan;
+}
+
+}  // namespace
+
+WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      options_(other.options_),
+      segment_first_seqs_(std::move(other.segment_first_seqs_)),
+      fd_(other.fd_),
+      active_segment_bytes_(other.active_segment_bytes_),
+      buffer_(std::move(other.buffer_)),
+      last_seq_(other.last_seq_),
+      unsynced_records_(other.unsynced_records_) {
+  other.fd_ = -1;
+  other.unsynced_records_ = 0;
+}
+
+WriteAheadLog& WriteAheadLog::operator=(WriteAheadLog&& other) noexcept {
+  if (this != &other) {
+    CloseFd();
+    dir_ = std::move(other.dir_);
+    options_ = other.options_;
+    segment_first_seqs_ = std::move(other.segment_first_seqs_);
+    fd_ = other.fd_;
+    active_segment_bytes_ = other.active_segment_bytes_;
+    buffer_ = std::move(other.buffer_);
+    last_seq_ = other.last_seq_;
+    unsynced_records_ = other.unsynced_records_;
+    other.fd_ = -1;
+    other.unsynced_records_ = 0;
+  }
+  return *this;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (fd_ >= 0) {
+    (void)Sync();  // best-effort durability on clean shutdown
+    CloseFd();
+  }
+}
+
+void WriteAheadLog::CloseFd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<WriteAheadLog> WriteAheadLog::Open(std::string dir,
+                                          WalOptions options) {
+  if (options.segment_bytes < 1u << 10) options.segment_bytes = 1u << 10;
+  if (options.sync_every == 0) options.sync_every = 1;
+  if (options.replay_batch == 0) options.replay_batch = 1;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError("cannot create WAL dir " + dir + ": " +
+                           ec.message());
+  }
+  WriteAheadLog wal(std::move(dir), options);
+
+  // Discover existing segments.
+  for (const auto& entry : std::filesystem::directory_iterator(wal.dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() != SegmentName(0).size() || name.rfind("wal-", 0) != 0 ||
+        name.substr(name.size() - 4) != ".log") {
+      continue;
+    }
+    char* end = nullptr;
+    const long long first = std::strtoll(name.c_str() + 4, &end, 10);
+    if (end == nullptr || std::strcmp(end, ".log") != 0 || first < 1) continue;
+    wal.segment_first_seqs_.push_back(first);
+  }
+  if (ec) {
+    return Status::IoError("cannot list WAL dir " + wal.dir_ + ": " +
+                           ec.message());
+  }
+  std::sort(wal.segment_first_seqs_.begin(), wal.segment_first_seqs_.end());
+
+  if (wal.segment_first_seqs_.empty()) {
+    wal.last_seq_ = 0;
+    if (Status s = wal.OpenSegment(1); !s.ok()) return s;
+    return wal;
+  }
+
+  // Recover last_seq from the newest segment and drop a torn tail so new
+  // appends land on a record boundary.
+  const int64_t newest_first = wal.segment_first_seqs_.back();
+  const std::string newest_path =
+      wal.dir_ + "/" + SegmentName(newest_first);
+  auto loaded = ReadFileToString(newest_path);
+  if (!loaded.ok()) return loaded.status();
+  const std::string& bytes = loaded.value();
+  if (bytes.size() < sizeof(kSegmentMagic)) {
+    // A crash can leave a freshly rotated segment empty (its magic was
+    // buffered but never flushed). Re-initialize it in place.
+    const int fd = ::open(newest_path.c_str(), O_WRONLY | O_TRUNC);
+    if (fd < 0) {
+      return Status::IoError("cannot reopen empty WAL segment: " +
+                             newest_path + ": " + std::strerror(errno));
+    }
+    wal.fd_ = fd;
+    wal.buffer_.assign(kSegmentMagic, sizeof(kSegmentMagic));
+    wal.active_segment_bytes_ = 0;
+    wal.last_seq_ = newest_first - 1;
+    return wal;
+  }
+  const SegmentScan scan = ScanSegment(bytes, [](const char* payload,
+                                                 uint32_t len) -> int64_t {
+    if (len < sizeof(uint64_t)) return -1;
+    uint64_t seq = 0;
+    std::memcpy(&seq, payload, sizeof(seq));
+    return static_cast<int64_t>(seq);
+  });
+  if (!scan.status.ok()) {
+    return Status::IoError(scan.status.message() + ": " + newest_path);
+  }
+  if (scan.torn_tail) {
+    if (::truncate(newest_path.c_str(),
+                   static_cast<off_t>(scan.valid_bytes)) != 0) {
+      return Status::IoError("cannot truncate torn WAL tail: " + newest_path +
+                             ": " + std::strerror(errno));
+    }
+  }
+  wal.last_seq_ = scan.last_seq != 0 ? scan.last_seq : newest_first - 1;
+
+  const int fd = ::open(newest_path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    return Status::IoError("cannot open WAL segment for append: " +
+                           newest_path + ": " + std::strerror(errno));
+  }
+  wal.fd_ = fd;
+  wal.active_segment_bytes_ = scan.valid_bytes;
+  return wal;
+}
+
+Status WriteAheadLog::OpenSegment(int64_t first_seq) {
+  if (Status s = FlushBuffer(); !s.ok()) return s;
+  CloseFd();
+  const std::string path = dir_ + "/" + SegmentName(first_seq);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot create WAL segment: " + path + ": " +
+                           std::strerror(errno));
+  }
+  fd_ = fd;
+  buffer_.assign(kSegmentMagic, sizeof(kSegmentMagic));
+  active_segment_bytes_ = 0;
+  segment_first_seqs_.push_back(first_seq);
+  return Status::Ok();
+}
+
+Status WriteAheadLog::FlushBuffer() {
+  if (buffer_.empty()) return Status::Ok();
+  FDM_CHECK(fd_ >= 0);
+  size_t written = 0;
+  while (written < buffer_.size()) {
+    const ssize_t n =
+        ::write(fd_, buffer_.data() + written, buffer_.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("WAL write failed: " + dir_ + ": " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  active_segment_bytes_ += buffer_.size();
+  buffer_.clear();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendLocked(const StreamPoint& point) {
+  const int64_t seq = last_seq_ + 1;
+  const uint32_t dim = static_cast<uint32_t>(point.coords.size());
+  const uint32_t payload_len =
+      sizeof(uint64_t) + sizeof(int64_t) + sizeof(int32_t) + sizeof(uint32_t) +
+      dim * sizeof(double);
+
+  const size_t payload_begin = buffer_.size() + kRecordHeaderBytes;
+  AppendScalar<uint32_t>(buffer_, payload_len);
+  AppendScalar<uint64_t>(buffer_, static_cast<uint64_t>(seq));
+  AppendScalar<int64_t>(buffer_, point.id);
+  AppendScalar<int32_t>(buffer_, point.group);
+  AppendScalar<uint32_t>(buffer_, dim);
+  buffer_.append(reinterpret_cast<const char*>(point.coords.data()),
+                 dim * sizeof(double));
+  AppendScalar<uint64_t>(
+      buffer_, Fnv1a64(buffer_.data() + payload_begin, payload_len));
+
+  last_seq_ = seq;
+  ++unsynced_records_;
+
+  if (buffer_.size() >= kFlushThresholdBytes) {
+    if (Status s = FlushBuffer(); !s.ok()) return s;
+  }
+  if (active_segment_bytes_ + buffer_.size() >= options_.segment_bytes) {
+    // Seal the segment durably before rotating so `TruncateBefore` after a
+    // future snapshot never deletes the only copy of unsynced records.
+    if (Status s = Sync(); !s.ok()) return s;
+    if (Status s = OpenSegment(last_seq_ + 1); !s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Append(const StreamPoint& point) {
+  if (Status s = AppendLocked(point); !s.ok()) return s;
+  if (unsynced_records_ >= options_.sync_every) return Sync();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::AppendBatch(std::span<const StreamPoint> batch) {
+  for (const StreamPoint& point : batch) {
+    if (Status s = AppendLocked(point); !s.ok()) return s;
+  }
+  if (unsynced_records_ >= options_.sync_every) return Sync();
+  return Status::Ok();
+}
+
+Status WriteAheadLog::Sync() {
+  if (Status s = FlushBuffer(); !s.ok()) return s;
+  if (unsynced_records_ == 0) return Status::Ok();
+  FDM_CHECK(fd_ >= 0);
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("WAL fsync failed: " + dir_ + ": " +
+                           std::strerror(errno));
+  }
+  unsynced_records_ = 0;
+  return Status::Ok();
+}
+
+std::vector<std::string> WriteAheadLog::SegmentPaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(segment_first_seqs_.size());
+  for (const int64_t first : segment_first_seqs_) {
+    paths.push_back(dir_ + "/" + SegmentName(first));
+  }
+  return paths;
+}
+
+Result<int64_t> WriteAheadLog::Replay(int64_t after_seq,
+                                      StreamSink& sink) const {
+  FDM_CHECK_MSG(buffer_.empty() || buffer_.size() == sizeof(kSegmentMagic),
+                "Sync() the WAL before Replay()");
+  int64_t replayed = 0;
+  int64_t prev_seq = after_seq;
+
+  // Batch scratch: coordinates pool + point views into it, flushed through
+  // ObserveBatch so rung-parallel sinks replay at batched-ingestion speed.
+  std::vector<double> coords_pool;
+  std::vector<int64_t> ids;
+  std::vector<int32_t> groups;
+  size_t batch_dim = 0;
+
+  auto flush_batch = [&]() {
+    if (ids.empty()) return;
+    std::vector<StreamPoint> points;
+    points.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      points.push_back(StreamPoint{
+          ids[i], groups[i],
+          std::span<const double>(coords_pool.data() + i * batch_dim,
+                                  batch_dim)});
+    }
+    sink.ObserveBatch(points);
+    coords_pool.clear();
+    ids.clear();
+    groups.clear();
+  };
+
+  for (size_t s = 0; s < segment_first_seqs_.size(); ++s) {
+    // A whole segment is skippable when the next segment starts at or
+    // before the replay point — every record in it has a smaller seq.
+    if (s + 1 < segment_first_seqs_.size() &&
+        segment_first_seqs_[s + 1] <= after_seq + 1) {
+      continue;
+    }
+    const std::string path = dir_ + "/" + SegmentName(segment_first_seqs_[s]);
+    auto loaded = ReadFileToString(path);
+    if (!loaded.ok()) return loaded.status();
+    const std::string& bytes = loaded.value();
+    if (bytes.size() < sizeof(kSegmentMagic)) {
+      // A freshly created/rotated active segment whose magic was never
+      // flushed (crash before the first flush, or the magic still sits in
+      // this object's buffer). Empty = nothing to replay; only legal for
+      // the newest segment.
+      if (s + 1 == segment_first_seqs_.size()) continue;
+      return Status::IoError("empty WAL segment mid-log: " + path);
+    }
+
+    Status record_error;
+    const SegmentScan scan = ScanSegment(
+        bytes, [&](const char* payload, uint32_t len) -> int64_t {
+          constexpr uint32_t kFixed = sizeof(uint64_t) + sizeof(int64_t) +
+                                      sizeof(int32_t) + sizeof(uint32_t);
+          if (len < kFixed) return -1;
+          size_t at = 0;
+          uint64_t seq_u = 0;
+          int64_t id = 0;
+          int32_t group = 0;
+          uint32_t dim = 0;
+          std::memcpy(&seq_u, payload + at, sizeof(seq_u)), at += sizeof(seq_u);
+          std::memcpy(&id, payload + at, sizeof(id)), at += sizeof(id);
+          std::memcpy(&group, payload + at, sizeof(group)), at += sizeof(group);
+          std::memcpy(&dim, payload + at, sizeof(dim)), at += sizeof(dim);
+          if (len != kFixed + dim * sizeof(double)) return -1;
+          const int64_t seq = static_cast<int64_t>(seq_u);
+          if (seq <= after_seq) return seq;  // before the snapshot: skip
+          if (seq != prev_seq + 1) {
+            record_error = Status::IoError(
+                "WAL sequence gap: expected " + std::to_string(prev_seq + 1) +
+                ", found " + std::to_string(seq) + " in " + path);
+            return -1;
+          }
+          if (batch_dim == 0) {
+            batch_dim = dim;
+            coords_pool.reserve(options_.replay_batch * batch_dim);
+          } else if (dim != batch_dim) {
+            record_error = Status::IoError(
+                "WAL record dimension changed mid-log in " + path);
+            return -1;
+          }
+          coords_pool.insert(
+              coords_pool.end(), reinterpret_cast<const double*>(payload + at),
+              reinterpret_cast<const double*>(payload + at) + dim);
+          ids.push_back(id);
+          groups.push_back(group);
+          prev_seq = seq;
+          ++replayed;
+          if (ids.size() >= options_.replay_batch) flush_batch();
+          return seq;
+        });
+    if (!record_error.ok()) return record_error;
+    if (!scan.status.ok()) {
+      return Status::IoError(scan.status.message() + ": " + path);
+    }
+    if (scan.torn_tail && s + 1 != segment_first_seqs_.size()) {
+      return Status::IoError("corrupt record mid-WAL (not the newest "
+                             "segment): " + path);
+    }
+  }
+  flush_batch();
+  return replayed;
+}
+
+Status WriteAheadLog::TruncateBefore(int64_t before_seq) {
+  size_t removable = 0;
+  while (removable + 1 < segment_first_seqs_.size() &&
+         segment_first_seqs_[removable + 1] <= before_seq) {
+    ++removable;
+  }
+  for (size_t i = 0; i < removable; ++i) {
+    const std::string path = dir_ + "/" + SegmentName(segment_first_seqs_[i]);
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    if (ec) {
+      return Status::IoError("cannot remove WAL segment " + path + ": " +
+                             ec.message());
+    }
+  }
+  segment_first_seqs_.erase(segment_first_seqs_.begin(),
+                            segment_first_seqs_.begin() + removable);
+  return Status::Ok();
+}
+
+}  // namespace fdm

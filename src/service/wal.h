@@ -1,0 +1,117 @@
+#ifndef FDM_SERVICE_WAL_H_
+#define FDM_SERVICE_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/stream_sink.h"
+#include "geo/point_buffer.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// Durability/performance knobs of the write-ahead log.
+struct WalOptions {
+  /// Rotate to a fresh segment file once the active one exceeds this size.
+  size_t segment_bytes = 4u << 20;
+  /// fsync after this many appended records (1 = fsync every record; large
+  /// values batch the fsyncs, trading a bounded tail of re-playable — but
+  /// possibly lost on power failure — records for throughput). `Sync()`
+  /// forces one regardless.
+  size_t sync_every = 256;
+  /// Points per `ObserveBatch` call during replay (replay reuses the
+  /// batched ingestion engine, so rung-parallel sinks recover in parallel).
+  size_t replay_batch = 512;
+};
+
+/// Append-only, segmented, checksummed log of observed `StreamPoint`s — the
+/// durability half the snapshot does not cover: crash recovery is "load the
+/// latest snapshot, then replay the WAL tail after it".
+///
+/// On-disk layout: `<dir>/wal-<first_seq>.log` segment files. Each segment
+/// starts with an 8-byte magic; records are framed as
+///
+///   payload length u32 | payload | FNV-1a 64 of payload
+///
+/// with payload = seq u64 | id i64 | group i32 | dim u32 | coords double[dim].
+/// Sequence numbers are 1-based and dense: record `seq` is the `seq`-th
+/// element ever observed by the session, so "replay after a snapshot taken
+/// at `observed = N`" is exactly "replay records with seq > N".
+///
+/// Torn tails are expected (a crash can land mid-record): `Open` truncates
+/// a torn tail off the newest segment before appending, and `Replay` stops
+/// cleanly at a torn record in the newest segment. Corruption anywhere
+/// else is reported as an error — that is data loss, not a crash artifact.
+///
+/// Not thread-safe; the session layer serializes access per session.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log in `dir`. Scans existing segments
+  /// to recover `last_seq` and truncates a torn tail off the newest
+  /// segment.
+  static Result<WriteAheadLog> Open(std::string dir, WalOptions options = {});
+
+  WriteAheadLog(WriteAheadLog&& other) noexcept;
+  WriteAheadLog& operator=(WriteAheadLog&& other) noexcept;
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+  ~WriteAheadLog();
+
+  /// Appends one observation; assigns it `last_seq() + 1`. The record is
+  /// durable once the next fsync (batched per `sync_every`, or explicit
+  /// `Sync`) completes.
+  Status Append(const StreamPoint& point);
+
+  /// Appends a batch (one buffered write, one fsync-policy check).
+  Status AppendBatch(std::span<const StreamPoint> batch);
+
+  /// Flushes buffered records and fsyncs the active segment.
+  Status Sync();
+
+  /// Replays every record with `seq > after_seq` into `sink` through
+  /// `ObserveBatch`, in sequence order. Returns the number of records
+  /// replayed. The newest segment may end in a torn record (crash tail) —
+  /// replay stops cleanly there.
+  Result<int64_t> Replay(int64_t after_seq, StreamSink& sink) const;
+
+  /// Deletes whole segments whose records all have `seq < before_seq`
+  /// (call after a snapshot at `before_seq - 1` has been written). The
+  /// active segment is never deleted.
+  Status TruncateBefore(int64_t before_seq);
+
+  /// Highest sequence number ever appended (0 when empty).
+  int64_t last_seq() const { return last_seq_; }
+
+  /// Records appended since the last successful fsync.
+  size_t unsynced_records() const { return unsynced_records_; }
+
+  /// Current segment files, sorted by first sequence number.
+  std::vector<std::string> SegmentPaths() const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WriteAheadLog(std::string dir, WalOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  /// Opens a new active segment whose first record will be `first_seq`.
+  Status OpenSegment(int64_t first_seq);
+  Status FlushBuffer();
+  Status AppendLocked(const StreamPoint& point);
+  void CloseFd();
+
+  std::string dir_;
+  WalOptions options_;
+  std::vector<int64_t> segment_first_seqs_;  // sorted; last = active segment
+  int fd_ = -1;
+  size_t active_segment_bytes_ = 0;
+  std::string buffer_;  // records not yet written to the fd
+  int64_t last_seq_ = 0;
+  size_t unsynced_records_ = 0;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_SERVICE_WAL_H_

@@ -79,6 +79,75 @@ TEST_F(CsvTest, RejectsBadFeature) {
   EXPECT_FALSE(ReadDatasetCsv(path_, MetricKind::kEuclidean).ok());
 }
 
+TEST_F(CsvTest, RejectsEmptyGroupField) {
+  // strtol performs "no conversion" on an empty field and would otherwise
+  // silently yield group 0.
+  std::ofstream out(path_);
+  out << "group,f0\n,1.0\n";
+  out.close();
+  auto r = ReadDatasetCsv(path_, MetricKind::kEuclidean);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RejectsEmptyFeatureField) {
+  std::ofstream out(path_);
+  out << "group,f0,f1\n0,1.0,\n";
+  out.close();
+  auto r = ReadDatasetCsv(path_, MetricKind::kEuclidean);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RejectsTrailingGarbageAfterNumber) {
+  std::ofstream out(path_);
+  out << "group,f0\n0,1.5abc\n";
+  out.close();
+  EXPECT_FALSE(ReadDatasetCsv(path_, MetricKind::kEuclidean).ok());
+}
+
+TEST_F(CsvTest, RejectsOutOfRangeGroupId) {
+  // Larger than any plausible dense group universe — and larger than what
+  // a long can hold, in the second case.
+  std::ofstream out(path_);
+  out << "group,f0\n99999999,1.0\n";
+  out.close();
+  auto r = ReadDatasetCsv(path_, MetricKind::kEuclidean);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+
+  std::ofstream overflow(path_);
+  overflow << "group,f0\n99999999999999999999999999,1.0\n";
+  overflow.close();
+  EXPECT_FALSE(ReadDatasetCsv(path_, MetricKind::kEuclidean).ok());
+}
+
+TEST_F(CsvTest, RejectsNegativeGroupId) {
+  std::ofstream out(path_);
+  out << "group,f0\n-1,1.0\n";
+  out.close();
+  EXPECT_FALSE(ReadDatasetCsv(path_, MetricKind::kEuclidean).ok());
+}
+
+TEST_F(CsvTest, RejectsNonFiniteFeatures) {
+  for (const char* bad : {"nan", "inf", "-inf", "1e999"}) {
+    std::ofstream out(path_);
+    out << "group,f0\n0," << bad << "\n";
+    out.close();
+    auto r = ReadDatasetCsv(path_, MetricKind::kEuclidean);
+    EXPECT_FALSE(r.ok()) << "accepted feature '" << bad << "'";
+  }
+}
+
+TEST_F(CsvTest, RejectsExtraColumns) {
+  std::ofstream out(path_);
+  out << "group,f0\n0,1.0,2.0\n";
+  out.close();
+  auto r = ReadDatasetCsv(path_, MetricKind::kEuclidean);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
 TEST_F(CsvTest, SkipsBlankLines) {
   std::ofstream out(path_);
   out << "group,f0\n0,1.5\n\n1,2.5\n";

@@ -1,0 +1,247 @@
+#include "service/session_manager.h"
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "service/sink_spec.h"
+
+namespace fdm {
+namespace {
+
+class SessionManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/fdm_manager_test_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+
+  SessionManagerOptions Options() {
+    SessionManagerOptions options;
+    options.root_dir = root_;
+    return options;
+  }
+
+  std::string root_;
+};
+
+Dataset TestData(size_t n = 200, uint64_t seed = 51) {
+  BlobsOptions opt;
+  opt.n = n;
+  opt.num_groups = 2;
+  opt.seed = seed;
+  return MakeBlobs(opt);
+}
+
+std::string SpecFor(const Dataset& ds) {
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  return "algo=sfdm2 dim=2 quotas=2,2 dmin=" + std::to_string(b.min) +
+         " dmax=" + std::to_string(b.max);
+}
+
+TEST_F(SessionManagerTest, CreateObserveSolve) {
+  const Dataset ds = TestData();
+  auto manager = SessionManager::Create(Options());
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  ASSERT_TRUE((*manager)->CreateSession("alpha", SpecFor(ds)).ok());
+  EXPECT_FALSE((*manager)->CreateSession("alpha", SpecFor(ds)).ok());
+  EXPECT_FALSE((*manager)->CreateSession("../evil", SpecFor(ds)).ok());
+  EXPECT_FALSE((*manager)->Observe("ghost", ds.At(0)).ok());
+
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE((*manager)->Observe("alpha", ds.At(i)).ok());
+  }
+  auto solution = (*manager)->Solve("alpha");
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_EQ(solution->points.size(), 4u);
+
+  auto stats = (*manager)->Stats("alpha");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->observed, static_cast<int64_t>(ds.size()));
+  EXPECT_TRUE(stats->resident);
+}
+
+TEST_F(SessionManagerTest, KillPointRecoveryMatchesUninterrupted) {
+  // Manager-level crash drill: snapshot mid-stream, ingest a WAL-only
+  // tail, DropResident (no snapshot, no explicit sync — the kill-point),
+  // then touch the session again and compare against an uninterrupted run.
+  const Dataset ds = TestData(240, 53);
+  const std::string spec = SpecFor(ds);
+  auto reference = MakeSinkFromSpec(spec);
+  ASSERT_TRUE(reference.ok());
+  for (size_t i = 0; i < ds.size(); ++i) (*reference)->Observe(ds.At(i));
+  const auto expected = (*reference)->Solve();
+  ASSERT_TRUE(expected.ok());
+
+  auto manager = SessionManager::Create(Options());
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->CreateSession("durable", spec).ok());
+  const size_t mid = ds.size() / 2;
+  for (size_t i = 0; i < mid; ++i) {
+    ASSERT_TRUE((*manager)->Observe("durable", ds.At(i)).ok());
+  }
+  ASSERT_TRUE((*manager)->Snapshot("durable").ok());
+  for (size_t i = mid; i < ds.size(); ++i) {
+    ASSERT_TRUE((*manager)->Observe("durable", ds.At(i)).ok());
+  }
+  ASSERT_TRUE((*manager)->DropResident("durable").ok());
+
+  auto stats = (*manager)->Stats("durable");  // triggers recovery
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->observed, static_cast<int64_t>(ds.size()));
+  auto solution = (*manager)->Solve("durable");
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->Ids(), expected->Ids());
+  EXPECT_DOUBLE_EQ(solution->diversity, expected->diversity);
+}
+
+TEST_F(SessionManagerTest, SessionsSurviveManagerRestart) {
+  const Dataset ds = TestData(180, 55);
+  const std::string spec = SpecFor(ds);
+  {
+    auto manager = SessionManager::Create(Options());
+    ASSERT_TRUE(manager.ok());
+    ASSERT_TRUE((*manager)->CreateSession("persisted", spec).ok());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      ASSERT_TRUE((*manager)->Observe("persisted", ds.At(i)).ok());
+    }
+  }  // clean shutdown snapshots everything
+
+  auto manager = SessionManager::Create(Options());
+  ASSERT_TRUE(manager.ok());
+  const auto names = (*manager)->SessionNames();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "persisted");
+  auto stats = (*manager)->Stats("persisted");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->observed, static_cast<int64_t>(ds.size()));
+  // Clean shutdown means no WAL tail: recovery came straight from the
+  // snapshot.
+  EXPECT_EQ(stats->snapshot_seq, static_cast<int64_t>(ds.size()));
+}
+
+TEST_F(SessionManagerTest, LruSpillKeepsResidencyBounded) {
+  const Dataset ds = TestData(80, 57);
+  SessionManagerOptions options = Options();
+  options.max_resident = 2;
+  auto manager = SessionManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+  const std::vector<std::string> names = {"s0", "s1", "s2", "s3", "s4"};
+  for (const std::string& name : names) {
+    ASSERT_TRUE((*manager)->CreateSession(name, SpecFor(ds)).ok());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      ASSERT_TRUE((*manager)->Observe(name, ds.At(i)).ok());
+    }
+    EXPECT_LE((*manager)->ResidentCount(), 2u);
+  }
+  // The oldest session must have been spilled by now — and Stats reports
+  // its pre-call residency, not the post-load state.
+  {
+    auto stats = (*manager)->Stats(names.front());
+    ASSERT_TRUE(stats.ok());
+    EXPECT_FALSE(stats->resident);
+  }
+  // Spilled sessions reload transparently — with their full state.
+  for (const std::string& name : names) {
+    auto stats = (*manager)->Stats(name);
+    ASSERT_TRUE(stats.ok()) << name << ": " << stats.status().ToString();
+    EXPECT_EQ(stats->observed, static_cast<int64_t>(ds.size())) << name;
+    auto solution = (*manager)->Solve(name);
+    EXPECT_TRUE(solution.ok()) << name;
+  }
+  EXPECT_LE((*manager)->ResidentCount(), 2u);
+}
+
+TEST_F(SessionManagerTest, ConcurrentIngestAcrossSessions) {
+  const Dataset ds = TestData(400, 59);
+  auto manager = SessionManager::Create(Options());
+  ASSERT_TRUE(manager.ok());
+  constexpr int kSessions = 4;
+  for (int s = 0; s < kSessions; ++s) {
+    ASSERT_TRUE(
+        (*manager)->CreateSession("t" + std::to_string(s), SpecFor(ds)).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    workers.emplace_back([&, s] {
+      const std::string name = "t" + std::to_string(s);
+      for (size_t i = 0; i < ds.size(); ++i) {
+        if (!(*manager)->Observe(name, ds.At(i)).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int s = 0; s < kSessions; ++s) {
+    auto stats = (*manager)->Stats("t" + std::to_string(s));
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats->observed, static_cast<int64_t>(ds.size()));
+  }
+}
+
+TEST_F(SessionManagerTest, BackgroundThreadSnapshotsIdleSessions) {
+  const Dataset ds = TestData(120, 61);
+  SessionManagerOptions options = Options();
+  options.background_snapshot_ms = 20;
+  auto manager = SessionManager::Create(options);
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->CreateSession("bg", SpecFor(ds)).ok());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE((*manager)->Observe("bg", ds.At(i)).ok());
+  }
+  // The background sweep must persist the session without any explicit
+  // Snapshot call.
+  int64_t snapshot_seq = 0;
+  for (int tries = 0; tries < 100; ++tries) {
+    auto stats = (*manager)->Stats("bg");
+    ASSERT_TRUE(stats.ok());
+    snapshot_seq = stats->snapshot_seq;
+    if (snapshot_seq == static_cast<int64_t>(ds.size())) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(snapshot_seq, static_cast<int64_t>(ds.size()));
+}
+
+TEST_F(SessionManagerTest, BatchIngestMatchesPerElement) {
+  const Dataset ds = TestData(300, 63);
+  auto manager = SessionManager::Create(Options());
+  ASSERT_TRUE(manager.ok());
+  ASSERT_TRUE((*manager)->CreateSession("one", SpecFor(ds)).ok());
+  ASSERT_TRUE((*manager)->CreateSession("batch", SpecFor(ds)).ok());
+  std::vector<StreamPoint> points;
+  points.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE((*manager)->Observe("one", ds.At(i)).ok());
+    points.push_back(ds.At(i));
+  }
+  for (size_t at = 0; at < points.size(); at += 64) {
+    const size_t len = std::min<size_t>(64, points.size() - at);
+    ASSERT_TRUE(
+        (*manager)
+            ->ObserveBatch("batch", std::span<const StreamPoint>(
+                                        points.data() + at, len))
+            .ok());
+  }
+  auto a = (*manager)->Solve("one");
+  auto b = (*manager)->Solve("batch");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Ids(), b->Ids());
+  EXPECT_DOUBLE_EQ(a->diversity, b->diversity);
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,267 @@
+#include "service/wal.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_dm.h"
+#include "data/synthetic.h"
+
+namespace fdm {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fdm_wal_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+Dataset TestData(size_t n = 120, uint64_t seed = 7) {
+  BlobsOptions opt;
+  opt.n = n;
+  opt.seed = seed;
+  return MakeBlobs(opt);
+}
+
+StreamingOptions OptionsFor(const Dataset& ds) {
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  StreamingOptions o;
+  o.epsilon = 0.1;
+  o.d_min = b.min;
+  o.d_max = b.max;
+  return o;
+}
+
+TEST_F(WalTest, AppendReplayMatchesDirectIngest) {
+  const Dataset ds = TestData();
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+  }
+  EXPECT_EQ(wal->last_seq(), static_cast<int64_t>(ds.size()));
+  ASSERT_TRUE(wal->Sync().ok());
+
+  auto direct = StreamingDm::Create(5, ds.dim(), ds.metric_kind(),
+                                    OptionsFor(ds));
+  auto replayed = StreamingDm::Create(5, ds.dim(), ds.metric_kind(),
+                                      OptionsFor(ds));
+  ASSERT_TRUE(direct.ok());
+  ASSERT_TRUE(replayed.ok());
+  for (size_t i = 0; i < ds.size(); ++i) direct->Observe(ds.At(i));
+
+  auto count = wal->Replay(0, *replayed);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, static_cast<int64_t>(ds.size()));
+  EXPECT_EQ(replayed->ObservedElements(), direct->ObservedElements());
+  const auto a = direct->Solve();
+  const auto b = replayed->Solve();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->Ids(), b->Ids());
+  EXPECT_DOUBLE_EQ(a->diversity, b->diversity);
+}
+
+TEST_F(WalTest, ReplayAfterSeqSkipsPrefix) {
+  const Dataset ds = TestData(40);
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok());
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+  auto sink = StreamingDm::Create(3, ds.dim(), ds.metric_kind(),
+                                  OptionsFor(ds));
+  ASSERT_TRUE(sink.ok());
+  auto count = wal->Replay(25, *sink);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<int64_t>(ds.size()) - 25);
+  EXPECT_EQ(sink->ObservedElements(), static_cast<int64_t>(ds.size()) - 25);
+}
+
+TEST_F(WalTest, RotatesSegmentsAndSurvivesReopen) {
+  const Dataset ds = TestData(300, 9);
+  WalOptions options;
+  options.segment_bytes = 2048;  // force many rotations
+  int64_t appended = 0;
+  {
+    auto wal = WriteAheadLog::Open(dir_, options);
+    ASSERT_TRUE(wal.ok());
+    for (size_t i = 0; i < 200; ++i) {
+      ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+      ++appended;
+    }
+    EXPECT_GT(wal->SegmentPaths().size(), 2u);
+  }  // destructor syncs
+
+  auto wal = WriteAheadLog::Open(dir_, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(wal->last_seq(), appended);
+  // Appends continue the sequence.
+  for (size_t i = 200; i < 220; ++i) {
+    ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(wal->last_seq(), appended + 20);
+
+  auto sink = StreamingDm::Create(4, ds.dim(), ds.metric_kind(),
+                                  OptionsFor(ds));
+  ASSERT_TRUE(sink.ok());
+  auto count = wal->Replay(0, *sink);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, appended + 20);
+}
+
+TEST_F(WalTest, TornTailIsToleratedAndTruncatedOnReopen) {
+  const Dataset ds = TestData(50, 11);
+  {
+    auto wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  // Tear the tail: chop a few bytes off the newest segment, as a crash
+  // mid-write would.
+  std::vector<std::string> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    segments.push_back(entry.path().string());
+  }
+  ASSERT_EQ(segments.size(), 1u);
+  const auto full_size = std::filesystem::file_size(segments[0]);
+  std::filesystem::resize_file(segments[0], full_size - 5);
+
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  // The torn record (the last one) is gone; everything before it replays.
+  EXPECT_EQ(wal->last_seq(), static_cast<int64_t>(ds.size()) - 1);
+  auto sink = StreamingDm::Create(4, ds.dim(), ds.metric_kind(),
+                                  OptionsFor(ds));
+  ASSERT_TRUE(sink.ok());
+  auto count = wal->Replay(0, *sink);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<int64_t>(ds.size()) - 1);
+
+  // And appends after recovery land on a clean boundary.
+  ASSERT_TRUE(wal->Append(ds.At(0)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(wal->last_seq(), static_cast<int64_t>(ds.size()));
+}
+
+TEST_F(WalTest, EmptyActiveSegmentIsRecoverableAndReplayable) {
+  // A crash right after rotation (or right after Create) leaves a 0-byte
+  // active segment — its magic was buffered but never flushed. Open must
+  // re-initialize it AND Replay must skip it instead of calling it
+  // corrupt.
+  const Dataset ds = TestData(20, 19);
+  {
+    auto wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    for (size_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  {  // simulate the crash artifact: an empty next segment
+    std::ofstream empty(dir_ + "/wal-00000000000000000011.log",
+                        std::ios::binary);
+  }
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(wal->last_seq(), 10);
+  auto sink = StreamingDm::Create(3, ds.dim(), ds.metric_kind(),
+                                  OptionsFor(ds));
+  ASSERT_TRUE(sink.ok());
+  auto count = wal->Replay(0, *sink);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 10);
+  // And the re-initialized segment accepts appends at the right seq.
+  ASSERT_TRUE(wal->Append(ds.At(10)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(wal->last_seq(), 11);
+}
+
+TEST_F(WalTest, CorruptedRecordIsDetected) {
+  const Dataset ds = TestData(30, 13);
+  {
+    auto wal = WriteAheadLog::Open(dir_);
+    ASSERT_TRUE(wal.ok());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  std::vector<std::string> segments;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    segments.push_back(entry.path().string());
+  }
+  ASSERT_EQ(segments.size(), 1u);
+  // Flip a byte mid-file: recovery must stop at the corrupt record, not
+  // hand bad coordinates to the sink.
+  {
+    std::fstream f(segments[0],
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(
+        std::filesystem::file_size(segments[0]) / 2));
+    const char byte = 0x7f;
+    f.write(&byte, 1);
+  }
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_LT(wal->last_seq(), static_cast<int64_t>(ds.size()));
+}
+
+TEST_F(WalTest, TruncateBeforeDropsWholeObsoleteSegments) {
+  const Dataset ds = TestData(300, 15);
+  WalOptions options;
+  options.segment_bytes = 2048;
+  auto wal = WriteAheadLog::Open(dir_, options);
+  ASSERT_TRUE(wal.ok());
+  for (size_t i = 0; i < 250; ++i) {
+    ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(wal->Sync().ok());
+  const size_t before = wal->SegmentPaths().size();
+  ASSERT_GT(before, 2u);
+
+  ASSERT_TRUE(wal->TruncateBefore(200).ok());
+  EXPECT_LT(wal->SegmentPaths().size(), before);
+
+  // Everything at seq >= 200 must still replay.
+  auto sink = StreamingDm::Create(4, ds.dim(), ds.metric_kind(),
+                                  OptionsFor(ds));
+  ASSERT_TRUE(sink.ok());
+  auto count = wal->Replay(199, *sink);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 250 - 199);
+}
+
+TEST_F(WalTest, BatchAppendMatchesSingleAppends) {
+  const Dataset ds = TestData(64, 17);
+  auto wal = WriteAheadLog::Open(dir_);
+  ASSERT_TRUE(wal.ok());
+  std::vector<StreamPoint> batch;
+  for (size_t i = 0; i < ds.size(); ++i) batch.push_back(ds.At(i));
+  ASSERT_TRUE(wal->AppendBatch(batch).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(wal->last_seq(), static_cast<int64_t>(ds.size()));
+
+  auto sink = StreamingDm::Create(4, ds.dim(), ds.metric_kind(),
+                                  OptionsFor(ds));
+  ASSERT_TRUE(sink.ok());
+  auto count = wal->Replay(0, *sink);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, static_cast<int64_t>(ds.size()));
+}
+
+}  // namespace
+}  // namespace fdm

@@ -1,0 +1,164 @@
+// fdm_serve — line-protocol front end over the durable session manager,
+// for demos, soak tests, and driving the service layer from scripts.
+//
+//   ./fdm_serve [--root=DIR] [--snapshot_every=N] [--max_resident=N]
+//               [--background_ms=N] [--threads=N]
+//
+// Reads commands from stdin, one per line; writes one `OK ...` or
+// `ERR <message>` line per command to stdout:
+//
+//   CREATE <name> <sink spec...>    create a session (service/sink_spec.h)
+//   OBSERVE <name> <id> <group> <c0> <c1> ...   ingest one point
+//   SOLVE <name>                    current solution (div + ids)
+//   SNAPSHOT <name>                 force a durable snapshot
+//   RESTORE <name>                  drop in-memory state, recover from disk
+//   STATS <name>                    observed/stored/snapshot position
+//   LIST                            all known sessions
+//   QUIT                            snapshot everything and exit
+//
+// Example session:
+//
+//   CREATE demo algo=sfdm2 dim=2 quotas=2,2 dmin=0.1 dmax=300
+//   OBSERVE demo 0 0 1.5 2.5
+//   ...
+//   SOLVE demo
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "service/session_manager.h"
+#include "util/argparse.h"
+#include "util/stringutil.h"
+
+namespace fdm {
+namespace {
+
+void Reply(const Status& status) {
+  if (status.ok()) {
+    std::cout << "OK\n";
+  } else {
+    std::cout << "ERR " << status.ToString() << "\n";
+  }
+}
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  SessionManagerOptions options;
+  options.root_dir = args.GetString("root", "fdm_sessions");
+  options.session.snapshot_every =
+      static_cast<size_t>(args.GetInt("snapshot_every", 0));
+  options.max_resident =
+      static_cast<size_t>(args.GetInt("max_resident", 0));
+  options.background_snapshot_ms =
+      static_cast<int>(args.GetInt("background_ms", 0));
+  options.threads = static_cast<int>(args.GetInt("threads", 1));
+
+  auto manager = SessionManager::Create(options);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "fdm_serve: %s\n",
+                 manager.status().ToString().c_str());
+    return 1;
+  }
+  SessionManager& sessions = **manager;
+  std::cout << "READY root=" << options.root_dir << "\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) continue;  // blank line
+
+    if (command == "QUIT") {
+      Reply(sessions.SnapshotAll());
+      break;
+    }
+    if (command == "LIST") {
+      std::cout << "OK";
+      for (const std::string& name : sessions.SessionNames()) {
+        std::cout << ' ' << name;
+      }
+      std::cout << "\n";
+      continue;
+    }
+
+    std::string name;
+    if (!(in >> name)) {
+      std::cout << "ERR " << command << " requires a session name\n";
+      continue;
+    }
+    if (command == "CREATE") {
+      std::string spec;
+      std::getline(in, spec);
+      Reply(sessions.CreateSession(name, std::string(Trim(spec))));
+    } else if (command == "OBSERVE") {
+      int64_t id = -1;
+      int32_t group = 0;
+      if (!(in >> id >> group)) {
+        std::cout << "ERR OBSERVE requires <id> <group> <coords...>\n";
+        continue;
+      }
+      std::vector<double> coords;
+      double c = 0.0;
+      while (in >> c) coords.push_back(c);
+      // `>>` stops silently at a non-numeric token; distinguish "end of
+      // line" from "garbage mid-line" — a malformed point must be
+      // rejected, never half-parsed (the session also re-validates the
+      // dimension before anything reaches the WAL).
+      if (coords.empty() || !in.eof()) {
+        std::cout << "ERR OBSERVE requires numeric coordinates\n";
+        continue;
+      }
+      Reply(sessions.Observe(name, StreamPoint{id, group, coords}));
+    } else if (command == "SOLVE") {
+      auto solution = sessions.Solve(name);
+      if (!solution.ok()) {
+        std::cout << "ERR " << solution.status().ToString() << "\n";
+        continue;
+      }
+      std::cout << "OK div=" << solution->diversity << " ids=";
+      const auto ids = solution->Ids();
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (i > 0) std::cout << ',';
+        std::cout << ids[i];
+      }
+      std::cout << "\n";
+    } else if (command == "SNAPSHOT") {
+      Reply(sessions.Snapshot(name));
+    } else if (command == "RESTORE") {
+      // Crash drill: forget the in-memory sink, then recover it from the
+      // newest snapshot + WAL tail (the next touch triggers the reload).
+      Status dropped = sessions.DropResident(name);
+      if (!dropped.ok()) {
+        Reply(dropped);
+        continue;
+      }
+      auto stats = sessions.Stats(name);
+      if (!stats.ok()) {
+        std::cout << "ERR " << stats.status().ToString() << "\n";
+      } else {
+        std::cout << "OK observed=" << stats->observed << "\n";
+      }
+    } else if (command == "STATS") {
+      auto stats = sessions.Stats(name);
+      if (!stats.ok()) {
+        std::cout << "ERR " << stats.status().ToString() << "\n";
+      } else {
+        std::cout << "OK observed=" << stats->observed
+                  << " stored=" << stats->stored
+                  << " snapshot_seq=" << stats->snapshot_seq
+                  << " spec=\"" << stats->spec << "\"\n";
+      }
+    } else {
+      std::cout << "ERR unknown command '" << command << "'\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm
+
+int main(int argc, char** argv) { return fdm::Main(argc, argv); }
