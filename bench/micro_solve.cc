@@ -1,0 +1,242 @@
+// Query-path microbenchmark: repeated-SOLVE throughput cold vs incremental
+// vs cached, and SOLVE latency under concurrent OBSERVE load. Emits
+// machine-readable BENCH_solve.json (default: results/BENCH_solve.json) so
+// future PRs can track the serving-perf trajectory, plus a human summary.
+//
+//   ./micro_solve [--n=20000] [--dim=8] [--reps=25] [--out=results]
+//
+// Sections:
+//   solve_cold       full SFDM-2 post-processing from scratch (the memo is
+//                    emptied by restoring a fresh copy before every rep)
+//   solve_warm       repeated Solve() on the same unchanged sink — the
+//                    per-rung incremental memo answers, no SolveCache
+//   solve_cached     repeated Solve() through a version-keyed SolveCache —
+//                    the serving hot path (a memoized copy per query)
+//   under_ingest     SOLVE latency against a live SessionManager session
+//                    while a writer floods OBSERVE into another session
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sfdm2.h"
+#include "core/solve_cache.h"
+#include "data/synthetic.h"
+#include "service/session_manager.h"
+#include "util/argparse.h"
+#include "util/binary_io.h"
+#include "util/timer.h"
+
+namespace fdm {
+namespace {
+
+struct SolveBenchResult {
+  size_t n = 0;
+  size_t dim = 0;
+  int reps = 0;
+  double cold_ms = 0.0;
+  double warm_ms = 0.0;
+  double cached_ms = 0.0;
+  double cached_speedup_vs_cold = 0.0;
+  // under concurrent ingest
+  double solve_mean_ms = 0.0;
+  double solve_max_ms = 0.0;
+  double solves_per_sec = 0.0;
+  double ingest_points_per_sec = 0.0;
+};
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  SolveBenchResult result;
+  result.n = static_cast<size_t>(args.GetInt("n", 20000));
+  result.dim = static_cast<size_t>(args.GetInt("dim", 8));
+  result.reps = static_cast<int>(args.GetInt("reps", 25));
+  const std::string out_dir = args.GetString("out", "results");
+
+  BlobsOptions data_options;
+  data_options.n = result.n;
+  data_options.dim = result.dim;
+  data_options.num_groups = 2;
+  data_options.seed = 1;
+  const Dataset ds = MakeBlobs(data_options);
+  const DistanceBounds bounds = EstimateDistanceBounds(ds, 1000, 1);
+
+  FairnessConstraint constraint;
+  constraint.quotas = {10, 10};
+  StreamingOptions streaming;
+  streaming.d_min = bounds.min;
+  streaming.d_max = bounds.max;
+
+  std::printf("=== micro_solve: incremental query path ===\n");
+  std::printf("n=%zu dim=%zu reps=%d quotas=10,10\n\n", result.n, result.dim,
+              result.reps);
+
+  auto sink =
+      Sfdm2::Create(constraint, ds.dim(), ds.metric_kind(), streaming);
+  if (!sink.ok()) {
+    std::fprintf(stderr, "create: %s\n", sink.status().ToString().c_str());
+    return 1;
+  }
+  for (size_t i = 0; i < ds.size(); ++i) sink->Observe(ds.At(i));
+
+  // --- Cold: fresh post-processing every rep --------------------------
+  // Restoring from a snapshot yields a sink with an empty per-rung memo,
+  // so each timed Solve() pays the full Algorithm 3 lines 9–19.
+  {
+    SnapshotWriter writer;
+    if (!sink->Snapshot(writer).ok()) return 1;
+    const std::string bytes = writer.Serialize();
+    double total = 0.0;
+    for (int r = 0; r < result.reps; ++r) {
+      auto reader = SnapshotReader::FromBytes(bytes);
+      if (!reader.ok()) return 1;
+      auto fresh = Sfdm2::Restore(*reader);
+      if (!fresh.ok()) return 1;
+      Timer timer;
+      if (!fresh->Solve().ok()) return 1;
+      total += timer.ElapsedSeconds();
+    }
+    result.cold_ms = total * 1000.0 / result.reps;
+    std::printf("solve cold:      %10.3f ms/solve (from-scratch)\n",
+                result.cold_ms);
+  }
+
+  // --- Warm: the per-rung incremental memo ----------------------------
+  {
+    (void)sink->Solve();  // populate the memo once
+    Timer timer;
+    for (int r = 0; r < result.reps; ++r) {
+      if (!sink->Solve().ok()) return 1;
+    }
+    result.warm_ms = timer.ElapsedSeconds() * 1000.0 / result.reps;
+    std::printf("solve warm:      %10.3f ms/solve (per-rung memo)\n",
+                result.warm_ms);
+  }
+
+  // --- Cached: the serving hot path -----------------------------------
+  {
+    SolveCache cache;
+    const uint64_t version = sink->StateVersion();
+    (void)cache.GetOrCompute(version, [&] { return sink->Solve(); });
+    Timer timer;
+    for (int r = 0; r < result.reps; ++r) {
+      if (!cache.GetOrCompute(version, [&] { return sink->Solve(); }).ok()) {
+        return 1;
+      }
+    }
+    result.cached_ms = timer.ElapsedSeconds() * 1000.0 / result.reps;
+    // Guard the ratio against timer granularity: reps of cache hits can
+    // measure 0.0 ms, which means maximal speedup, not zero.
+    result.cached_speedup_vs_cold =
+        result.cold_ms / std::max(result.cached_ms, 1e-6);
+    std::printf(
+        "solve cached:    %10.3f ms/solve (SolveCache hit)  %.0fx vs cold\n",
+        result.cached_ms, result.cached_speedup_vs_cold);
+  }
+
+  // --- SOLVE latency under concurrent OBSERVE load --------------------
+  {
+    const std::string scratch =
+        (std::filesystem::temp_directory_path() / "fdm_micro_solve").string();
+    std::filesystem::remove_all(scratch);
+    SessionManagerOptions options;
+    options.root_dir = scratch;
+    auto manager = SessionManager::Create(options);
+    if (!manager.ok()) return 1;
+    const std::string spec =
+        "algo=sfdm2 dim=" + std::to_string(ds.dim()) +
+        " quotas=10,10 dmin=" + std::to_string(bounds.min) +
+        " dmax=" + std::to_string(bounds.max);
+    if (!(*manager)->CreateSession("hot", spec).ok()) return 1;
+    if (!(*manager)->CreateSession("ingest", spec).ok()) return 1;
+    for (size_t i = 0; i < ds.size() / 2; ++i) {
+      if (!(*manager)->Observe("hot", ds.At(i)).ok()) return 1;
+    }
+    (void)(*manager)->Solve("hot");  // warm the cache
+
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> ingested{0};
+    std::thread writer([&] {
+      // Flood a different session: its exclusive lock must not serialize
+      // against the hot session's shared-lock query path.
+      size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if ((*manager)->Observe("ingest", ds.At(i % ds.size())).ok()) {
+          ingested.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+    std::vector<double> latencies;
+    Timer wall;
+    while (wall.ElapsedSeconds() < 1.0) {
+      Timer one;
+      if (!(*manager)->Solve("hot").ok()) return 1;
+      latencies.push_back(one.ElapsedSeconds() * 1000.0);
+    }
+    const double elapsed = wall.ElapsedSeconds();
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+
+    double sum = 0.0, max = 0.0;
+    for (const double l : latencies) {
+      sum += l;
+      max = std::max(max, l);
+    }
+    result.solve_mean_ms = sum / static_cast<double>(latencies.size());
+    result.solve_max_ms = max;
+    result.solves_per_sec = static_cast<double>(latencies.size()) / elapsed;
+    result.ingest_points_per_sec =
+        static_cast<double>(ingested.load()) / elapsed;
+    std::printf(
+        "under ingest:    %10.0f solves/sec (mean %.3f ms, max %.3f ms) "
+        "while %0.f pts/sec ingest\n",
+        result.solves_per_sec, result.solve_mean_ms, result.solve_max_ms,
+        result.ingest_points_per_sec);
+    std::filesystem::remove_all(scratch);
+  }
+
+  // --- BENCH_solve.json -----------------------------------------------
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string json_path = out_dir + "/BENCH_solve.json";
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"n\": " << result.n << ",\n"
+       << "  \"dim\": " << result.dim << ",\n"
+       << "  \"reps\": " << result.reps << ",\n"
+       << "  \"repeated_solve\": {\"cold_ms\": " << result.cold_ms
+       << ", \"warm_ms\": " << result.warm_ms
+       << ", \"cached_ms\": " << result.cached_ms
+       << ", \"cached_speedup_vs_cold\": " << result.cached_speedup_vs_cold
+       << "},\n"
+       << "  \"under_ingest\": {\"solves_per_sec\": " << result.solves_per_sec
+       << ", \"mean_ms\": " << result.solve_mean_ms
+       << ", \"max_ms\": " << result.solve_max_ms
+       << ", \"ingest_points_per_sec\": " << result.ingest_points_per_sec
+       << "}\n}\n";
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  // The acceptance gate of the incremental query path: a cached SOLVE must
+  // be at least an order of magnitude cheaper than a cold one.
+  if (result.cached_speedup_vs_cold < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: cached speedup %.1fx < 10x over cold solves\n",
+                 result.cached_speedup_vs_cold);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm
+
+int main(int argc, char** argv) { return fdm::Main(argc, argv); }

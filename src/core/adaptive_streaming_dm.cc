@@ -58,24 +58,28 @@ void AdaptiveStreamingDm::GrowDown() {
   rungs_.push_front(std::move(rung));
 }
 
-void AdaptiveStreamingDm::Observe(const StreamPoint& point) {
+bool AdaptiveStreamingDm::Observe(const StreamPoint& point) {
   FDM_DCHECK(point.coords.size() == dim_);
   ++observed_;
+  bool mutated = false;
 
   if (rungs_.empty()) {
     if (!pending_valid_) {
       pending_.Add(point);
       pending_valid_ = true;
-      return;
+      ++state_version_;
+      return true;
     }
     const double d =
         metric_(pending_.CoordsAt(0).data(), point.coords.data(), dim_);
-    if (d <= 0.0) return;  // duplicate of the first point — no information
+    // Duplicate of the first point — no information, nothing mutated.
+    if (d <= 0.0) return false;
     // Seed the ladder at the first observed nonzero distance and replay
     // the held first point.
     StreamingCandidate rung(d, static_cast<size_t>(k_), dim_);
     rung.TryAdd(pending_.ViewAt(0), metric_);
     rungs_.push_back(std::move(rung));
+    mutated = true;
   }
 
   // Extend downward while the bottom rung would reject the point for
@@ -86,6 +90,7 @@ void AdaptiveStreamingDm::Observe(const StreamPoint& point) {
     const double d = bottom.points().MinDistanceTo(point.coords, metric_);
     if (d <= 0.0 || d >= bottom.mu()) break;
     GrowDown();
+    mutated = true;
   }
 
   // Extend upward while the point is far enough from the top candidate
@@ -96,11 +101,14 @@ void AdaptiveStreamingDm::Observe(const StreamPoint& point) {
     const double d = top.points().MinDistanceTo(point.coords, metric_);
     if (d < top.mu() / (1.0 - epsilon_)) break;
     GrowUp();
+    mutated = true;
   }
 
   for (auto& rung : rungs_) {
-    rung.TryAdd(point, metric_);
+    if (rung.TryAdd(point, metric_)) mutated = true;
   }
+  if (mutated) ++state_version_;
+  return mutated;
 }
 
 Result<Solution> AdaptiveStreamingDm::Solve() const {
@@ -137,6 +145,7 @@ Status AdaptiveStreamingDm::Snapshot(SnapshotWriter& writer) const {
   writer.WriteDouble(epsilon_);
   writer.WriteU64(max_rungs_);
   writer.WriteI64(observed_);
+  writer.WriteU64(state_version_);
   writer.WriteBool(pending_valid_);
   SerializePointBuffer(writer, pending_);
   writer.WriteU64(rungs_.size());
@@ -156,6 +165,7 @@ Result<AdaptiveStreamingDm> AdaptiveStreamingDm::Restore(
   const double epsilon = reader.ReadDouble();
   const size_t max_rungs = reader.ReadU64();
   const int64_t observed = reader.ReadI64();
+  const uint64_t state_version = reader.ReadU64();
   const bool pending_valid = reader.ReadBool();
   if (!reader.ok()) return reader.status();
   auto created = Create(k, dim, metric, epsilon, max_rungs);
@@ -179,6 +189,7 @@ Result<AdaptiveStreamingDm> AdaptiveStreamingDm::Restore(
   }
   algo.pending_valid_ = pending_valid;
   algo.observed_ = observed;
+  algo.state_version_ = state_version;
   return algo;
 }
 

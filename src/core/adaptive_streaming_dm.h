@@ -50,8 +50,15 @@ class AdaptiveStreamingDm : public StreamSink {
                                             MetricKind metric, double epsilon,
                                             size_t max_rungs = 4096);
 
-  /// Processes one element, growing the ladder as needed.
-  void Observe(const StreamPoint& point) override;
+  /// Processes one element, growing the ladder as needed. Returns true iff
+  /// the element mutated state: it was held as the pending seed, seeded or
+  /// grew the ladder, or was kept by some rung.
+  bool Observe(const StreamPoint& point) override;
+
+  /// Advances once per mutating `Observe` (chunking-invariant because the
+  /// inherited `ObserveBatch` is the per-element loop; see
+  /// `StreamSink::StateVersion`).
+  uint64_t StateVersion() const override { return state_version_; }
 
   /// Inherits the sequential `ObserveBatch` of `StreamSink`: ladder growth
   /// is data-dependent (each element may append or prepend rungs that the
@@ -106,6 +113,7 @@ class AdaptiveStreamingDm : public StreamSink {
   PointBuffer pending_{1, 0};
   bool pending_valid_ = false;
   int64_t observed_ = 0;
+  uint64_t state_version_ = 0;
 };
 
 }  // namespace fdm

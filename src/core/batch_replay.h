@@ -27,26 +27,35 @@ namespace fdm {
 /// (computed once by the caller, read-only here); `blind_at(j)` and
 /// `specific_at(g, j)` return references into the caller's candidate
 /// storage.
+///
+/// `rung_kept[j]` (caller-owned, length `rungs`) receives the number of
+/// successful insertions rung `j` performed across its candidates. Each
+/// task writes only its own slot, so the array is race-free; because the
+/// per-candidate `TryAdd` sequence is identical to per-element `Observe`,
+/// the counts are chunking-invariant — they feed the rung-level and
+/// sink-level state versions that key the incremental query path.
 template <typename BlindAt, typename SpecificAt>
 void ReplayBatchRungMajor(BatchParallelism& parallelism, size_t rungs,
                           int num_groups, std::span<const StreamPoint> batch,
                           const std::vector<size_t>* by_group,
                           const Metric& metric, BlindAt&& blind_at,
-                          SpecificAt&& specific_at) {
+                          SpecificAt&& specific_at, size_t* rung_kept) {
   parallelism.Run(rungs, [&](size_t j) {
+    size_t kept = 0;
     StreamingCandidate& blind = blind_at(j);
     if (!blind.Full()) {
       for (const StreamPoint& point : batch) {
-        blind.TryAdd(point, metric);
+        if (blind.TryAdd(point, metric)) ++kept;
       }
     }
     for (int g = 0; g < num_groups; ++g) {
       StreamingCandidate& candidate = specific_at(g, j);
       if (candidate.Full()) continue;
       for (const size_t t : by_group[g]) {
-        candidate.TryAdd(batch[t], metric);
+        if (candidate.TryAdd(batch[t], metric)) ++kept;
       }
     }
+    rung_kept[j] = kept;
   });
 }
 

@@ -51,19 +51,22 @@ Result<Sfdm1> Sfdm1::Create(const FairnessConstraint& constraint, size_t dim,
                options.batch_threads);
 }
 
-void Sfdm1::Observe(const StreamPoint& point) {
+bool Sfdm1::Observe(const StreamPoint& point) {
   FDM_DCHECK(point.coords.size() == dim_);
   FDM_CHECK_MSG(point.group == 0 || point.group == 1,
                 "SFDM1 stream element outside groups {0,1}");
   ++observed_;
+  size_t kept = 0;
   for (size_t j = 0; j < ladder_.size(); ++j) {
-    blind_[j].TryAdd(point, metric_);
-    specific_[point.group][j].TryAdd(point, metric_);
+    if (blind_[j].TryAdd(point, metric_)) ++kept;
+    if (specific_[point.group][j].TryAdd(point, metric_)) ++kept;
   }
+  state_version_ += kept;
+  return kept > 0;
 }
 
-void Sfdm1::ObserveBatch(std::span<const StreamPoint> raw_batch) {
-  if (raw_batch.empty()) return;
+size_t Sfdm1::ObserveBatch(std::span<const StreamPoint> raw_batch) {
+  if (raw_batch.empty()) return 0;
   for (const StreamPoint& point : raw_batch) {
     FDM_DCHECK(point.coords.size() == dim_);
     FDM_CHECK_MSG(point.group == 0 || point.group == 1,
@@ -77,10 +80,16 @@ void Sfdm1::ObserveBatch(std::span<const StreamPoint> raw_batch) {
   for (size_t t = 0; t < batch.size(); ++t) {
     by_group_[batch[t].group].push_back(t);
   }
+  rung_kept_.assign(ladder_.size(), 0);
   ReplayBatchRungMajor(
       parallelism_, ladder_.size(), /*num_groups=*/2, batch, by_group_,
       metric_, [&](size_t j) -> StreamingCandidate& { return blind_[j]; },
-      [&](int g, size_t j) -> StreamingCandidate& { return specific_[g][j]; });
+      [&](int g, size_t j) -> StreamingCandidate& { return specific_[g][j]; },
+      rung_kept_.data());
+  size_t mutations = 0;
+  for (const size_t kept : rung_kept_) mutations += kept;
+  state_version_ += mutations;
+  return mutations;
 }
 
 PointBuffer Sfdm1::BalancedCandidate(size_t j) const {
@@ -209,6 +218,7 @@ Status Sfdm1::Snapshot(SnapshotWriter& writer) const {
   internal::WriteStreamingHeader(writer, dim_, metric_, ladder_,
                                  parallelism_.batch_threads());
   writer.WriteI64(observed_);
+  writer.WriteU64(state_version_);
   writer.WriteU64(ladder_.size());
   // Rung-major: S_µj, then S_µj,0, S_µj,1 — the read side mirrors this.
   for (size_t j = 0; j < ladder_.size(); ++j) {
@@ -235,6 +245,7 @@ Result<Sfdm1> Sfdm1::Restore(SnapshotReader& reader) {
   const internal::StreamingHeader header =
       internal::ReadStreamingHeader(reader);
   const int64_t observed = reader.ReadI64();
+  const uint64_t state_version = reader.ReadU64();
   const size_t rungs = reader.ReadU64();
   if (!reader.ok()) return reader.status();
   auto created = Create(constraint, header.dim, header.metric, header.options);
@@ -253,6 +264,7 @@ Result<Sfdm1> Sfdm1::Restore(SnapshotReader& reader) {
   }
   if (!reader.ok()) return reader.status();
   algo.observed_ = observed;
+  algo.state_version_ = state_version;
   return algo;
 }
 

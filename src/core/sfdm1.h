@@ -42,14 +42,19 @@ class Sfdm1 : public StreamSink {
                               MetricKind metric,
                               const StreamingOptions& options);
 
-  /// Processes one stream element (Algorithm 2, lines 3–8).
-  void Observe(const StreamPoint& point) override;
+  /// Processes one stream element (Algorithm 2, lines 3–8). Returns true
+  /// iff any candidate kept the element.
+  bool Observe(const StreamPoint& point) override;
 
   /// Batched ingestion: rung `j`'s three candidates (`S_µj`, `S_µj,0`,
   /// `S_µj,1`) are touched only by rung `j`'s task, which replays the
   /// batch in stream order — bit-identical to per-element `Observe`,
   /// partitioned over `batch_threads`.
-  void ObserveBatch(std::span<const StreamPoint> batch) override;
+  size_t ObserveBatch(std::span<const StreamPoint> batch) override;
+
+  /// Advances by the number of successful candidate insertions
+  /// (chunking-invariant; see `StreamSink::StateVersion`).
+  uint64_t StateVersion() const override { return state_version_; }
 
   /// Post-processing and final selection (Algorithm 2, lines 9–18).
   /// Fails with `Infeasible` if no guess has all three candidates full
@@ -93,7 +98,9 @@ class Sfdm1 : public StreamSink {
   BatchParallelism parallelism_;
   PackedBatch packed_;  // batch repack scratch, reused across batches
   std::vector<size_t> by_group_[2];  // per-group positions scratch
+  std::vector<size_t> rung_kept_;    // per-rung batch insert counts scratch
   int64_t observed_ = 0;
+  uint64_t state_version_ = 0;
 };
 
 }  // namespace fdm

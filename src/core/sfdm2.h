@@ -1,6 +1,7 @@
 #ifndef FDM_CORE_SFDM2_H_
 #define FDM_CORE_SFDM2_H_
 
+#include <optional>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -51,17 +52,38 @@ class Sfdm2 : public StreamSink {
 
   /// Processes one stream element (Algorithm 3, lines 3–8). Touches only
   /// the group-blind candidate and the element's own group candidate per
-  /// guess.
-  void Observe(const StreamPoint& point) override;
+  /// guess. Returns true iff any candidate kept the element.
+  bool Observe(const StreamPoint& point) override;
 
   /// Batched ingestion: rung `j`'s candidates (`S_µj` and `S_µj,i` for all
   /// `i`) are touched only by rung `j`'s task, which replays the batch in
   /// stream order — bit-identical to per-element `Observe`, partitioned
   /// over `batch_threads`.
-  void ObserveBatch(std::span<const StreamPoint> batch) override;
+  size_t ObserveBatch(std::span<const StreamPoint> batch) override;
+
+  /// Advances by the number of successful candidate insertions
+  /// (chunking-invariant; see `StreamSink::StateVersion`).
+  uint64_t StateVersion() const override { return state_version_; }
 
   /// Post-processing and final selection (Algorithm 3, lines 9–19).
   /// Fails with `Infeasible` if no guess yields a size-`k` fair solution.
+  ///
+  /// Incremental between calls: the expensive per-guess post-processing
+  /// (ground-set assembly, threshold clustering, matroid-intersection
+  /// augmentation) is memoized per rung, keyed by a per-rung mutation
+  /// counter. A rung whose candidates did not change since the last call
+  /// reuses its cached result; only dirty rungs are re-processed — and
+  /// they are re-processed *from scratch*, because the ground-set ordering
+  /// feeds tie-breaking in the greedy augmentation, so patching retained
+  /// cluster structures in place could produce a different (equally fair)
+  /// solution than a fresh replay. Memoization at rung granularity is the
+  /// coarsest split that keeps the output bit-identical to an
+  /// uninterrupted from-scratch `Solve()` at every stream prefix.
+  ///
+  /// `Solve()` stays logically const (the memo is mutable scratch), but
+  /// concurrent calls must be externally serialized — `SolveCache`
+  /// (core/solve_cache.h) does this in the service layer; everything else
+  /// calls `Solve()` single-threaded.
   Result<Solution> Solve() const override;
 
   /// Distinct elements stored across all candidates (space-usage measure).
@@ -85,15 +107,47 @@ class Sfdm2 : public StreamSink {
   /// "initializes with a partial solution instead of ∅ for higher
   /// efficiency and adds elements greedily like GMM for higher
   /// diversity"). Defaults reproduce the paper; the ablation bench flips
-  /// them to quantify each choice.
-  void set_warm_start(bool on) { warm_start_ = on; }
-  void set_greedy_augmentation(bool on) { greedy_augmentation_ = on; }
+  /// them to quantify each choice. Flipping a knob changes what `Solve()`
+  /// computes, so it advances the state version and drops the
+  /// post-processing memo (the `StateVersion` contract — equal versions
+  /// imply identical output — must survive reconfiguration).
+  void set_warm_start(bool on) {
+    if (warm_start_ == on) return;
+    warm_start_ = on;
+    InvalidatePostprocess();
+  }
+  void set_greedy_augmentation(bool on) {
+    if (greedy_augmentation_ == on) return;
+    greedy_augmentation_ = on;
+    InvalidatePostprocess();
+  }
   bool warm_start() const { return warm_start_; }
   bool greedy_augmentation() const { return greedy_augmentation_; }
 
  private:
   Sfdm2(FairnessConstraint constraint, size_t dim, MetricKind metric,
         GuessLadder ladder, int batch_threads);
+
+  /// One memoized per-guess post-processing outcome (see `Solve`).
+  struct RungSolve {
+    bool computed = false;
+    /// `rung_version_[j]` at compute time; a mismatch marks the rung dirty.
+    uint64_t version = 0;
+    /// The rung's size-`k` fair solution, or nullopt when the rung was not
+    /// eligible / could not be augmented to size `k`.
+    std::optional<Solution> solution;
+  };
+
+  /// Runs the full Algorithm 3 post-processing (lines 10–18) for guess
+  /// index `j`; nullopt when the rung yields no size-`k` fair solution.
+  std::optional<Solution> SolveRung(size_t j) const;
+
+  /// Drops every memoized rung result and advances the state version
+  /// (used when a reconfiguration changes what `Solve` would compute).
+  void InvalidatePostprocess() {
+    ++state_version_;
+    for (RungSolve& entry : rung_solve_) entry.computed = false;
+  }
 
   FairnessConstraint constraint_;
   int k_;
@@ -107,9 +161,17 @@ class Sfdm2 : public StreamSink {
   BatchParallelism parallelism_;
   PackedBatch packed_;  // batch repack scratch, reused across batches
   std::vector<std::vector<size_t>> by_group_;  // per-group positions scratch
+  std::vector<size_t> rung_kept_;  // per-rung batch insert counts scratch
   int64_t observed_ = 0;
   bool warm_start_ = true;
   bool greedy_augmentation_ = true;
+  uint64_t state_version_ = 0;
+  /// Per-rung mutation counters (insertions into `S_µj` or any `S_µj,i`);
+  /// `state_version_` is their running sum. Not serialized: the memo below
+  /// is in-memory only, so a restored sink starts with fresh counters and
+  /// an empty memo, which is always consistent.
+  std::vector<uint64_t> rung_version_;
+  mutable std::vector<RungSolve> rung_solve_;  // post-processing memo
 };
 
 }  // namespace fdm

@@ -42,17 +42,20 @@ Result<ShardedStreamingDm> ShardedStreamingDm::Create(
                             sharding.batch_threads);
 }
 
-void ShardedStreamingDm::Observe(const StreamPoint& point) {
-  shards_[static_cast<size_t>(observed_) % shards_.size()].Observe(point);
+bool ShardedStreamingDm::Observe(const StreamPoint& point) {
+  const bool kept =
+      shards_[static_cast<size_t>(observed_) % shards_.size()].Observe(point);
   ++observed_;
+  return kept;
 }
 
-void ShardedStreamingDm::ObserveBatch(std::span<const StreamPoint> batch) {
-  if (batch.empty()) return;
+size_t ShardedStreamingDm::ObserveBatch(std::span<const StreamPoint> batch) {
+  if (batch.empty()) return 0;
   const size_t num_shards = shards_.size();
   // Continue the round-robin rotation exactly where Observe left it, so
   // mixing Observe and ObserveBatch routes identically to pure Observe.
   const size_t start = static_cast<size_t>(observed_) % num_shards;
+  const uint64_t version_before = StateVersion();
   observed_ += static_cast<int64_t>(batch.size());
   parallelism_.Run(num_shards, [&](size_t s) {
     StreamingDm& shard = shards_[s];
@@ -62,6 +65,13 @@ void ShardedStreamingDm::ObserveBatch(std::span<const StreamPoint> batch) {
       shard.Observe(batch[t]);
     }
   });
+  return static_cast<size_t>(StateVersion() - version_before);
+}
+
+uint64_t ShardedStreamingDm::StateVersion() const {
+  uint64_t version = 0;
+  for (const StreamingDm& shard : shards_) version += shard.StateVersion();
+  return version;
 }
 
 Result<Solution> ShardedStreamingDm::Solve() const {

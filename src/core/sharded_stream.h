@@ -53,13 +53,19 @@ class ShardedStreamingDm : public StreamSink {
       int k, size_t dim, MetricKind metric, const StreamingOptions& options,
       const ShardedStreamingOptions& sharding = {});
 
-  /// Routes the element to the next shard (round-robin).
-  void Observe(const StreamPoint& point) override;
+  /// Routes the element to the next shard (round-robin). Returns true iff
+  /// the receiving shard kept the element.
+  bool Observe(const StreamPoint& point) override;
 
   /// Partitions the batch round-robin (continuing the `Observe` rotation)
   /// and ingests the sub-batches in parallel — shards are fully
   /// independent, so this is bit-identical to per-element routing.
-  void ObserveBatch(std::span<const StreamPoint> batch) override;
+  size_t ObserveBatch(std::span<const StreamPoint> batch) override;
+
+  /// Sum of the shards' state versions — monotone, chunking-invariant, and
+  /// restored for free because every shard snapshot carries its own
+  /// version.
+  uint64_t StateVersion() const override;
 
   /// Merge + single post-process: union of the per-shard solutions, GMM
   /// farthest-first selection of `k` points over the union. Fails with

@@ -74,19 +74,29 @@ class SlidingWindow : public StreamSink {
   }
 
   /// Feeds one element to every live replica and manages their lifecycle.
-  void Observe(const StreamPoint& point) override {
-    if (!error_.ok()) return;  // latched factory failure; stream is dead
+  /// Returns true iff the element mutated state: it spawned a replica, was
+  /// kept by some replica, or rolled the window (dropped an expired
+  /// replica — which changes the replica that answers `Solve`).
+  bool Observe(const StreamPoint& point) override {
+    if (!error_.ok()) return false;  // latched factory failure; stream dead
+    bool mutated = false;
     // Start a new replica at every stride boundary.
     if (position_ % stride_ == 0) {
       Result<Algo> fresh = factory_();
       if (!fresh.ok()) {
+        // Latching the error changes what Solve() returns, so it counts
+        // as a state mutation and advances the version — a version-keyed
+        // cache would otherwise keep serving the stale pre-error solution
+        // and mask the dead stream.
         error_ = fresh.status();
-        return;
+        ++state_version_;
+        return true;
       }
       replicas_.push_back({position_, std::move(fresh.value())});
+      mutated = true;
     }
     for (auto& replica : replicas_) {
-      replica.algo.Observe(point);
+      if (replica.algo.Observe(point)) mutated = true;
     }
     ++position_;
     // Drop replicas that started before the window: they may hold expired
@@ -96,9 +106,18 @@ class SlidingWindow : public StreamSink {
     const int64_t window_start = WindowStart();
     while (!replicas_.empty() && replicas_.front().start < window_start) {
       replicas_.pop_front();
+      mutated = true;
     }
     FDM_DCHECK(!replicas_.empty());
+    if (mutated) ++state_version_;
+    return mutated;
   }
+
+  /// Advances once per mutating `Observe` (chunking-invariant: the
+  /// inherited `ObserveBatch` is the per-element loop). `Solve()` answers
+  /// from the front replica, which changes only on a spawn/keep/drop — all
+  /// of which advance the version.
+  uint64_t StateVersion() const override { return state_version_; }
 
   /// Solution over (a suffix of) the current window. Every element id in
   /// the result was observed within the last `window` elements.
@@ -137,6 +156,7 @@ class SlidingWindow : public StreamSink {
     writer.WriteI64(window_);
     writer.WriteI64(stride_);
     writer.WriteI64(position_);
+    writer.WriteU64(state_version_);
     if (Status s = pristine.value().Snapshot(writer); !s.ok()) return s;
     writer.WriteU64(replicas_.size());
     for (const auto& replica : replicas_) {
@@ -154,6 +174,7 @@ class SlidingWindow : public StreamSink {
     const int64_t window = reader.ReadI64();
     const int64_t stride = reader.ReadI64();
     const int64_t position = reader.ReadI64();
+    const uint64_t state_version = reader.ReadU64();
     if (!reader.ok()) return reader.status();
     Result<Algo> pristine = Algo::Restore(reader);
     if (!pristine.ok()) return pristine.status();
@@ -182,6 +203,7 @@ class SlidingWindow : public StreamSink {
     }
     if (!reader.ok()) return reader.status();
     restored.position_ = position;
+    restored.state_version_ = state_version;
     return restored;
   }
 
@@ -211,6 +233,7 @@ class SlidingWindow : public StreamSink {
   Factory factory_;
   std::deque<Replica> replicas_;
   int64_t position_ = 0;
+  uint64_t state_version_ = 0;
   Status error_;
 };
 

@@ -1,0 +1,60 @@
+#include "core/solve_cache.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace fdm {
+
+Result<Solution> SolveCache::GetOrCompute(
+    uint64_t version, const std::function<Result<Solution>()>& solver) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_.has_value() && version_ == version) {
+      ++hits_;
+      return *cached_;
+    }
+  }
+  // Compute under a separate mutex so the entry mutex stays cheap: a
+  // long post-processing run must not block `GetStats` (STATS on the
+  // serving path) or a concurrent hit for the already-cached version.
+  // Serializing computes is still required — the solver may mutate
+  // incremental scratch (see Sfdm2) — and makes a second miss for the
+  // same version wait and then be served the first caller's result by
+  // the re-check below.
+  std::lock_guard<std::mutex> compute_lock(compute_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (cached_.has_value() && version_ == version) {
+      ++hits_;
+      return *cached_;
+    }
+  }
+  Timer timer;
+  Result<Solution> result = solver();
+  const double solve_ms = timer.ElapsedSeconds() * 1000.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  last_solve_ms_ = solve_ms;
+  ++misses_;
+  version_ = version;
+  cached_.emplace(result);
+  return result;
+}
+
+void SolveCache::Invalidate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cached_.reset();
+  version_ = 0;
+}
+
+SolveCache::Stats SolveCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.last_solve_ms = last_solve_ms_;
+  stats.cached_version = cached_.has_value() ? version_ : 0;
+  return stats;
+}
+
+}  // namespace fdm

@@ -23,7 +23,10 @@ class SnapshotReader;
 ///
 ///  * `Observe` consumes exactly one stream element. The element's
 ///    coordinate span is only valid during the call — sinks copy what they
-///    retain (this keeps the paper's memory accounting honest).
+///    retain (this keeps the paper's memory accounting honest). It returns
+///    whether the element actually *mutated* retained state (kept by some
+///    candidate, grew the ladder, rolled the window) so callers never have
+///    to guess whether a query answer may have changed.
 ///  * `ObserveBatch(batch)` must be observationally equivalent to calling
 ///    `Observe` on each element of `batch` in order: any later `Solve()`
 ///    returns bit-identical output. Implementations are free to
@@ -34,21 +37,42 @@ class SnapshotReader;
 ///  * `Solve` may be called at any time and does not consume the stream
 ///    state (anytime behaviour): more elements may be observed afterwards
 ///    and `Solve` called again.
+///  * `StateVersion` is a monotone counter that advances *only* when
+///    `Observe`/`ObserveBatch` mutates retained state. It is the cache key
+///    of the incremental query path: equal versions guarantee bit-identical
+///    `Solve()` output, so `SolveCache` (core/solve_cache.h) and the
+///    service layer can answer repeated queries without re-running the
+///    post-processing. The counter is *chunking-invariant* — feeding a
+///    stream per-element or via any `ObserveBatch` partition yields the
+///    same final version — so a WAL replay (batched) reproduces the version
+///    of the original (per-element) ingest and snapshots stay bit-identical
+///    across recovery.
 ///  * `StoredElements` reports the distinct retained elements — the
 ///    paper's space-usage measure.
 class StreamSink {
  public:
   virtual ~StreamSink() = default;
 
-  /// Processes one stream element.
-  virtual void Observe(const StreamPoint& point) = 0;
+  /// Processes one stream element. Returns true iff the element mutated
+  /// retained state (and hence advanced `StateVersion`).
+  virtual bool Observe(const StreamPoint& point) = 0;
 
   /// Processes a batch of stream elements; equivalent to observing each in
   /// order. The default forwards to `Observe`; algorithms with independent
   /// per-rung or per-shard state override this with a parallel partition.
-  virtual void ObserveBatch(std::span<const StreamPoint> batch) {
-    for (const StreamPoint& point : batch) Observe(point);
+  /// Returns the number of state mutations the batch caused (an element
+  /// kept by several internal candidates may count more than once); `0`
+  /// means the batch left retained state — and `StateVersion` — untouched.
+  virtual size_t ObserveBatch(std::span<const StreamPoint> batch) {
+    size_t mutations = 0;
+    for (const StreamPoint& point : batch) {
+      if (Observe(point)) ++mutations;
+    }
+    return mutations;
   }
+
+  /// Monotone state version; see the class comment for the contract.
+  virtual uint64_t StateVersion() const = 0;
 
   /// The current best solution over everything observed so far.
   virtual Result<Solution> Solve() const = 0;

@@ -3,6 +3,7 @@
 #include <set>
 #include <string>
 
+#include "core/batch_replay.h"
 #include "core/diversity.h"
 #include "core/snapshot_util.h"
 #include "geo/point_buffer_io.h"
@@ -37,34 +38,42 @@ Result<StreamingDm> StreamingDm::Create(int k, size_t dim, MetricKind metric,
                      options.batch_threads);
 }
 
-void StreamingDm::Observe(const StreamPoint& point) {
+bool StreamingDm::Observe(const StreamPoint& point) {
   FDM_DCHECK(point.coords.size() == dim_);
   ++observed_;
+  size_t kept = 0;
   for (auto& candidate : candidates_) {
-    candidate.TryAdd(point, metric_);
+    if (candidate.TryAdd(point, metric_)) ++kept;
   }
+  state_version_ += kept;
+  return kept > 0;
 }
 
-void StreamingDm::ObserveBatch(std::span<const StreamPoint> raw_batch) {
-  if (raw_batch.empty()) return;
+size_t StreamingDm::ObserveBatch(std::span<const StreamPoint> raw_batch) {
+  if (raw_batch.empty()) return 0;
   for (const StreamPoint& point : raw_batch) {
     FDM_DCHECK(point.coords.size() == dim_);
     (void)point;
   }
   observed_ += static_cast<int64_t>(raw_batch.size());
   const std::span<const StreamPoint> batch = packed_.Pack(raw_batch, dim_);
-  // Rung-major replay: each task owns one candidate and replays the batch
-  // in stream order, so per-rung state evolves exactly as under
-  // per-element Observe; rungs never share state. A full candidate stays
-  // full forever, so a whole rung is skipped with one check per batch
-  // (the per-element path pays that check per element).
-  parallelism_.Run(candidates_.size(), [&](size_t j) {
-    StreamingCandidate& candidate = candidates_[j];
-    if (candidate.Full()) return;
-    for (const StreamPoint& point : batch) {
-      candidate.TryAdd(point, metric_);
-    }
-  });
+  // Rung-major replay through the shared engine (the group-free special
+  // case: no group-specific candidates, so `num_groups = 0` and the
+  // specific accessor is never invoked): each task owns one candidate and
+  // replays the batch in stream order, so per-rung state evolves exactly
+  // as under per-element Observe, with the full-rung skip and the
+  // chunking-invariant kept counts in one place for all ladder sinks.
+  rung_kept_.assign(candidates_.size(), 0);
+  ReplayBatchRungMajor(
+      parallelism_, candidates_.size(), /*num_groups=*/0, batch,
+      /*by_group=*/nullptr, metric_,
+      [&](size_t j) -> StreamingCandidate& { return candidates_[j]; },
+      [&](int, size_t) -> StreamingCandidate& { return candidates_.front(); },
+      rung_kept_.data());
+  size_t mutations = 0;
+  for (const size_t kept : rung_kept_) mutations += kept;
+  state_version_ += mutations;
+  return mutations;
 }
 
 Result<Solution> StreamingDm::Solve() const {
@@ -101,6 +110,7 @@ Status StreamingDm::Snapshot(SnapshotWriter& writer) const {
   internal::WriteStreamingHeader(writer, dim_, metric_, ladder_,
                                  parallelism_.batch_threads());
   writer.WriteI64(observed_);
+  writer.WriteU64(state_version_);
   writer.WriteU64(candidates_.size());
   for (const StreamingCandidate& candidate : candidates_) {
     SerializePointBuffer(writer, candidate.points());
@@ -114,6 +124,7 @@ Result<StreamingDm> StreamingDm::Restore(SnapshotReader& reader) {
   const internal::StreamingHeader header =
       internal::ReadStreamingHeader(reader);
   const int64_t observed = reader.ReadI64();
+  const uint64_t state_version = reader.ReadU64();
   const size_t rungs = reader.ReadU64();
   if (!reader.ok()) return reader.status();
   // The guess ladder is a pure function of (d_min, d_max, ε), so Create
@@ -133,6 +144,7 @@ Result<StreamingDm> StreamingDm::Restore(SnapshotReader& reader) {
   }
   if (!reader.ok()) return reader.status();
   algo.observed_ = observed;
+  algo.state_version_ = state_version;
   return algo;
 }
 

@@ -46,14 +46,19 @@ class StreamingDm : public StreamSink {
   static Result<StreamingDm> Create(int k, size_t dim, MetricKind metric,
                                     const StreamingOptions& options);
 
-  /// Processes one stream element (Algorithm 1, lines 3–6).
-  void Observe(const StreamPoint& point) override;
+  /// Processes one stream element (Algorithm 1, lines 3–6). Returns true
+  /// iff any candidate kept the element.
+  bool Observe(const StreamPoint& point) override;
 
   /// Batched ingestion: the per-rung insertions are independent across
   /// rungs, so the batch is processed rung-major (each rung replays the
   /// batch in order), partitioned over `batch_threads` — bit-identical to
   /// per-element `Observe`.
-  void ObserveBatch(std::span<const StreamPoint> batch) override;
+  size_t ObserveBatch(std::span<const StreamPoint> batch) override;
+
+  /// Advances by the number of successful candidate insertions, which is
+  /// chunking-invariant (see `StreamSink::StateVersion`).
+  uint64_t StateVersion() const override { return state_version_; }
 
   /// Algorithm 1, line 7: the full candidate maximizing `div(S_µ)`.
   /// Fails with `Infeasible` if no candidate filled (fewer than `k`
@@ -89,7 +94,9 @@ class StreamingDm : public StreamSink {
   std::vector<StreamingCandidate> candidates_;  // one per rung, ascending µ
   BatchParallelism parallelism_;
   PackedBatch packed_;  // batch repack scratch, reused across batches
+  std::vector<size_t> rung_kept_;  // per-rung batch insert counts scratch
   int64_t observed_ = 0;
+  uint64_t state_version_ = 0;
 };
 
 }  // namespace fdm

@@ -32,6 +32,7 @@
 #include "core/sliding_window.h"    // IWYU pragma: export
 #include "core/sink_snapshot.h"     // IWYU pragma: export
 #include "core/solution.h"          // IWYU pragma: export
+#include "core/solve_cache.h"       // IWYU pragma: export
 #include "core/stream_sink.h"       // IWYU pragma: export
 #include "core/streaming_dm.h"      // IWYU pragma: export
 #include "core/validate.h"          // IWYU pragma: export

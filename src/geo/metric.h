@@ -49,24 +49,35 @@ inline double ManhattanDistance(const double* a, const double* b, size_t dim) {
   return acc;
 }
 
+/// Squared L2 norm, accumulated in index order. Shared by the scalar
+/// angular kernel and the norm-caching one-to-many scan in `PointBuffer`,
+/// so cached norms are bit-identical to freshly computed ones.
+inline double SquaredNorm(const double* a, size_t dim) {
+  double acc = 0.0;
+  for (size_t i = 0; i < dim; ++i) acc += a[i] * a[i];
+  return acc;
+}
+
+/// The angular epilogue: maps a dot product and the two squared norms to
+/// the angle. Factored out so the norm-caching buffer kernel reproduces
+/// the scalar kernel's arithmetic exactly (same operations, same order —
+/// the equivalence tests require bit-identical results).
+inline double AngularFromDotAndNorms(double dot, double na, double nb) {
+  if (na == 0.0 || nb == 0.0) return std::acos(0.0);
+  double cosine = dot / (std::sqrt(na) * std::sqrt(nb));
+  if (cosine > 1.0) cosine = 1.0;
+  if (cosine < -1.0) cosine = -1.0;
+  return std::acos(cosine);
+}
+
 /// Angle between vectors, `arccos(<a,b> / (|a||b|))`, in `[0, pi]`.
 /// A zero vector is treated as orthogonal to everything (distance pi/2),
 /// matching the convention of the authors' evaluation code for LDA vectors
 /// (which are never zero in practice).
 inline double AngularDistance(const double* a, const double* b, size_t dim) {
   double dot = 0.0;
-  double na = 0.0;
-  double nb = 0.0;
-  for (size_t i = 0; i < dim; ++i) {
-    dot += a[i] * b[i];
-    na += a[i] * a[i];
-    nb += b[i] * b[i];
-  }
-  if (na == 0.0 || nb == 0.0) return std::acos(0.0);
-  double cosine = dot / (std::sqrt(na) * std::sqrt(nb));
-  if (cosine > 1.0) cosine = 1.0;
-  if (cosine < -1.0) cosine = -1.0;
-  return std::acos(cosine);
+  for (size_t i = 0; i < dim; ++i) dot += a[i] * b[i];
+  return AngularFromDotAndNorms(dot, SquaredNorm(a, dim), SquaredNorm(b, dim));
 }
 
 }  // namespace internal

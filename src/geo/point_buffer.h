@@ -28,6 +28,14 @@ struct StreamPoint {
 /// are copied into one contiguous buffer so the inner distance scans are
 /// cache-friendly, and the buffer never references the dataset (streaming
 /// memory is O(capacity · dim), independent of the stream length).
+///
+/// Each stored point's squared L2 norm is cached on insertion (one extra
+/// double per point), so the angular one-to-many kernel never recomputes
+/// stored-point norms during a scan. The cache is maintained eagerly for
+/// every metric — filling it lazily on the first angular scan would turn
+/// the const scan paths into writers and race under the serving layer's
+/// shared-lock concurrent queries; the eager cost is one O(dim) pass per
+/// insertion, dwarfed by the admission scan that accompanies it.
 class PointBuffer {
  public:
   /// `dim` is the point dimension; `capacity` reserves space (may be 0 for
@@ -37,6 +45,7 @@ class PointBuffer {
     coords_.reserve(capacity * dim);
     ids_.reserve(capacity);
     groups_.reserve(capacity);
+    norms_.reserve(capacity);
   }
 
   /// Copies `p` into the buffer.
@@ -45,6 +54,7 @@ class PointBuffer {
     coords_.insert(coords_.end(), p.coords.begin(), p.coords.end());
     ids_.push_back(p.id);
     groups_.push_back(p.group);
+    norms_.push_back(internal::SquaredNorm(p.coords.data(), dim_));
   }
 
   /// Removes the point at `index` (order is not preserved: the last point
@@ -58,10 +68,12 @@ class PointBuffer {
       }
       ids_[index] = ids_[last];
       groups_[index] = groups_[last];
+      norms_[index] = norms_[last];
     }
     coords_.resize(last * dim_);
     ids_.pop_back();
     groups_.pop_back();
+    norms_.pop_back();
   }
 
   size_t size() const { return ids_.size(); }
@@ -74,6 +86,9 @@ class PointBuffer {
   }
   int64_t IdAt(size_t i) const { return ids_[i]; }
   int32_t GroupAt(size_t i) const { return groups_[i]; }
+  /// Cached squared L2 norm of the point at `i` (bit-identical to
+  /// `internal::SquaredNorm` over its coordinates).
+  double SquaredNormAt(size_t i) const { return norms_[i]; }
 
   /// Whole-buffer views of the SoA arrays (serialization and bulk scans).
   std::span<const int64_t> ids() const { return ids_; }
@@ -131,6 +146,7 @@ class PointBuffer {
     coords_.clear();
     ids_.clear();
     groups_.clear();
+    norms_.clear();
   }
 
  private:
@@ -139,25 +155,67 @@ class PointBuffer {
   /// inner loop), returning the minimum raw distance seen but giving up as
   /// soon as a running block minimum drops below `stop_below` (pass -inf
   /// for an exact full scan).
+  ///
+  /// Dispatches once per scan to a per-metric kernel — Euclidean compares
+  /// squared distances (no `sqrt` per stored point), Manhattan runs the
+  /// same blocked scan over the abs-sum kernel, and angular reuses the
+  /// cached per-point squared norms and computes the query norm once per
+  /// scan instead of once per stored point. Every kernel performs the
+  /// scalar `Metric::RawDistance` arithmetic in the same order, so results
+  /// are bit-identical to a point-at-a-time scan (the kernel equivalence
+  /// tests enforce this for all three metrics).
   double BlockedRawScan(std::span<const double> x, const Metric& metric,
                         double stop_below) const {
+    switch (metric.kind()) {
+      case MetricKind::kEuclidean:
+        return BlockedScanWith(
+            x, stop_below, [this](const double* q, size_t i) {
+              return internal::EuclideanSquaredDistance(
+                  q, coords_.data() + i * dim_, dim_);
+            });
+      case MetricKind::kManhattan:
+        return BlockedScanWith(
+            x, stop_below, [this](const double* q, size_t i) {
+              return internal::ManhattanDistance(q, coords_.data() + i * dim_,
+                                                 dim_);
+            });
+      case MetricKind::kAngular: {
+        // Query norm once per scan; stored norms from the cache.
+        const double query_norm = internal::SquaredNorm(x.data(), dim_);
+        return BlockedScanWith(
+            x, stop_below, [this, query_norm](const double* q, size_t i) {
+              const double* p = coords_.data() + i * dim_;
+              double dot = 0.0;
+              for (size_t d = 0; d < dim_; ++d) dot += q[d] * p[d];
+              return internal::AngularFromDotAndNorms(dot, query_norm,
+                                                      norms_[i]);
+            });
+      }
+    }
+    FDM_CHECK_MSG(false, "unreachable metric kind");
+    return 0.0;
+  }
+
+  /// The blocked min/early-exit skeleton shared by the per-metric kernels;
+  /// `raw_at(query, i)` returns the raw distance to stored point `i`.
+  template <typename RawAt>
+  double BlockedScanWith(std::span<const double> x, double stop_below,
+                         RawAt&& raw_at) const {
     double best = std::numeric_limits<double>::infinity();
     const size_t n = size();
-    const double* base = coords_.data();
     constexpr size_t kBlock = 8;
     size_t i = 0;
     for (; i + kBlock <= n; i += kBlock) {
       double block_min = std::numeric_limits<double>::infinity();
       for (size_t b = 0; b < kBlock; ++b) {
-        const double raw =
-            metric.RawDistance(x.data(), base + (i + b) * dim_, dim_);
+        const double raw = raw_at(x.data(), i + b);
         if (raw < block_min) block_min = raw;
       }
       if (block_min < best) best = block_min;
       if (best < stop_below) return best;
     }
     for (; i < n; ++i) {
-      const double raw = metric.RawDistance(x.data(), base + i * dim_, dim_);
+      const double raw = raw_at(x.data(), i);
       if (raw < best) best = raw;
       if (best < stop_below) return best;
     }
@@ -168,6 +226,7 @@ class PointBuffer {
   std::vector<double> coords_;
   std::vector<int64_t> ids_;
   std::vector<int32_t> groups_;
+  std::vector<double> norms_;  // per-point squared L2 norms (angular kernel)
 };
 
 }  // namespace fdm

@@ -60,6 +60,13 @@ struct RunConfig {
   /// Checkpoint replicas for `AlgorithmKind::kSlidingWindow` (coverage
   /// granularity; live instances ≤ checkpoints + 1).
   int64_t window_checkpoints = 4;
+  /// Interleaved-query trace mode (streaming only): call `Solve()` after
+  /// every `solve_every` ingested elements, through a `SolveCache` keyed by
+  /// the sink's state version — the serving-path exercise of the
+  /// incremental post-processing. `0` (default) solves only at the end.
+  /// The final reported solution is unchanged either way (`Solve` is
+  /// anytime and the cache is exact).
+  size_t solve_every = 0;
 };
 
 /// Measured outcome of one run.
@@ -76,6 +83,14 @@ struct RunResult {
   double avg_update_ms = 0.0;
   /// Streaming: distinct stored elements. Offline: n (whole dataset).
   size_t stored_elements = 0;
+  /// Trace mode (`RunConfig::solve_every > 0`): mid-stream solves issued
+  /// and how many were answered by the solve cache without re-running the
+  /// post-processing (the state version had not moved).
+  size_t intermediate_solves = 0;
+  size_t solve_cache_hits = 0;
+  /// Trace mode: total wall time spent in mid-stream solves (excluded from
+  /// `stream_time_sec` so one-pass numbers stay comparable).
+  double trace_solve_time_sec = 0.0;
 
   std::vector<int64_t> selected_ids;
 };

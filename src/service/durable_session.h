@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/solution.h"
+#include "core/solve_cache.h"
 #include "core/stream_sink.h"
 #include "service/wal.h"
 #include "util/status.h"
@@ -43,7 +44,12 @@ struct DurableSessionOptions {
 /// segments the snapshot made redundant and snapshots beyond
 /// `keep_snapshots`.
 ///
-/// Not thread-safe; `SessionManager` serializes access per session.
+/// Thread-safety: mutating operations (`Observe`, `ObserveBatch`,
+/// `TakeSnapshot`, `Sync`) require exclusive access; the const query
+/// surface (`Solve`, the counters, `SolveCacheStats`) may run concurrently
+/// with itself. `SessionManager` enforces exactly this with a per-session
+/// reader–writer lock, so queries never block each other and cached SOLVEs
+/// are served while other sessions ingest.
 class DurableSession {
  public:
   /// Creates a fresh session directory. Fails if `dir` already contains a
@@ -75,7 +81,34 @@ class DurableSession {
   Status Observe(const StreamPoint& point);
   Status ObserveBatch(std::span<const StreamPoint> batch);
 
-  Result<Solution> Solve() const { return sink_->Solve(); }
+  /// Current solution, served through the session's `SolveCache`: the
+  /// expensive post-processing runs only when the sink's state version
+  /// moved since the last query; otherwise the memoized solution is
+  /// returned verbatim. Safe to call concurrently with other readers
+  /// (`Stats`, other `Solve`s) — the manager's reader–writer session lock
+  /// excludes ingest while a query reads the sink.
+  Result<Solution> Solve() const {
+    const StreamSink& sink = *sink_;
+    return solve_cache_->GetOrCompute(sink.StateVersion(),
+                                      [&sink] { return sink.Solve(); });
+  }
+
+  /// Replaces the session's solve cache (the manager hands every session
+  /// the cache owned by its registry entry, so memoized solutions survive
+  /// spill/reload and crash-recovery cycles: the restored sink's state
+  /// version is chunking-invariant, so a still-matching cache entry is
+  /// still correct and the first query after recovery is a cache hit).
+  void AttachSolveCache(std::shared_ptr<SolveCache> cache) {
+    if (cache != nullptr) solve_cache_ = std::move(cache);
+  }
+
+  /// The sink's monotone state version (see `StreamSink::StateVersion`).
+  uint64_t StateVersion() const { return sink_->StateVersion(); }
+
+  /// Query-path counters of this session's cache.
+  SolveCache::Stats SolveCacheStats() const {
+    return solve_cache_->GetStats();
+  }
 
   /// Fsyncs the WAL and writes a snapshot at the current stream position.
   Status TakeSnapshot();
@@ -99,7 +132,10 @@ class DurableSession {
  private:
   DurableSession(std::string dir, std::string spec,
                  DurableSessionOptions options)
-      : dir_(std::move(dir)), spec_(std::move(spec)), options_(options) {}
+      : dir_(std::move(dir)),
+        spec_(std::move(spec)),
+        options_(options),
+        solve_cache_(std::make_shared<SolveCache>()) {}
 
   Status MaybeAutoSnapshot();
   /// Deletes snapshots beyond `keep_snapshots`; returns the seq of the
@@ -113,6 +149,7 @@ class DurableSession {
   DurableSessionOptions options_;
   std::unique_ptr<StreamSink> sink_;
   std::unique_ptr<WriteAheadLog> wal_;
+  std::shared_ptr<SolveCache> solve_cache_;  // never null
   size_t dim_ = 0;  // from the spec; every ingested point must match
   int64_t snapshot_seq_ = 0;
   Status broken_;  // latched WAL-append failure; session needs a reopen

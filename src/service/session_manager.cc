@@ -94,6 +94,7 @@ Status SessionManager::CreateSession(const std::string& name,
   auto entry = std::make_shared<Entry>();
   entry->session =
       std::make_unique<DurableSession>(std::move(session.value()));
+  entry->session->AttachSolveCache(entry->solve_cache);
   entry->resident.store(true, std::memory_order_release);
   resident_count_.fetch_add(1, std::memory_order_relaxed);
   {
@@ -123,14 +124,17 @@ Result<std::shared_ptr<SessionManager::Entry>> SessionManager::Resident(
     entry->last_used = ++tick_;
   }
   {
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    std::unique_lock<std::shared_mutex> entry_lock(entry->mu);
     if (entry->session == nullptr) {
       // Spilled (or inherited from a previous process): recover from the
-      // newest snapshot + WAL tail.
+      // newest snapshot + WAL tail. Re-attach the entry's cache — state
+      // versions survive recovery bit-exactly, so a still-matching cached
+      // solution is served on the first post-recovery query.
       auto session = DurableSession::Open(DirFor(name), options_.session);
       if (!session.ok()) return session.status();
       entry->session =
           std::make_unique<DurableSession>(std::move(session.value()));
+      entry->session->AttachSolveCache(entry->solve_cache);
       entry->resident.store(true, std::memory_order_release);
       resident_count_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -170,7 +174,7 @@ void SessionManager::EnforceResidencyLimit() {
       // caller is about to use.
       if (victim == nullptr || victim->last_used == newest) return;
     }
-    std::lock_guard<std::mutex> victim_lock(victim->mu);
+    std::unique_lock<std::shared_mutex> victim_lock(victim->mu);
     if (victim->session == nullptr) continue;  // raced with another spill
     // Spill = snapshot (so recovery is instant, no WAL replay) + drop.
     if (Status s = victim->session->TakeSnapshot(); !s.ok()) {
@@ -190,12 +194,26 @@ auto SessionManager::WithSession(const std::string& name, Fn&& fn)
   for (;;) {
     auto entry = Resident(name);
     if (!entry.ok()) return entry.status();
-    std::lock_guard<std::mutex> lock((*entry)->mu);
+    std::unique_lock<std::shared_mutex> lock((*entry)->mu);
     // The session can be spilled between Resident() and the lock; the
     // guard's scope is the loop body, so retrying releases it first (the
     // entry mutex is not recursive).
     if ((*entry)->session == nullptr) continue;
     return fn(*(*entry)->session);
+  }
+}
+
+template <typename Fn>
+auto SessionManager::WithSessionShared(const std::string& name, Fn&& fn)
+    -> decltype(fn(std::declval<const DurableSession&>())) {
+  for (;;) {
+    auto entry = Resident(name);
+    if (!entry.ok()) return entry.status();
+    std::shared_lock<std::shared_mutex> lock((*entry)->mu);
+    // Same spill race as WithSession: reloading needs the exclusive lock,
+    // so drop the shared one and go back through Resident().
+    if ((*entry)->session == nullptr) continue;
+    return fn(static_cast<const DurableSession&>(*(*entry)->session));
   }
 }
 
@@ -213,7 +231,11 @@ Status SessionManager::ObserveBatch(const std::string& name,
 }
 
 Result<Solution> SessionManager::Solve(const std::string& name) {
-  return WithSession(name, [](DurableSession& session) {
+  // Shared lock: a cache hit copies the memoized solution without ever
+  // touching the sink; a miss runs the post-processing while holding the
+  // lock shared, which still excludes ingest (exclusive) but lets STATS
+  // and other SOLVEs through. SolveCache serializes the compute itself.
+  return WithSessionShared(name, [](const DurableSession& session) {
     return session.Solve();
   });
 }
@@ -234,7 +256,7 @@ Status SessionManager::DropResident(const std::string& name) {
     }
     entry = it->second;
   }
-  std::lock_guard<std::mutex> lock(entry->mu);
+  std::unique_lock<std::shared_mutex> lock(entry->mu);
   // Deliberately no snapshot: the in-memory sink state is discarded and
   // must be reconstructed from snapshot + WAL tail. Note the WAL
   // destructor still flushes buffered records, so this models a graceful
@@ -266,20 +288,25 @@ Result<SessionManager::SessionStats> SessionManager::Stats(
   }
   bool was_resident = false;
   {
-    std::lock_guard<std::mutex> entry_lock(entry->mu);
+    std::shared_lock<std::shared_mutex> entry_lock(entry->mu);
     was_resident = entry->session != nullptr;
   }
-  return WithSession(name,
-                     [&](DurableSession& session) -> Result<SessionStats> {
-    SessionStats stats;
-    stats.name = name;
-    stats.spec = session.spec();
-    stats.resident = was_resident;
-    stats.observed = session.ObservedElements();
-    stats.stored = session.StoredElements();
-    stats.snapshot_seq = session.SnapshotSeq();
-    return stats;
-  });
+  return WithSessionShared(
+      name, [&](const DurableSession& session) -> Result<SessionStats> {
+        SessionStats stats;
+        stats.name = name;
+        stats.spec = session.spec();
+        stats.resident = was_resident;
+        stats.observed = session.ObservedElements();
+        stats.stored = session.StoredElements();
+        stats.snapshot_seq = session.SnapshotSeq();
+        stats.state_version = session.StateVersion();
+        const SolveCache::Stats cache = session.SolveCacheStats();
+        stats.solve_hits = cache.hits;
+        stats.solve_misses = cache.misses;
+        stats.last_solve_ms = cache.last_solve_ms;
+        return stats;
+      });
 }
 
 std::vector<std::string> SessionManager::SessionNames() const {
@@ -309,7 +336,7 @@ Status SessionManager::SnapshotAll() {
   }
   std::vector<Status> results(resident.size());
   sweep_parallelism_.Run(resident.size(), [&](size_t i) {
-    std::lock_guard<std::mutex> lock(resident[i]->mu);
+    std::unique_lock<std::shared_mutex> lock(resident[i]->mu);
     if (resident[i]->session == nullptr) return;  // spilled meanwhile
     results[i] = resident[i]->session->TakeSnapshot();
   });

@@ -7,12 +7,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/solution.h"
+#include "core/solve_cache.h"
 #include "service/durable_session.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -41,11 +43,22 @@ struct SessionManagerOptions {
 /// sessions, each a `StreamSink` built from a spec string.
 ///
 /// Concurrency model: a manager-level mutex guards only the name→entry map
-/// and LRU bookkeeping; every session has its own mutex, so ingest into
-/// different sessions proceeds in parallel (and each sink can additionally
-/// parallelize `ObserveBatch` internally over its own rungs/shards).
+/// and LRU bookkeeping; every session has its own *reader–writer* lock
+/// (`std::shared_mutex`), so ingest into different sessions proceeds in
+/// parallel (and each sink can additionally parallelize `ObserveBatch`
+/// internally over its own rungs/shards), while queries (`Solve`, `Stats`)
+/// take the lock shared: they run concurrently with each other and are
+/// answered from the session's `SolveCache` whenever the sink's state
+/// version has not moved — a cached SOLVE never serializes against STATS
+/// on the same session or against any other session's ingest.
 /// Manager-wide sweeps (`SnapshotAll`, destructor flush) fan the sessions
 /// out over a `util/thread_pool.h` pool.
+///
+/// Each entry owns its `SolveCache` and re-attaches it whenever the
+/// session is (re)loaded, so memoized solutions survive LRU spills and
+/// crash-recovery drills: state versions are chunking-invariant under WAL
+/// replay, so a cache entry that still matches the recovered sink's
+/// version is still bit-exact.
 ///
 /// Lifecycle: `CreateSession` builds a fresh sink + WAL; a session touched
 /// after a spill (or after a restart — `Create` scans `root_dir`) is
@@ -89,6 +102,13 @@ class SessionManager {
     int64_t observed = 0;
     size_t stored = 0;
     int64_t snapshot_seq = 0;
+    /// Monotone sink state version (see `StreamSink::StateVersion`).
+    uint64_t state_version = 0;
+    /// Query-path counters: solve-cache hits/misses and the wall time of
+    /// the most recent cache-miss post-processing run.
+    uint64_t solve_hits = 0;
+    uint64_t solve_misses = 0;
+    double last_solve_ms = 0.0;
   };
   Result<SessionStats> Stats(const std::string& name);
 
@@ -99,13 +119,18 @@ class SessionManager {
 
  private:
   struct Entry {
-    std::mutex mu;
+    /// Reader–writer session lock: ingest/snapshot/spill take it
+    /// exclusive, queries (Solve/Stats) shared.
+    std::shared_mutex mu;
     std::unique_ptr<DurableSession> session;  // null = spilled to disk
     /// Mirrors `session != nullptr`, updated at every transition while
     /// `mu` is held. Scans that only hold the MAP mutex (LRU victim
     /// selection, SnapshotAll collection) read this flag — reading
     /// `session` itself there would race with a concurrent load/spill.
     std::atomic<bool> resident{false};
+    /// The session's solve cache. Owned by the entry (not the session) so
+    /// memoized solutions survive spill/reload; re-attached on every load.
+    std::shared_ptr<SolveCache> solve_cache = std::make_shared<SolveCache>();
     uint64_t last_used = 0;
   };
 
@@ -120,12 +145,21 @@ class SessionManager {
   /// to honor `max_resident`.
   Result<std::shared_ptr<Entry>> Resident(const std::string& name);
 
-  /// Runs `fn(session)` with the entry lock held, transparently reloading
-  /// if the session was spilled between `Resident` and the lock (the lock
-  /// is released before each retry — never recurse while holding it).
+  /// Runs `fn(session)` with the entry lock held exclusively,
+  /// transparently reloading if the session was spilled between `Resident`
+  /// and the lock (the lock is released before each retry — never recurse
+  /// while holding it).
   template <typename Fn>
   auto WithSession(const std::string& name, Fn&& fn)
       -> decltype(fn(std::declval<DurableSession&>()));
+
+  /// As `WithSession`, but holds the entry lock *shared*: `fn` gets a
+  /// const session and may run concurrently with other shared holders.
+  /// Ingest and snapshots (exclusive holders) are excluded, which is what
+  /// makes it safe for a cache-missing `Solve` to read the sink.
+  template <typename Fn>
+  auto WithSessionShared(const std::string& name, Fn&& fn)
+      -> decltype(fn(std::declval<const DurableSession&>()));
 
   /// Spills LRU sessions until the resident count is within bounds.
   void EnforceResidencyLimit();

@@ -38,7 +38,11 @@ Result<std::string> ReadFileToString(const std::string& path);
 class SnapshotWriter {
  public:
   static constexpr char kMagic[8] = {'F', 'D', 'M', 'S', 'N', 'A', 'P', '1'};
-  static constexpr uint32_t kFormatVersion = 1;
+  /// Bumped whenever any sink's snapshot payload layout changes (v2 added
+  /// the per-sink state_version field), so an old-format file is rejected
+  /// cleanly at the header instead of being silently misparsed field by
+  /// field.
+  static constexpr uint32_t kFormatVersion = 2;
 
   void WriteU8(uint8_t v) { Raw(&v, sizeof(v)); }
   void WriteBool(bool v) { WriteU8(v ? 1 : 0); }

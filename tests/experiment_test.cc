@@ -114,6 +114,24 @@ TEST(RunRepeatedTest, ReportsFailuresWithoutPoisoningMeans) {
   EXPECT_FALSE(agg.error.empty());
 }
 
+TEST(RunAlgorithmTest, SolveEveryTraceMatchesPlainRun) {
+  // The interleaved-query trace mode must not change the final solution
+  // (Solve is anytime and the SolveCache is exact) and must report its
+  // mid-stream query activity.
+  const Dataset ds = TestData(2);
+  RunConfig config = ConfigFor(ds, AlgorithmKind::kSfdm2, 9);
+  const RunResult plain = RunAlgorithm(ds, config);
+  config.solve_every = 7;
+  const RunResult traced = RunAlgorithm(ds, config);
+  ASSERT_TRUE(plain.ok);
+  ASSERT_TRUE(traced.ok);
+  EXPECT_EQ(plain.selected_ids, traced.selected_ids);
+  EXPECT_DOUBLE_EQ(plain.diversity, traced.diversity);
+  EXPECT_EQ(traced.intermediate_solves, (ds.size() + 6) / 7);
+  EXPECT_LE(traced.solve_cache_hits, traced.intermediate_solves);
+  EXPECT_EQ(plain.intermediate_solves, 0u);
+}
+
 TEST(BoundsForExperimentsTest, PositiveAndOrdered) {
   const Dataset ds = TestData(2);
   const DistanceBounds b = BoundsForExperiments(ds);

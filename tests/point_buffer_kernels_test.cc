@@ -1,0 +1,139 @@
+// Equivalence of the PointBuffer one-to-many kernels with the scalar
+// Metric on random data, for all three paper metrics (Euclidean,
+// Manhattan, angular). The blocked Manhattan kernel and the norm-caching
+// angular kernel must return bit-identical raw distances and make the same
+// threshold decisions as a point-at-a-time scan — the streaming insert
+// rule, and therefore every algorithm's output, depends on it.
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/metric.h"
+#include "geo/point_buffer.h"
+#include "util/rng.h"
+
+namespace fdm {
+namespace {
+
+constexpr MetricKind kAllKinds[] = {MetricKind::kEuclidean,
+                                    MetricKind::kManhattan,
+                                    MetricKind::kAngular};
+
+std::vector<double> RandomPoint(Rng& rng, size_t dim) {
+  std::vector<double> coords(dim);
+  for (double& c : coords) c = rng.NextDouble(-5.0, 5.0);
+  return coords;
+}
+
+PointBuffer FillRandom(Rng& rng, size_t n, size_t dim) {
+  PointBuffer buffer(dim, n);
+  for (size_t i = 0; i < n; ++i) {
+    const std::vector<double> coords = RandomPoint(rng, dim);
+    buffer.Add(StreamPoint{static_cast<int64_t>(i), 0, coords});
+  }
+  return buffer;
+}
+
+/// Reference: point-at-a-time scan through the scalar kernel.
+double ScalarMinRaw(const PointBuffer& buffer, std::span<const double> x,
+                    const Metric& metric) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    best = std::min(best,
+                    metric.RawDistance(x.data(), buffer.CoordsAt(i).data(),
+                                       buffer.dim()));
+  }
+  return best;
+}
+
+TEST(PointBufferKernelsTest, MinRawDistanceMatchesScalarMetric) {
+  Rng rng(123);
+  for (const MetricKind kind : kAllKinds) {
+    const Metric metric(kind);
+    for (const size_t dim : {1u, 3u, 8u, 17u}) {
+      // Sizes around the kernel's block width (8) exercise both the
+      // blocked loop and the scalar tail.
+      for (const size_t n : {0u, 1u, 7u, 8u, 9u, 40u}) {
+        const PointBuffer buffer = FillRandom(rng, n, dim);
+        for (int q = 0; q < 20; ++q) {
+          const std::vector<double> query = RandomPoint(rng, dim);
+          const double expected = ScalarMinRaw(buffer, query, metric);
+          const double actual = buffer.MinRawDistanceTo(query, metric);
+          // Bit-identical, not approximately equal: the kernels replicate
+          // the scalar arithmetic operation for operation.
+          EXPECT_EQ(expected, actual)
+              << MetricKindName(kind) << " dim=" << dim << " n=" << n;
+          // The normalized form agrees too (infinity for an empty buffer).
+          EXPECT_EQ(n == 0 ? std::numeric_limits<double>::infinity()
+                           : metric.FinishDistance(expected),
+                    buffer.MinDistanceTo(query, metric));
+        }
+      }
+    }
+  }
+}
+
+TEST(PointBufferKernelsTest, AllAtLeastMatchesScalarDecision) {
+  Rng rng(321);
+  for (const MetricKind kind : kAllKinds) {
+    const Metric metric(kind);
+    const size_t dim = 6;
+    const PointBuffer buffer = FillRandom(rng, 25, dim);
+    for (int q = 0; q < 50; ++q) {
+      const std::vector<double> query = RandomPoint(rng, dim);
+      const double min_raw = ScalarMinRaw(buffer, query, metric);
+      const double min_true = metric.FinishDistance(min_raw);
+      // Thresholds straddling the true minimum, including the exact value
+      // (the decision at equality must match the scalar rule too).
+      for (const double threshold :
+           {min_true * 0.5, min_true, min_true * 1.5}) {
+        const bool expected =
+            min_raw >= metric.PrepareThreshold(threshold);
+        EXPECT_EQ(expected, buffer.AllAtLeast(query, metric, threshold))
+            << MetricKindName(kind) << " threshold=" << threshold;
+      }
+    }
+  }
+}
+
+TEST(PointBufferKernelsTest, AngularNormCacheSurvivesRemoveSwap) {
+  Rng rng(55);
+  const Metric metric(MetricKind::kAngular);
+  const size_t dim = 5;
+  PointBuffer buffer = FillRandom(rng, 20, dim);
+  // Interleave removals and insertions; the cached norms must track the
+  // swap-with-last compaction exactly.
+  buffer.RemoveSwap(3);
+  buffer.RemoveSwap(0);
+  buffer.RemoveSwap(buffer.size() - 1);
+  const std::vector<double> extra = RandomPoint(rng, dim);
+  buffer.Add(StreamPoint{99, 0, extra});
+  for (size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(internal::SquaredNorm(buffer.CoordsAt(i).data(), dim),
+              buffer.SquaredNormAt(i));
+  }
+  for (int q = 0; q < 20; ++q) {
+    const std::vector<double> query = RandomPoint(rng, dim);
+    EXPECT_EQ(ScalarMinRaw(buffer, query, metric),
+              buffer.MinRawDistanceTo(query, metric));
+  }
+}
+
+TEST(PointBufferKernelsTest, ZeroVectorAngularConvention) {
+  const Metric metric(MetricKind::kAngular);
+  PointBuffer buffer(3, 2);
+  const std::vector<double> zero(3, 0.0);
+  const std::vector<double> unit = {1.0, 0.0, 0.0};
+  buffer.Add(StreamPoint{0, 0, zero});
+  buffer.Add(StreamPoint{1, 0, unit});
+  // A zero vector is orthogonal-by-convention to everything (pi/2), for
+  // both the stored-point and the query side.
+  EXPECT_EQ(std::acos(0.0), buffer.MinRawDistanceTo(zero, metric));
+  EXPECT_EQ(0.0, buffer.MinRawDistanceTo(unit, metric));
+}
+
+}  // namespace
+}  // namespace fdm

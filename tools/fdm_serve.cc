@@ -9,10 +9,14 @@
 //
 //   CREATE <name> <sink spec...>    create a session (service/sink_spec.h)
 //   OBSERVE <name> <id> <group> <c0> <c1> ...   ingest one point
-//   SOLVE <name>                    current solution (div + ids)
+//   SOLVE <name>                    current solution (div + ids); answered
+//                                   from the per-session solve cache under
+//                                   a shared lock when state is unchanged
 //   SNAPSHOT <name>                 force a durable snapshot
 //   RESTORE <name>                  drop in-memory state, recover from disk
-//   STATS <name>                    observed/stored/snapshot position
+//   STATS <name>                    observed/stored/snapshot position, sink
+//                                   state version, solve-cache hits/misses,
+//                                   last-solve latency
 //   LIST                            all known sessions
 //   QUIT                            snapshot everything and exit
 //
@@ -149,6 +153,10 @@ int Main(int argc, char** argv) {
         std::cout << "OK observed=" << stats->observed
                   << " stored=" << stats->stored
                   << " snapshot_seq=" << stats->snapshot_seq
+                  << " version=" << stats->state_version
+                  << " solve_hits=" << stats->solve_hits
+                  << " solve_misses=" << stats->solve_misses
+                  << " last_solve_ms=" << stats->last_solve_ms
                   << " spec=\"" << stats->spec << "\"\n";
       }
     } else {
