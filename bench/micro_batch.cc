@@ -18,6 +18,7 @@
 #include "core/stream_sink.h"
 #include "core/streaming_dm.h"
 #include "data/synthetic.h"
+#include "geo/simd/kernel_dispatch.h"
 #include "util/argparse.h"
 #include "util/timer.h"
 
@@ -66,9 +67,11 @@ int Main(int argc, char** argv) {
   const DistanceBounds bounds = EstimateDistanceBounds(ds, 1000, 1);
 
   std::printf("=== micro_batch: StreamSink ingestion throughput ===\n");
-  std::printf("n=%zu dim=%zu k=%d m=%d eps=%.2f (speedups vs batch=1, "
-              "threads=1 per algorithm)\n\n",
-              o.n, o.dim, o.k, o.m, o.epsilon);
+  std::printf("n=%zu dim=%zu k=%d m=%d eps=%.2f kernel=%.*s (speedups vs "
+              "batch=1, threads=1 per algorithm)\n\n",
+              o.n, o.dim, o.k, o.m, o.epsilon,
+              static_cast<int>(simd::ActiveKernelName().size()),
+              simd::ActiveKernelName().data());
 
   const size_t kBatchSizes[] = {1, 64, 1024};
   const int kThreadCounts[] = {1, 4};

@@ -1,0 +1,239 @@
+// Distance-kernel microbenchmark: per-metric, per-dispatch-target
+// one-to-many scan throughput over the paper's dimension range, plus the
+// batched Q×N kernel, with scalar-vs-SIMD speedup ratios. Emits
+// machine-readable BENCH_kernels.json (default: results/BENCH_kernels.json)
+// so future PRs can track the kernel trajectory, plus a human summary.
+//
+//   ./micro_kernels [--reps_scale=1.0] [--out=results] [--min-speedup=0]
+//
+// Grid: metrics {euclidean, manhattan, angular} × dims {2, 8, 25, 100} ×
+// buffer sizes {64, 1024, 16384} × every dispatch target reachable on this
+// machine (`FDM_KERNEL` forces the *default* target but the sweep always
+// measures all of them). Scans are exact full scans (stop_below = -inf) —
+// the admission path's early exits only shorten scans, so full scans are
+// the stable, comparable unit.
+//
+// --min-speedup=X (CI smoke): exit non-zero unless the best SIMD Euclidean
+// one-to-many kernel reaches X× the scalar target at dim 25 / 16k stored
+// points. Vacuously passes (with a warning) when no SIMD target is
+// available on the machine.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/metric.h"
+#include "geo/point_buffer.h"
+#include "geo/simd/kernel_dispatch.h"
+#include "util/argparse.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace fdm {
+namespace {
+
+constexpr size_t kDims[] = {2, 8, 25, 100};
+constexpr size_t kSizes[] = {64, 1024, 16384};
+constexpr MetricKind kMetrics[] = {MetricKind::kEuclidean,
+                                   MetricKind::kManhattan,
+                                   MetricKind::kAngular};
+constexpr size_t kBatchQueries = 64;
+
+struct Cell {
+  std::string metric;
+  size_t dim = 0;
+  size_t n = 0;
+  std::string target;
+  double single_ns_per_point = 0.0;   // one-to-many scan, per stored point
+  double batch_ns_per_point = 0.0;    // Q×N kernel, per (query, point) pair
+  double speedup_vs_scalar = 0.0;     // single-scan ratio, filled later
+};
+
+std::vector<double> RandomPoint(Rng& rng, size_t dim) {
+  std::vector<double> p(dim);
+  for (double& c : p) c = rng.NextDouble(-5.0, 5.0);
+  return p;
+}
+
+/// Times `scans` full one-to-many scans and `batch_rounds` Q×N batch
+/// scans of `buffer`, returning per-point costs.
+void TimeKernels(const PointBuffer& buffer, const Metric& metric,
+                 const std::vector<std::vector<double>>& queries,
+                 double reps_scale, Cell& cell) {
+  const size_t n = buffer.size();
+  // Aim for ~20M point-visits per measurement so even the fastest cell
+  // runs long enough to time reliably.
+  const size_t scans = std::max<size_t>(
+      3, static_cast<size_t>(reps_scale * 2e7 / static_cast<double>(n)));
+  double sink = 0.0;  // defeat dead-code elimination
+  {
+    Timer timer;
+    for (size_t s = 0; s < scans; ++s) {
+      sink += buffer.MinRawDistanceTo(queries[s % queries.size()], metric);
+    }
+    cell.single_ns_per_point =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(scans * n);
+  }
+  {
+    std::vector<const double*> q_ptrs(kBatchQueries);
+    for (size_t q = 0; q < kBatchQueries; ++q) {
+      q_ptrs[q] = queries[q % queries.size()].data();
+    }
+    const std::vector<double> stops(
+        kBatchQueries, -std::numeric_limits<double>::infinity());
+    std::vector<double> out(kBatchQueries);
+    const size_t rounds = std::max<size_t>(1, scans / kBatchQueries);
+    Timer timer;
+    for (size_t r = 0; r < rounds; ++r) {
+      buffer.MinRawDistanceToMany(
+          std::span<const double* const>(q_ptrs.data(), q_ptrs.size()),
+          metric, stops, std::span<double>(out.data(), out.size()));
+      sink += out[0];
+    }
+    cell.batch_ns_per_point =
+        timer.ElapsedSeconds() * 1e9 /
+        static_cast<double>(rounds * kBatchQueries * n);
+  }
+  if (sink == 0.12345) std::printf("?");  // never true; keeps `sink` live
+}
+
+int Main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double reps_scale = args.GetDouble("reps_scale", 1.0);
+  const std::string out_dir = args.GetString("out", "results");
+  const double min_speedup = args.GetDouble("min-speedup", 0.0);
+
+  const std::vector<std::string_view> targets = simd::AvailableKernelTargets();
+  std::printf("=== micro_kernels: one-to-many distance kernels ===\n");
+  std::printf("targets:");
+  for (const std::string_view t : targets) {
+    std::printf(" %.*s", static_cast<int>(t.size()), t.data());
+  }
+  std::printf("  (default %.*s)\n\n",
+              static_cast<int>(simd::ActiveKernelName().size()),
+              simd::ActiveKernelName().data());
+
+  std::vector<Cell> cells;
+  Rng rng(42);
+  for (const MetricKind kind : kMetrics) {
+    const Metric metric(kind);
+    for (const size_t dim : kDims) {
+      for (const size_t n : kSizes) {
+        PointBuffer buffer(dim, n);
+        for (size_t i = 0; i < n; ++i) {
+          const std::vector<double> p = RandomPoint(rng, dim);
+          buffer.Add(StreamPoint{static_cast<int64_t>(i), 0, p});
+        }
+        std::vector<std::vector<double>> queries;
+        for (size_t q = 0; q < kBatchQueries; ++q) {
+          queries.push_back(RandomPoint(rng, dim));
+        }
+        for (const std::string_view target : targets) {
+          FDM_CHECK(simd::internal::ForceKernelTargetForTest(target));
+          Cell cell;
+          cell.metric = std::string(MetricKindName(kind));
+          cell.dim = dim;
+          cell.n = n;
+          cell.target = std::string(target);
+          TimeKernels(buffer, metric, queries, reps_scale, cell);
+          cells.push_back(cell);
+        }
+        simd::internal::ForceKernelTargetForTest("");
+      }
+    }
+  }
+
+  // Speedups vs the scalar target of the same (metric, dim, n) cell.
+  std::map<std::string, double> scalar_ns;
+  for (const Cell& c : cells) {
+    if (c.target == "scalar") {
+      scalar_ns[c.metric + "/" + std::to_string(c.dim) + "/" +
+                std::to_string(c.n)] = c.single_ns_per_point;
+    }
+  }
+  for (Cell& c : cells) {
+    const double base = scalar_ns[c.metric + "/" + std::to_string(c.dim) +
+                                  "/" + std::to_string(c.n)];
+    c.speedup_vs_scalar = c.single_ns_per_point > 0.0
+                              ? base / c.single_ns_per_point
+                              : 0.0;
+  }
+
+  std::printf("%-10s %4s %6s %-7s %14s %14s %8s\n", "metric", "dim", "n",
+              "target", "scan ns/pt", "batch ns/pt", "vs scalar");
+  for (const Cell& c : cells) {
+    std::printf("%-10s %4zu %6zu %-7s %14.3f %14.3f %7.2fx\n",
+                c.metric.c_str(), c.dim, c.n, c.target.c_str(),
+                c.single_ns_per_point, c.batch_ns_per_point,
+                c.speedup_vs_scalar);
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string json_path = out_dir + "/BENCH_kernels.json";
+  std::ofstream json(json_path);
+  json << "{\n  \"default_kernel\": \""
+       << std::string(simd::ActiveKernelName()) << "\",\n  \"targets\": [";
+  for (size_t t = 0; t < targets.size(); ++t) {
+    json << (t > 0 ? ", " : "") << "\"" << std::string(targets[t]) << "\"";
+  }
+  json << "],\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    json << "    {\"metric\": \"" << c.metric << "\", \"dim\": " << c.dim
+         << ", \"n\": " << c.n << ", \"target\": \"" << c.target
+         << "\", \"single_ns_per_point\": " << c.single_ns_per_point
+         << ", \"batch_ns_per_point\": " << c.batch_ns_per_point
+         << ", \"speedup_vs_scalar\": " << c.speedup_vs_scalar << "}"
+         << (i + 1 < cells.size() ? ",\n" : "\n");
+  }
+  json << "  ]\n}\n";
+  if (!json) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+
+  if (min_speedup > 0.0) {
+    if (targets.size() < 2) {
+      std::fprintf(stderr,
+                   "WARN: no SIMD target available on this machine; "
+                   "--min-speedup check skipped\n");
+      return 0;
+    }
+    // The acceptance gate of the kernel subsystem: best SIMD Euclidean
+    // one-to-many scan at dim 25, 16k stored points.
+    double best = 0.0;
+    std::string best_target;
+    for (const Cell& c : cells) {
+      if (c.metric == "euclidean" && c.dim == 25 && c.n == 16384 &&
+          c.target != "scalar" && c.speedup_vs_scalar > best) {
+        best = c.speedup_vs_scalar;
+        best_target = c.target;
+      }
+    }
+    if (best < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: best SIMD Euclidean kernel (%s) is %.2fx scalar "
+                   "at dim 25 / n 16384, below the %.2fx gate\n",
+                   best_target.c_str(), best, min_speedup);
+      return 1;
+    }
+    std::printf("speedup gate passed: %s is %.2fx scalar at dim 25 / 16k "
+                "(>= %.2fx)\n",
+                best_target.c_str(), best, min_speedup);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fdm
+
+int main(int argc, char** argv) { return fdm::Main(argc, argv); }

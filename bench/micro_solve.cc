@@ -27,6 +27,7 @@
 #include "core/sfdm2.h"
 #include "core/solve_cache.h"
 #include "data/synthetic.h"
+#include "geo/simd/kernel_dispatch.h"
 #include "service/session_manager.h"
 #include "util/argparse.h"
 #include "util/binary_io.h"
@@ -207,6 +208,8 @@ int Main(int argc, char** argv) {
   const std::string json_path = out_dir + "/BENCH_solve.json";
   std::ofstream json(json_path);
   json << "{\n"
+       << "  \"kernel\": \"" << std::string(simd::ActiveKernelName())
+       << "\",\n"
        << "  \"n\": " << result.n << ",\n"
        << "  \"dim\": " << result.dim << ",\n"
        << "  \"reps\": " << result.reps << ",\n"

@@ -17,9 +17,12 @@ namespace fdm {
 /// differ only in how candidates are addressed — hence the accessors).
 ///
 /// Task `j` owns rung `j`'s candidates — the group-blind `S_µj` and one
-/// `S_µj,i` per group — and replays the batch into each in stream order,
-/// so per-candidate state evolves exactly as under per-element `Observe`
-/// (`TryAdd` decisions depend only on that candidate's own contents).
+/// `S_µj,i` per group — and replays the batch into each in stream order
+/// through `TryAddBatch`, which front-loads the batch's distance scans
+/// against the candidate's pre-batch contents into one SIMD pass over the
+/// stored blocks; per-candidate state still evolves exactly as under
+/// per-element `Observe` (admission decisions depend only on that
+/// candidate's own contents, and the batched form is decision-identical).
 /// Rungs never share state, so partitioning them over threads is exact. A
 /// full candidate is skipped with one check per batch (full is permanent).
 ///
@@ -44,16 +47,12 @@ void ReplayBatchRungMajor(BatchParallelism& parallelism, size_t rungs,
     size_t kept = 0;
     StreamingCandidate& blind = blind_at(j);
     if (!blind.Full()) {
-      for (const StreamPoint& point : batch) {
-        if (blind.TryAdd(point, metric)) ++kept;
-      }
+      kept += blind.TryAddBatch(batch, metric);
     }
     for (int g = 0; g < num_groups; ++g) {
       StreamingCandidate& candidate = specific_at(g, j);
       if (candidate.Full()) continue;
-      for (const size_t t : by_group[g]) {
-        if (candidate.TryAdd(batch[t], metric)) ++kept;
-      }
+      kept += candidate.TryAddBatchIndexed(batch, by_group[g], metric);
     }
     rung_kept[j] = kept;
   });

@@ -1,6 +1,10 @@
 #ifndef FDM_CORE_STREAMING_CANDIDATE_H_
 #define FDM_CORE_STREAMING_CANDIDATE_H_
 
+#include <cstddef>
+#include <span>
+#include <vector>
+
 #include "geo/point_buffer.h"
 
 namespace fdm {
@@ -25,6 +29,33 @@ class StreamingCandidate {
     return true;
   }
 
+  /// Batched form of a `TryAdd` loop over `batch` in stream order; returns
+  /// the number of points kept. Decisions are identical to the sequential
+  /// loop: the batch's distances to the *pre-batch* contents are computed
+  /// in one pass over the stored blocks (`MinRawDistanceToMany`, with the
+  /// prepared `µ` as the per-query early-exit threshold — rejected points
+  /// stop scanning at their first close block), and each point then only
+  /// re-checks the handful of points admitted earlier in the same batch.
+  /// Admission depends on `min(d to old points, d to new points) >= µ` and
+  /// on the capacity, both of which the split preserves exactly.
+  size_t TryAddBatch(std::span<const StreamPoint> batch, const Metric& metric) {
+    return TryAddRun(
+        batch.size(), metric,
+        [&](size_t t) -> const StreamPoint& { return batch[t]; });
+  }
+
+  /// As `TryAddBatch`, but replays only the batch positions listed in
+  /// `positions` (in order) — the group-specific candidates of the fair
+  /// ladders see just their group's slice of the batch.
+  size_t TryAddBatchIndexed(std::span<const StreamPoint> batch,
+                            std::span<const size_t> positions,
+                            const Metric& metric) {
+    return TryAddRun(positions.size(), metric,
+                     [&](size_t t) -> const StreamPoint& {
+                       return batch[positions[t]];
+                     });
+  }
+
   /// Snapshot-restore path: direct mutable access to the underlying
   /// storage, bypassing the µ-distance admission check. Only the
   /// `Restore` hooks use this — the snapshot was written from a state
@@ -38,6 +69,47 @@ class StreamingCandidate {
   const PointBuffer& points() const { return points_; }
 
  private:
+  template <typename PointAt>
+  size_t TryAddRun(size_t count, const Metric& metric, PointAt&& point_at) {
+    if (count == 0 || Full()) return 0;
+    if (count == 1) return TryAdd(point_at(0), metric) ? 1 : 0;
+    // Scratch reused across calls; thread-local because the rung-major
+    // replay engine runs candidates on pool threads.
+    thread_local std::vector<const double*> queries;
+    thread_local std::vector<double> stops;
+    thread_local std::vector<double> mins;
+    queries.resize(count);
+    for (size_t t = 0; t < count; ++t) {
+      queries[t] = point_at(t).coords.data();
+    }
+    const double prepared = metric.PrepareThreshold(mu_);
+    stops.assign(count, prepared);
+    mins.resize(count);
+    points_.MinRawDistanceToMany(
+        std::span<const double* const>(queries.data(), count), metric,
+        std::span<const double>(stops.data(), count),
+        std::span<double>(mins.data(), count));
+    const size_t pre_batch = points_.size();
+    size_t kept = 0;
+    for (size_t t = 0; t < count; ++t) {
+      if (points_.size() >= capacity_) break;  // full is permanent
+      if (mins[t] < prepared) continue;        // too close to the old set
+      const StreamPoint& p = point_at(t);
+      bool admit = true;
+      for (size_t j = pre_batch; j < points_.size(); ++j) {
+        if (metric.RawDistance(p.coords.data(), points_.CoordsAt(j).data(),
+                               points_.dim()) < prepared) {
+          admit = false;
+          break;
+        }
+      }
+      if (!admit) continue;
+      points_.Add(p);
+      ++kept;
+    }
+    return kept;
+  }
+
   double mu_;
   size_t capacity_;
   PointBuffer points_;

@@ -51,6 +51,7 @@
 #include "geo/metric.h"             // IWYU pragma: export
 #include "geo/point_buffer.h"       // IWYU pragma: export
 #include "geo/point_buffer_io.h"    // IWYU pragma: export
+#include "geo/simd/kernel_dispatch.h"  // IWYU pragma: export
 #include "util/binary_io.h"         // IWYU pragma: export
 #include "util/status.h"            // IWYU pragma: export
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "geo/metric.h"
+#include "geo/simd/kernel_dispatch.h"
+#include "util/aligned.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -24,18 +26,34 @@ struct StreamPoint {
 
 /// Bounded, owning, structure-of-arrays point store.
 ///
-/// This is the storage behind every streaming candidate `S_µ`: coordinates
-/// are copied into one contiguous buffer so the inner distance scans are
-/// cache-friendly, and the buffer never references the dataset (streaming
-/// memory is O(capacity · dim), independent of the stream length).
+/// This is the storage behind every streaming candidate `S_µ`. Coordinates
+/// are kept in two mirrored layouts, maintained together by every mutation:
+///
+///  * `coords_` — point-major and contiguous, the layout behind the span
+///    API (`CoordsAt`/`ViewAt`/`coords()`) and the snapshot format. Spans
+///    into it stay valid until the buffer is mutated, which post-processing
+///    and serialization rely on.
+///  * `blocks_` — the kernel layout: blocks of 8 points, dimension-major
+///    within a block (coordinate `d` of point `i` at
+///    `blocks_[(i/8)·dim·8 + d·8 + i%8]`), 64-byte aligned rows, with the
+///    padding lanes of the final block *replicating the last real point*.
+///    The one-to-many distance kernels (`geo/simd/`) scan this layout with
+///    full-width vector loads and no tail masking anywhere — the replicated
+///    padding can tie with a real lane in a min reduction but never win it.
+///
+/// The duplication costs one extra copy of the coordinates; buffers hold at
+/// most `capacity · dim` doubles (streaming memory stays O(capacity · dim),
+/// independent of the stream length), and in exchange every existing span
+/// consumer keeps working while the admission hot path runs at SIMD speed.
 ///
 /// Each stored point's squared L2 norm is cached on insertion (one extra
-/// double per point), so the angular one-to-many kernel never recomputes
-/// stored-point norms during a scan. The cache is maintained eagerly for
-/// every metric — filling it lazily on the first angular scan would turn
-/// the const scan paths into writers and race under the serving layer's
-/// shared-lock concurrent queries; the eager cost is one O(dim) pass per
-/// insertion, dwarfed by the admission scan that accompanies it.
+/// double per point, padded and replicated like the coordinates), so the
+/// angular one-to-many kernel never recomputes stored-point norms during a
+/// scan. The cache is maintained eagerly for every metric — filling it
+/// lazily on the first angular scan would turn the const scan paths into
+/// writers and race under the serving layer's shared-lock concurrent
+/// queries; the eager cost is one O(dim) pass per insertion, dwarfed by the
+/// admission scan that accompanies it.
 class PointBuffer {
  public:
   /// `dim` is the point dimension; `capacity` reserves space (may be 0 for
@@ -45,20 +63,40 @@ class PointBuffer {
     coords_.reserve(capacity * dim);
     ids_.reserve(capacity);
     groups_.reserve(capacity);
-    norms_.reserve(capacity);
+    const size_t blocks = simd::PointBlockCount(capacity);
+    blocks_.reserve(blocks * simd::PointBlockStride(dim));
+    norms_.reserve(blocks * simd::kPointBlockLanes);
   }
 
   /// Copies `p` into the buffer.
   void Add(const StreamPoint& p) {
     FDM_DCHECK(p.coords.size() == dim_);
+    const size_t i = size();
     coords_.insert(coords_.end(), p.coords.begin(), p.coords.end());
     ids_.push_back(p.id);
     groups_.push_back(p.group);
-    norms_.push_back(internal::SquaredNorm(p.coords.data(), dim_));
+    const double norm = internal::SquaredNorm(p.coords.data(), dim_);
+    const size_t lane = i % simd::kPointBlockLanes;
+    if (lane == 0) {
+      blocks_.resize(blocks_.size() + simd::PointBlockStride(dim_));
+      norms_.resize(norms_.size() + simd::kPointBlockLanes);
+    }
+    // The new point is now the last point: write its lane and replicate it
+    // into every padding lane after it (see the class comment).
+    double* block =
+        blocks_.data() + (i / simd::kPointBlockLanes) * simd::PointBlockStride(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      double* row = block + d * simd::kPointBlockLanes;
+      for (size_t l = lane; l < simd::kPointBlockLanes; ++l) row[l] = p.coords[d];
+    }
+    const size_t norm_base = (i / simd::kPointBlockLanes) * simd::kPointBlockLanes;
+    for (size_t l = lane; l < simd::kPointBlockLanes; ++l) {
+      norms_[norm_base + l] = norm;
+    }
   }
 
   /// Removes the point at `index` (order is not preserved: the last point
-  /// moves into the hole — O(dim)).
+  /// moves into the hole — O(dim), including re-padding the block layout).
   void RemoveSwap(size_t index) {
     FDM_DCHECK(index < size());
     const size_t last = size() - 1;
@@ -69,11 +107,21 @@ class PointBuffer {
       ids_[index] = ids_[last];
       groups_[index] = groups_[last];
       norms_[index] = norms_[last];
+      // Mirror the move into the block layout.
+      double* block = blocks_.data() +
+                      (index / simd::kPointBlockLanes) * simd::PointBlockStride(dim_);
+      const size_t lane = index % simd::kPointBlockLanes;
+      for (size_t d = 0; d < dim_; ++d) {
+        block[d * simd::kPointBlockLanes + lane] = coords_[index * dim_ + d];
+      }
     }
     coords_.resize(last * dim_);
     ids_.pop_back();
     groups_.pop_back();
-    norms_.pop_back();
+    const size_t blocks = simd::PointBlockCount(last);
+    blocks_.resize(blocks * simd::PointBlockStride(dim_));
+    norms_.resize(blocks * simd::kPointBlockLanes);
+    RepadTail();
   }
 
   size_t size() const { return ids_.size(); }
@@ -88,7 +136,10 @@ class PointBuffer {
   int32_t GroupAt(size_t i) const { return groups_[i]; }
   /// Cached squared L2 norm of the point at `i` (bit-identical to
   /// `internal::SquaredNorm` over its coordinates).
-  double SquaredNormAt(size_t i) const { return norms_[i]; }
+  double SquaredNormAt(size_t i) const {
+    FDM_DCHECK(i < size());
+    return norms_[i];
+  }
 
   /// Whole-buffer views of the SoA arrays (serialization and bulk scans).
   std::span<const int64_t> ids() const { return ids_; }
@@ -98,7 +149,8 @@ class PointBuffer {
   /// `d(x, S)` — distance from `x` to its nearest neighbour in the buffer;
   /// +infinity when empty (so "add if `d(x,S) >= µ`" admits the first point).
   ///
-  /// One-to-many kernel over the SoA coordinate block: the scan runs in the
+  /// One-to-many kernel over the block layout through the runtime-dispatched
+  /// SIMD table (`geo/simd/kernel_dispatch.h`): the scan runs in the
   /// metric's raw space (squared distances for Euclidean — no `sqrt` per
   /// stored point) and normalizes once at the end.
   double MinDistanceTo(std::span<const double> x, const Metric& metric) const {
@@ -116,7 +168,7 @@ class PointBuffer {
   bool AllAtLeast(std::span<const double> x, const Metric& metric,
                   double threshold) const {
     const double prepared = metric.PrepareThreshold(threshold);
-    return BlockedRawScan(x, metric, /*stop_below=*/prepared) >= prepared;
+    return RawScan(x, metric, /*stop_below=*/prepared) >= prepared;
   }
 
   /// Raw-space variant of `MinDistanceTo` (see `Metric::RawDistance`);
@@ -124,8 +176,63 @@ class PointBuffer {
   /// threshold must map it with `PrepareThreshold` first.
   double MinRawDistanceTo(std::span<const double> x,
                           const Metric& metric) const {
-    return BlockedRawScan(x, metric,
-                          /*stop_below=*/-std::numeric_limits<double>::infinity());
+    return RawScan(x, metric,
+                   /*stop_below=*/-std::numeric_limits<double>::infinity());
+  }
+
+  /// Batch form of `MinRawDistanceTo`: raw min distances from `Q` query
+  /// points to the whole buffer in one pass over the stored blocks, with a
+  /// per-query raw-space early-exit threshold (`stop_below[q]`, already
+  /// mapped with `PrepareThreshold`; pass -infinity for exact minima).
+  ///
+  /// `out[q]` receives the exact minimum unless the query's running
+  /// minimum crossed `stop_below[q]` mid-scan — then the query stopped
+  /// scanning and `out[q]` holds some value `< stop_below[q]`, so the
+  /// threshold decision `out[q] >= stop_below[q]` always matches a full
+  /// `AllAtLeast` scan. The batched admission path (`TryAddBatch`) is the
+  /// caller; amortizing the stored-block loads across the batch is what
+  /// the kernel subsystem buys on `ObserveBatch`.
+  void MinRawDistanceToMany(std::span<const double* const> queries,
+                            const Metric& metric,
+                            std::span<const double> stop_below,
+                            std::span<double> out) const {
+    FDM_DCHECK(queries.size() == out.size());
+    FDM_DCHECK(queries.size() == stop_below.size());
+    if (queries.empty()) return;
+    if (empty()) {
+      for (double& o : out) o = std::numeric_limits<double>::infinity();
+      return;
+    }
+    const simd::KernelOps& ops = simd::ActiveKernelOps();
+    const simd::PointBlockView view = BlockView();
+    // Worklist scratch (and angular query norms), reused across calls;
+    // thread-local because candidates replay batches on pool threads.
+    thread_local std::vector<uint32_t> scratch;
+    thread_local std::vector<double> query_norms;
+    if (scratch.size() < queries.size()) scratch.resize(queries.size());
+    simd::ManyQueryArgs args;
+    args.queries = queries.data();
+    args.nq = queries.size();
+    args.stop_below = stop_below.data();
+    args.out_min_raw = out.data();
+    args.scratch = scratch.data();
+    switch (metric.kind()) {
+      case MetricKind::kEuclidean:
+        ops.euclidean_min_many(view, args);
+        return;
+      case MetricKind::kManhattan:
+        ops.manhattan_min_many(view, args);
+        return;
+      case MetricKind::kAngular:
+        query_norms.resize(queries.size());
+        for (size_t q = 0; q < queries.size(); ++q) {
+          query_norms[q] = internal::SquaredNorm(queries[q], dim_);
+        }
+        args.query_norms = query_norms.data();
+        ops.angular_min_many(view, args);
+        return;
+    }
+    FDM_CHECK_MSG(false, "unreachable metric kind");
   }
 
   /// The point at `i` as a `StreamPoint` view (valid until mutation).
@@ -146,87 +253,74 @@ class PointBuffer {
     coords_.clear();
     ids_.clear();
     groups_.clear();
+    blocks_.clear();
     norms_.clear();
   }
 
  private:
-  /// The one-to-many kernel behind `AllAtLeast`/`MinRawDistanceTo`: a
-  /// blocked raw-space scan of the SoA buffer (branch-light, vectorizable
-  /// inner loop), returning the minimum raw distance seen but giving up as
-  /// soon as a running block minimum drops below `stop_below` (pass -inf
-  /// for an exact full scan).
-  ///
-  /// Dispatches once per scan to a per-metric kernel — Euclidean compares
-  /// squared distances (no `sqrt` per stored point), Manhattan runs the
-  /// same blocked scan over the abs-sum kernel, and angular reuses the
-  /// cached per-point squared norms and computes the query norm once per
-  /// scan instead of once per stored point. Every kernel performs the
-  /// scalar `Metric::RawDistance` arithmetic in the same order, so results
-  /// are bit-identical to a point-at-a-time scan (the kernel equivalence
-  /// tests enforce this for all three metrics).
-  double BlockedRawScan(std::span<const double> x, const Metric& metric,
-                        double stop_below) const {
+  /// The kernel-facing view of the block layout (requires `size() >= 1`).
+  simd::PointBlockView BlockView() const {
+    return simd::PointBlockView{blocks_.data(), norms_.data(), size(), dim_};
+  }
+
+  /// The one-to-many scan behind `AllAtLeast`/`MinRawDistanceTo`, routed
+  /// through the runtime-dispatched kernel table. Returns the minimum raw
+  /// distance seen but may give up as soon as the running minimum drops
+  /// below `stop_below` (pass -inf for an exact full scan). Every dispatch
+  /// target performs the scalar `Metric::RawDistance` arithmetic per lane
+  /// in the same order, so results are bit-identical to a point-at-a-time
+  /// scan and across targets (the kernel equivalence tests enforce both,
+  /// for all three metrics and every target reachable on the machine).
+  double RawScan(std::span<const double> x, const Metric& metric,
+                 double stop_below) const {
+    if (empty()) return std::numeric_limits<double>::infinity();
+    const simd::KernelOps& ops = simd::ActiveKernelOps();
+    const simd::PointBlockView view = BlockView();
     switch (metric.kind()) {
       case MetricKind::kEuclidean:
-        return BlockedScanWith(
-            x, stop_below, [this](const double* q, size_t i) {
-              return internal::EuclideanSquaredDistance(
-                  q, coords_.data() + i * dim_, dim_);
-            });
+        return ops.euclidean_min(view, x.data(), stop_below);
       case MetricKind::kManhattan:
-        return BlockedScanWith(
-            x, stop_below, [this](const double* q, size_t i) {
-              return internal::ManhattanDistance(q, coords_.data() + i * dim_,
-                                                 dim_);
-            });
-      case MetricKind::kAngular: {
+        return ops.manhattan_min(view, x.data(), stop_below);
+      case MetricKind::kAngular:
         // Query norm once per scan; stored norms from the cache.
-        const double query_norm = internal::SquaredNorm(x.data(), dim_);
-        return BlockedScanWith(
-            x, stop_below, [this, query_norm](const double* q, size_t i) {
-              const double* p = coords_.data() + i * dim_;
-              double dot = 0.0;
-              for (size_t d = 0; d < dim_; ++d) dot += q[d] * p[d];
-              return internal::AngularFromDotAndNorms(dot, query_norm,
-                                                      norms_[i]);
-            });
-      }
+        return ops.angular_min(view, x.data(),
+                               internal::SquaredNorm(x.data(), dim_),
+                               stop_below);
     }
     FDM_CHECK_MSG(false, "unreachable metric kind");
     return 0.0;
   }
 
-  /// The blocked min/early-exit skeleton shared by the per-metric kernels;
-  /// `raw_at(query, i)` returns the raw distance to stored point `i`.
-  template <typename RawAt>
-  double BlockedScanWith(std::span<const double> x, double stop_below,
-                         RawAt&& raw_at) const {
-    double best = std::numeric_limits<double>::infinity();
+  /// Restores the replicate-last-point invariant of the final block's
+  /// padding lanes (coordinates and norms) after a removal.
+  void RepadTail() {
     const size_t n = size();
-    constexpr size_t kBlock = 8;
-    size_t i = 0;
-    for (; i + kBlock <= n; i += kBlock) {
-      double block_min = std::numeric_limits<double>::infinity();
-      for (size_t b = 0; b < kBlock; ++b) {
-        const double raw = raw_at(x.data(), i + b);
-        if (raw < block_min) block_min = raw;
-      }
-      if (block_min < best) best = block_min;
-      if (best < stop_below) return best;
+    if (n == 0) return;
+    const size_t last = n - 1;
+    const size_t lane = last % simd::kPointBlockLanes;
+    double* block = blocks_.data() +
+                    (last / simd::kPointBlockLanes) * simd::PointBlockStride(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      const double v = coords_[last * dim_ + d];
+      double* row = block + d * simd::kPointBlockLanes;
+      for (size_t l = lane + 1; l < simd::kPointBlockLanes; ++l) row[l] = v;
     }
-    for (; i < n; ++i) {
-      const double raw = raw_at(x.data(), i);
-      if (raw < best) best = raw;
-      if (best < stop_below) return best;
+    const size_t norm_base =
+        (last / simd::kPointBlockLanes) * simd::kPointBlockLanes;
+    for (size_t l = lane + 1; l < simd::kPointBlockLanes; ++l) {
+      norms_[norm_base + l] = norms_[last];
     }
-    return best;
   }
 
   size_t dim_;
-  std::vector<double> coords_;
+  std::vector<double> coords_;  // point-major, the span/serde layout
   std::vector<int64_t> ids_;
   std::vector<int32_t> groups_;
-  std::vector<double> norms_;  // per-point squared L2 norms (angular kernel)
+  /// Kernel layouts (see class comment): padded AoSoA coordinates and the
+  /// matching per-point squared L2 norms, both 64-byte aligned so the
+  /// kernels' full-width aligned loads hold on every row.
+  std::vector<double, AlignedAllocator<double>> blocks_;
+  std::vector<double, AlignedAllocator<double>> norms_;
 };
 
 }  // namespace fdm

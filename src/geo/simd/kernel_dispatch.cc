@@ -1,0 +1,110 @@
+#include "geo/simd/kernel_dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "geo/simd/kernel_targets.h"
+
+namespace fdm::simd {
+namespace {
+
+/// True iff the running CPU can execute the AVX2 target. Compiled-in and
+/// runnable are separate questions: a generic x86-64 build still carries
+/// the `-mavx2` translation unit, and this check keeps it unreached on
+/// pre-Haswell hardware.
+bool CpuSupportsAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+const KernelOps* FindByName(const std::vector<const KernelOps*>& targets,
+                            std::string_view name) {
+  for (const KernelOps* ops : targets) {
+    if (ops->name == name) return ops;
+  }
+  return nullptr;
+}
+
+struct Dispatch {
+  /// Available targets in preference order: scalar first, best last.
+  std::vector<const KernelOps*> available;
+  /// The process default after applying the FDM_KERNEL override.
+  const KernelOps* standard = nullptr;
+  /// The live table; only `ForceKernelTargetForTest` moves it afterwards.
+  std::atomic<const KernelOps*> active{nullptr};
+
+  Dispatch() {
+    available.push_back(&internal::ScalarKernelOps());
+    if (const KernelOps* avx2 = internal::Avx2KernelOpsOrNull();
+        avx2 != nullptr && CpuSupportsAvx2()) {
+      available.push_back(avx2);
+    }
+    if (const KernelOps* neon = internal::NeonKernelOpsOrNull();
+        neon != nullptr) {
+      // NEON double-precision SIMD is mandatory on aarch64 — compiled-in
+      // implies runnable.
+      available.push_back(neon);
+    }
+    standard = available.back();
+    if (const char* env = std::getenv("FDM_KERNEL");
+        env != nullptr && env[0] != '\0') {
+      if (const KernelOps* forced = FindByName(available, env)) {
+        standard = forced;
+      } else {
+        std::fprintf(stderr,
+                     "fdm: FDM_KERNEL=%s is not available on this machine; "
+                     "using '%s'\n",
+                     env, std::string(standard->name).c_str());
+      }
+    }
+    active.store(standard, std::memory_order_relaxed);
+  }
+};
+
+Dispatch& GetDispatch() {
+  static Dispatch dispatch;
+  return dispatch;
+}
+
+}  // namespace
+
+const KernelOps& ActiveKernelOps() {
+  return *GetDispatch().active.load(std::memory_order_relaxed);
+}
+
+std::string_view ActiveKernelName() { return ActiveKernelOps().name; }
+
+std::vector<std::string_view> AvailableKernelTargets() {
+  std::vector<std::string_view> names;
+  for (const KernelOps* ops : GetDispatch().available) {
+    names.push_back(ops->name);
+  }
+  return names;
+}
+
+namespace internal {
+
+bool ForceKernelTargetForTest(std::string_view name) {
+  Dispatch& d = GetDispatch();
+  if (name.empty()) {
+    d.active.store(d.standard, std::memory_order_relaxed);
+    return true;
+  }
+  const KernelOps* target = FindByName(d.available, name);
+  if (target == nullptr) return false;
+  d.active.store(target, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace internal
+
+}  // namespace fdm::simd

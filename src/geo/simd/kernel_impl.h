@@ -1,0 +1,168 @@
+#ifndef FDM_GEO_SIMD_KERNEL_IMPL_H_
+#define FDM_GEO_SIMD_KERNEL_IMPL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "geo/simd/kernel_targets.h"
+#include "geo/simd/kernel_types.h"
+
+namespace fdm::simd::internal {
+
+/// Compile-time +infinity. The skeletons deliberately use this constant
+/// instead of calling `std::numeric_limits<double>::infinity()` at
+/// runtime: that call is an inline *function* touching floating point, and
+/// a vague-linkage copy emitted from an ISA-extended TU (VEX-encoded under
+/// -mavx2 at -O0) could be the one the linker keeps program-wide. A
+/// constexpr variable is data, not code — nothing to mis-encode.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// The target-independent scan skeletons. Every dispatch target routes its
+/// per-block distance primitive through these two templates, so the block
+/// order, the early-exit bookkeeping, and the returned values are
+/// *structurally* identical across targets — the only per-target code is
+/// "8 lane distances and their minimum for block `b`", whose value is
+/// exact-min-of-8 on every target. That is the whole bit-exactness
+/// argument: identical per-lane arithmetic (scalar accumulation order per
+/// lane, no FMA contraction) plus an order-invariant min reduction plus an
+/// identical scan structure.
+
+/// One-to-many scan: `block_min(b)` returns the minimum raw distance from
+/// the query to the 8 lanes of block `b`. Gives up as soon as the running
+/// minimum drops below `stop_below` (pass -inf for an exact full scan,
+/// mirroring the pre-SIMD blocked scalar kernel's contract).
+template <typename BlockMinFn>
+inline double MinRawBlocked(size_t n_blocks, double stop_below,
+                            BlockMinFn&& block_min) {
+  double best = kInfinity;
+  for (size_t b = 0; b < n_blocks; ++b) {
+    const double bm = block_min(b);
+    if (bm < best) best = bm;
+    if (best < stop_below) return best;
+  }
+  return best;
+}
+
+/// Q-query × N-block scan: the stored blocks are walked *once* in the
+/// outer loop and each block is applied to every still-active query, so a
+/// batch amortizes the block loads (they stay hot across the inner loop)
+/// instead of rescanning the buffer per element. A query leaves the
+/// worklist the moment its running minimum drops below its threshold (its
+/// admission decision is already determined); the scan stops when the
+/// worklist drains. See `ManyQueryArgs` for the output contract.
+template <typename BlockMinQueryFn>
+inline void MinRawManyBlocked(size_t n_blocks, const ManyQueryArgs& args,
+                              BlockMinQueryFn&& block_min) {
+  uint32_t* active = args.scratch;
+  size_t n_active = args.nq;
+  for (uint32_t qi = 0; qi < args.nq; ++qi) {
+    active[qi] = qi;
+    args.out_min_raw[qi] = kInfinity;
+  }
+  for (size_t b = 0; b < n_blocks && n_active > 0; ++b) {
+    size_t keep = 0;
+    for (size_t s = 0; s < n_active; ++s) {
+      const uint32_t qi = active[s];
+      const double bm = block_min(b, qi);
+      if (bm < args.out_min_raw[qi]) args.out_min_raw[qi] = bm;
+      if (!(args.out_min_raw[qi] < args.stop_below[qi])) active[keep++] = qi;
+    }
+    n_active = keep;
+  }
+}
+
+/// The six dispatch-table entry points, generated from a target's three
+/// block primitives so the glue exists exactly once. `Target` provides:
+///
+///   static double EuclideanBlockMin(const double* block, size_t dim,
+///                                   const double* q);
+///   static double ManhattanBlockMin(const double* block, size_t dim,
+///                                   const double* q);
+///   static void AngularDotBlock(const double* block, size_t dim,
+///                               const double* q,
+///                               double dots[kPointBlockLanes]);
+///
+/// Each translation unit instantiates this with an internal-linkage target
+/// struct, so the instantiation is private to the TU — an ISA-extended
+/// target's code can never be picked up by another TU's linker resolution.
+/// The angular epilogue goes through the baseline-compiled
+/// `AngularBlockMinFromDots` for the same reason.
+template <typename Target>
+struct KernelEntryPoints {
+  static const double* Block(const PointBlockView& pts, size_t b) {
+    return pts.blocks + b * PointBlockStride(pts.dim);
+  }
+
+  static double AngularBlockMin(const PointBlockView& pts, size_t b,
+                                const double* q, double q_norm) {
+    alignas(64) double dots[kPointBlockLanes];
+    Target::AngularDotBlock(Block(pts, b), pts.dim, q, dots);
+    return AngularBlockMinFromDots(dots, pts.norms + b * kPointBlockLanes,
+                                   q_norm);
+  }
+
+  static double EuclideanMin(const PointBlockView& pts, const double* q,
+                             double stop_below) {
+    return MinRawBlocked(PointBlockCount(pts.n), stop_below, [&](size_t b) {
+      return Target::EuclideanBlockMin(Block(pts, b), pts.dim, q);
+    });
+  }
+
+  static double ManhattanMin(const PointBlockView& pts, const double* q,
+                             double stop_below) {
+    return MinRawBlocked(PointBlockCount(pts.n), stop_below, [&](size_t b) {
+      return Target::ManhattanBlockMin(Block(pts, b), pts.dim, q);
+    });
+  }
+
+  static double AngularMin(const PointBlockView& pts, const double* q,
+                           double q_norm, double stop_below) {
+    return MinRawBlocked(PointBlockCount(pts.n), stop_below, [&](size_t b) {
+      return AngularBlockMin(pts, b, q, q_norm);
+    });
+  }
+
+  static void EuclideanMinMany(const PointBlockView& pts,
+                               const ManyQueryArgs& args) {
+    MinRawManyBlocked(PointBlockCount(pts.n), args,
+                      [&](size_t b, uint32_t qi) {
+                        return Target::EuclideanBlockMin(Block(pts, b),
+                                                         pts.dim,
+                                                         args.queries[qi]);
+                      });
+  }
+
+  static void ManhattanMinMany(const PointBlockView& pts,
+                               const ManyQueryArgs& args) {
+    MinRawManyBlocked(PointBlockCount(pts.n), args,
+                      [&](size_t b, uint32_t qi) {
+                        return Target::ManhattanBlockMin(Block(pts, b),
+                                                         pts.dim,
+                                                         args.queries[qi]);
+                      });
+  }
+
+  static void AngularMinMany(const PointBlockView& pts,
+                             const ManyQueryArgs& args) {
+    MinRawManyBlocked(PointBlockCount(pts.n), args,
+                      [&](size_t b, uint32_t qi) {
+                        return AngularBlockMin(pts, b, args.queries[qi],
+                                               args.query_norms[qi]);
+                      });
+  }
+
+  static KernelOps Ops(std::string_view name) {
+    return KernelOps{name,
+                     EuclideanMin,
+                     ManhattanMin,
+                     AngularMin,
+                     EuclideanMinMany,
+                     ManhattanMinMany,
+                     AngularMinMany};
+  }
+};
+
+}  // namespace fdm::simd::internal
+
+#endif  // FDM_GEO_SIMD_KERNEL_IMPL_H_

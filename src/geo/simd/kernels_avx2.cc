@@ -1,0 +1,112 @@
+// AVX2 dispatch target: the 8 lanes of a point block are two 256-bit
+// double vectors, loaded with *aligned* loads (the block rows are 64-byte
+// aligned by `PointBuffer`'s storage contract and padded, so there is no
+// tail handling anywhere in this file).
+//
+// Bit-exactness: every lane accumulates its point's distance over the
+// dimensions with separate vmulpd/vaddpd (this translation unit is
+// compiled with `-mavx2` only — never `-mfma` — and the intrinsics are
+// explicit, so no FMA contraction can occur), which is exactly the scalar
+// `Metric` accumulation order. The lane→block-min reduction is a min tree;
+// min is order-invariant for the non-NaN raw distances the metrics
+// produce, so the block minimum equals the scalar target's bit for bit.
+// The scan skeletons and entry-point glue in kernel_impl.h are shared, so
+// early-exit behavior is structurally identical too.
+//
+// This TU deliberately includes no shared inline headers beyond the
+// kernel subsystem's own (notably not geo/metric.h): everything here is
+// AVX-encoded, and a vague-linkage copy of a shared inline function
+// emitted from this TU could be the one the linker keeps for the whole
+// program — crashing scalar code paths on CPUs without AVX. The angular
+// epilogue is reached through the baseline-compiled
+// `AngularBlockMinFromDots` instead, and the entry-point template is
+// instantiated with an internal-linkage target so its code stays private
+// to this TU.
+
+#include "geo/simd/kernel_targets.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "geo/simd/kernel_impl.h"
+
+namespace fdm::simd::internal {
+namespace {
+
+constexpr size_t kLanes = kPointBlockLanes;
+
+/// Exact minimum of the 8 doubles held in two 256-bit accumulators.
+inline double HorizontalMin(__m256d a, __m256d b) {
+  const __m256d m4 = _mm256_min_pd(a, b);
+  const __m128d lo = _mm256_castpd256_pd128(m4);
+  const __m128d hi = _mm256_extractf128_pd(m4, 1);
+  const __m128d m2 = _mm_min_pd(lo, hi);
+  const __m128d m1 = _mm_min_sd(m2, _mm_unpackhi_pd(m2, m2));
+  return _mm_cvtsd_f64(m1);
+}
+
+struct Avx2Target {
+  static double EuclideanBlockMin(const double* block, size_t dim,
+                                  const double* q) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      const double* row = block + d * kLanes;
+      const __m256d diff0 = _mm256_sub_pd(qd, _mm256_load_pd(row));
+      const __m256d diff1 = _mm256_sub_pd(qd, _mm256_load_pd(row + 4));
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(diff0, diff0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(diff1, diff1));
+    }
+    return HorizontalMin(acc0, acc1);
+  }
+
+  static double ManhattanBlockMin(const double* block, size_t dim,
+                                  const double* q) {
+    // fabs = clear the sign bit — exact, identical to std::fabs.
+    const __m256d abs_mask = _mm256_set1_pd(-0.0);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      const double* row = block + d * kLanes;
+      const __m256d diff0 = _mm256_sub_pd(qd, _mm256_load_pd(row));
+      const __m256d diff1 = _mm256_sub_pd(qd, _mm256_load_pd(row + 4));
+      acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(abs_mask, diff0));
+      acc1 = _mm256_add_pd(acc1, _mm256_andnot_pd(abs_mask, diff1));
+    }
+    return HorizontalMin(acc0, acc1);
+  }
+
+  static void AngularDotBlock(const double* block, size_t dim,
+                              const double* q, double dots[kLanes]) {
+    __m256d dot0 = _mm256_setzero_pd();
+    __m256d dot1 = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      const double* row = block + d * kLanes;
+      dot0 = _mm256_add_pd(dot0, _mm256_mul_pd(qd, _mm256_load_pd(row)));
+      dot1 = _mm256_add_pd(dot1, _mm256_mul_pd(qd, _mm256_load_pd(row + 4)));
+    }
+    _mm256_store_pd(dots, dot0);
+    _mm256_store_pd(dots + 4, dot1);
+  }
+};
+
+}  // namespace
+
+const KernelOps* Avx2KernelOpsOrNull() {
+  static const KernelOps ops = KernelEntryPoints<Avx2Target>::Ops("avx2");
+  return &ops;
+}
+
+}  // namespace fdm::simd::internal
+
+#else  // not x86-64
+
+namespace fdm::simd::internal {
+const KernelOps* Avx2KernelOpsOrNull() { return nullptr; }
+}  // namespace fdm::simd::internal
+
+#endif

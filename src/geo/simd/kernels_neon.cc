@@ -1,0 +1,111 @@
+// NEON (aarch64 Advanced SIMD) dispatch target: the 8 lanes of a point
+// block are four 128-bit double vectors. NEON double-precision SIMD is
+// architecturally mandatory on aarch64, so this target is always available
+// on aarch64 builds and never compiled elsewhere.
+//
+// Bit-exactness follows the same argument as the AVX2 target: per-lane
+// scalar-order accumulation with explicit separate vmul/vadd intrinsics
+// (no vfma — the repo builds with `-ffp-contract=off`, and intrinsics are
+// not contracted anyway), an order-invariant min reduction, and the shared
+// scan skeletons and entry-point glue of kernel_impl.h. Like the AVX2 TU,
+// the angular epilogue goes through the baseline `AngularBlockMinFromDots`
+// and the entry points are instantiated with an internal-linkage target
+// (NEON is baseline on aarch64 so the hazard is theoretical here, but the
+// TUs stay structurally identical).
+
+#include "geo/simd/kernel_targets.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "geo/simd/kernel_impl.h"
+
+namespace fdm::simd::internal {
+namespace {
+
+constexpr size_t kLanes = kPointBlockLanes;
+
+/// Exact minimum of the 8 doubles held in four 2-lane accumulators.
+inline double HorizontalMin(float64x2_t a, float64x2_t b, float64x2_t c,
+                            float64x2_t d) {
+  const float64x2_t m = vminq_f64(vminq_f64(a, b), vminq_f64(c, d));
+  return vminvq_f64(m);
+}
+
+struct NeonTarget {
+  static double EuclideanBlockMin(const double* block, size_t dim,
+                                  const double* q) {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    float64x2_t acc2 = vdupq_n_f64(0.0);
+    float64x2_t acc3 = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      const float64x2_t qd = vdupq_n_f64(q[d]);
+      const double* row = block + d * kLanes;
+      const float64x2_t d0 = vsubq_f64(qd, vld1q_f64(row));
+      const float64x2_t d1 = vsubq_f64(qd, vld1q_f64(row + 2));
+      const float64x2_t d2 = vsubq_f64(qd, vld1q_f64(row + 4));
+      const float64x2_t d3 = vsubq_f64(qd, vld1q_f64(row + 6));
+      acc0 = vaddq_f64(acc0, vmulq_f64(d0, d0));
+      acc1 = vaddq_f64(acc1, vmulq_f64(d1, d1));
+      acc2 = vaddq_f64(acc2, vmulq_f64(d2, d2));
+      acc3 = vaddq_f64(acc3, vmulq_f64(d3, d3));
+    }
+    return HorizontalMin(acc0, acc1, acc2, acc3);
+  }
+
+  static double ManhattanBlockMin(const double* block, size_t dim,
+                                  const double* q) {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    float64x2_t acc2 = vdupq_n_f64(0.0);
+    float64x2_t acc3 = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      const float64x2_t qd = vdupq_n_f64(q[d]);
+      const double* row = block + d * kLanes;
+      acc0 = vaddq_f64(acc0, vabsq_f64(vsubq_f64(qd, vld1q_f64(row))));
+      acc1 = vaddq_f64(acc1, vabsq_f64(vsubq_f64(qd, vld1q_f64(row + 2))));
+      acc2 = vaddq_f64(acc2, vabsq_f64(vsubq_f64(qd, vld1q_f64(row + 4))));
+      acc3 = vaddq_f64(acc3, vabsq_f64(vsubq_f64(qd, vld1q_f64(row + 6))));
+    }
+    return HorizontalMin(acc0, acc1, acc2, acc3);
+  }
+
+  static void AngularDotBlock(const double* block, size_t dim,
+                              const double* q, double dots[kLanes]) {
+    float64x2_t dot0 = vdupq_n_f64(0.0);
+    float64x2_t dot1 = vdupq_n_f64(0.0);
+    float64x2_t dot2 = vdupq_n_f64(0.0);
+    float64x2_t dot3 = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      const float64x2_t qd = vdupq_n_f64(q[d]);
+      const double* row = block + d * kLanes;
+      dot0 = vaddq_f64(dot0, vmulq_f64(qd, vld1q_f64(row)));
+      dot1 = vaddq_f64(dot1, vmulq_f64(qd, vld1q_f64(row + 2)));
+      dot2 = vaddq_f64(dot2, vmulq_f64(qd, vld1q_f64(row + 4)));
+      dot3 = vaddq_f64(dot3, vmulq_f64(qd, vld1q_f64(row + 6)));
+    }
+    vst1q_f64(dots, dot0);
+    vst1q_f64(dots + 2, dot1);
+    vst1q_f64(dots + 4, dot2);
+    vst1q_f64(dots + 6, dot3);
+  }
+};
+
+}  // namespace
+
+const KernelOps* NeonKernelOpsOrNull() {
+  static const KernelOps ops = KernelEntryPoints<NeonTarget>::Ops("neon");
+  return &ops;
+}
+
+}  // namespace fdm::simd::internal
+
+#else  // not aarch64
+
+namespace fdm::simd::internal {
+const KernelOps* NeonKernelOpsOrNull() { return nullptr; }
+}  // namespace fdm::simd::internal
+
+#endif

@@ -8,6 +8,7 @@
 #include "core/solve_cache.h"
 #include "core/stream_sink.h"
 #include "geo/point_buffer.h"
+#include "geo/simd/kernel_dispatch.h"
 #include "harness/registry.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -111,8 +112,10 @@ RunResult RunAlgorithm(const Dataset& dataset, const RunConfig& config) {
   const AlgorithmEntry* entry =
       AlgorithmRegistry::Instance().Find(config.algorithm);
   FDM_CHECK_MSG(entry != nullptr, "algorithm kind not registered");
-  return entry->streaming ? RunStreaming(dataset, config, *entry)
-                          : RunOffline(dataset, config, *entry);
+  RunResult r = entry->streaming ? RunStreaming(dataset, config, *entry)
+                                 : RunOffline(dataset, config, *entry);
+  r.kernel_target = std::string(simd::ActiveKernelName());
+  return r;
 }
 
 AggregateResult RunRepeated(const Dataset& dataset, RunConfig config,

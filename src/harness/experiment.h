@@ -73,6 +73,11 @@ struct RunConfig {
 struct RunResult {
   bool ok = false;
   std::string error;
+  /// Distance-kernel dispatch target the run executed under
+  /// ("scalar" | "avx2" | "neon" — see `geo/simd/kernel_dispatch.h`), so
+  /// recorded timings are self-describing. Dispatch never changes outputs,
+  /// only throughput.
+  std::string kernel_target;
 
   double diversity = 0.0;
   /// Offline algorithms: end-to-end solve time. Streaming: stream + post.

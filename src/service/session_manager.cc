@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "geo/simd/kernel_dispatch.h"
 #include "service/sink_spec.h"
 
 namespace fdm {
@@ -305,6 +306,7 @@ Result<SessionManager::SessionStats> SessionManager::Stats(
         stats.solve_hits = cache.hits;
         stats.solve_misses = cache.misses;
         stats.last_solve_ms = cache.last_solve_ms;
+        stats.kernel = std::string(simd::ActiveKernelName());
         return stats;
       });
 }

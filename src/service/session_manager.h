@@ -109,6 +109,10 @@ class SessionManager {
     uint64_t solve_hits = 0;
     uint64_t solve_misses = 0;
     double last_solve_ms = 0.0;
+    /// Distance-kernel dispatch target serving this process ("scalar" |
+    /// "avx2" | "neon") — process-wide, surfaced per STATS reply so bench
+    /// recordings against the server are self-describing.
+    std::string kernel;
   };
   Result<SessionStats> Stats(const std::string& name);
 

@@ -1,0 +1,53 @@
+#ifndef FDM_UTIL_ALIGNED_H_
+#define FDM_UTIL_ALIGNED_H_
+
+#include <cstddef>
+#include <new>
+
+namespace fdm {
+
+/// Minimal over-aligning allocator for `std::vector`.
+///
+/// The SIMD distance kernels (`geo/simd/`) load whole 64-byte lane rows of
+/// the point-block storage with aligned vector loads; `PointBuffer` keeps
+/// that storage in `std::vector<double, AlignedAllocator<double>>` so every
+/// reallocation preserves the alignment contract. 64 bytes is one cache
+/// line and one 8-lane row of doubles — the row stride of the block layout
+/// — so a 64-byte-aligned base makes *every* row aligned.
+template <typename T, std::size_t Alignment = 64>
+class AlignedAllocator {
+ public:
+  static_assert(Alignment >= alignof(T) && (Alignment & (Alignment - 1)) == 0,
+                "Alignment must be a power of two and at least alignof(T)");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) {
+    return false;
+  }
+};
+
+}  // namespace fdm
+
+#endif  // FDM_UTIL_ALIGNED_H_

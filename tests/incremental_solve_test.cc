@@ -17,6 +17,7 @@
 #include "core/solve_cache.h"
 #include "core/stream_sink.h"
 #include "data/synthetic.h"
+#include "geo/simd/kernel_dispatch.h"
 #include "harness/registry.h"
 #include "util/binary_io.h"
 
@@ -185,6 +186,47 @@ TEST(StateVersionTest, ChunkingInvariantAcrossBatchSizes) {
       if (!batch.empty()) (*batched)->ObserveBatch(batch);
       EXPECT_EQ((*batched)->StateVersion(), (*sequential)->StateVersion())
           << AlgorithmName(kind) << " batch_size=" << batch_size;
+    }
+  }
+}
+
+// The acceptance contract of the SIMD kernel subsystem at the sink level:
+// every registered streaming kind, ingesting half per-element and half
+// batched, must produce bit-identical Solve() output, state version, and
+// stored-element count under every kernel dispatch target reachable on
+// this machine (the in-process equivalent of running the suite under
+// FDM_KERNEL=scalar vs the best native target).
+TEST(KernelTargetEquivalenceTest, SolveIdenticalAcrossDispatchTargets) {
+  const Dataset ds = TestData(60);
+  for (const AlgorithmKind kind : StreamingKinds()) {
+    const AlgorithmEntry* entry = AlgorithmRegistry::Instance().Find(kind);
+    const RunConfig config = ConfigFor(ds, kind);
+    struct Outcome {
+      Result<Solution> solution = Status::Ok();
+      uint64_t version = 0;
+      size_t stored = 0;
+    };
+    std::vector<Outcome> outcomes;
+    for (const std::string_view target : simd::AvailableKernelTargets()) {
+      ASSERT_TRUE(simd::internal::ForceKernelTargetForTest(target));
+      auto sink = entry->make_sink(ds, config);
+      ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+      const size_t half = ds.size() / 2;
+      for (size_t i = 0; i < half; ++i) (*sink)->Observe(ds.At(i));
+      std::vector<StreamPoint> batch;
+      for (size_t i = half; i < ds.size(); ++i) batch.push_back(ds.At(i));
+      (*sink)->ObserveBatch(batch);
+      outcomes.push_back(Outcome{(*sink)->Solve(), (*sink)->StateVersion(),
+                                 (*sink)->StoredElements()});
+    }
+    ASSERT_TRUE(simd::internal::ForceKernelTargetForTest(""));
+    for (size_t t = 1; t < outcomes.size(); ++t) {
+      ExpectSameOutcome(outcomes[0].solution, outcomes[t].solution,
+                        ds.size());
+      EXPECT_EQ(outcomes[0].version, outcomes[t].version)
+          << AlgorithmName(kind) << " target index " << t;
+      EXPECT_EQ(outcomes[0].stored, outcomes[t].stored)
+          << AlgorithmName(kind) << " target index " << t;
     }
   }
 }

@@ -1,18 +1,23 @@
 // Equivalence of the PointBuffer one-to-many kernels with the scalar
 // Metric on random data, for all three paper metrics (Euclidean,
-// Manhattan, angular). The blocked Manhattan kernel and the norm-caching
-// angular kernel must return bit-identical raw distances and make the same
-// threshold decisions as a point-at-a-time scan — the streaming insert
-// rule, and therefore every algorithm's output, depends on it.
+// Manhattan, angular) and for *every dispatch target reachable on the
+// build machine* (scalar always; AVX2/NEON when the CPU has them — the
+// same sweep `FDM_KERNEL` forces externally in CI). Every target must
+// return bit-identical raw distances and make the same threshold
+// decisions as a point-at-a-time scan — the streaming insert rule, and
+// therefore every algorithm's output, depends on it.
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/streaming_candidate.h"
 #include "geo/metric.h"
 #include "geo/point_buffer.h"
+#include "geo/simd/kernel_dispatch.h"
 #include "util/rng.h"
 
 namespace fdm {
@@ -21,6 +26,17 @@ namespace {
 constexpr MetricKind kAllKinds[] = {MetricKind::kEuclidean,
                                     MetricKind::kManhattan,
                                     MetricKind::kAngular};
+
+/// Runs `fn` once per dispatch target reachable on this machine, with that
+/// target forced active, and restores the process default afterwards.
+template <typename Fn>
+void ForEachKernelTarget(Fn&& fn) {
+  for (const std::string_view target : simd::AvailableKernelTargets()) {
+    ASSERT_TRUE(simd::internal::ForceKernelTargetForTest(target));
+    fn(target);
+  }
+  ASSERT_TRUE(simd::internal::ForceKernelTargetForTest(""));
+}
 
 std::vector<double> RandomPoint(Rng& rng, size_t dim) {
   std::vector<double> coords(dim);
@@ -50,51 +66,207 @@ double ScalarMinRaw(const PointBuffer& buffer, std::span<const double> x,
 }
 
 TEST(PointBufferKernelsTest, MinRawDistanceMatchesScalarMetric) {
-  Rng rng(123);
-  for (const MetricKind kind : kAllKinds) {
-    const Metric metric(kind);
-    for (const size_t dim : {1u, 3u, 8u, 17u}) {
-      // Sizes around the kernel's block width (8) exercise both the
-      // blocked loop and the scalar tail.
-      for (const size_t n : {0u, 1u, 7u, 8u, 9u, 40u}) {
-        const PointBuffer buffer = FillRandom(rng, n, dim);
-        for (int q = 0; q < 20; ++q) {
-          const std::vector<double> query = RandomPoint(rng, dim);
-          const double expected = ScalarMinRaw(buffer, query, metric);
-          const double actual = buffer.MinRawDistanceTo(query, metric);
-          // Bit-identical, not approximately equal: the kernels replicate
-          // the scalar arithmetic operation for operation.
-          EXPECT_EQ(expected, actual)
-              << MetricKindName(kind) << " dim=" << dim << " n=" << n;
-          // The normalized form agrees too (infinity for an empty buffer).
-          EXPECT_EQ(n == 0 ? std::numeric_limits<double>::infinity()
-                           : metric.FinishDistance(expected),
-                    buffer.MinDistanceTo(query, metric));
+  ForEachKernelTarget([](std::string_view target) {
+    Rng rng(123);
+    for (const MetricKind kind : kAllKinds) {
+      const Metric metric(kind);
+      // Odd dimensions exercise every lane-broadcast path; sizes around
+      // the block width (8) exercise full blocks and the padded tail.
+      for (const size_t dim : {1u, 3u, 7u, 8u, 17u}) {
+        for (const size_t n : {0u, 1u, 7u, 8u, 9u, 17u, 40u, 100u}) {
+          const PointBuffer buffer = FillRandom(rng, n, dim);
+          for (int q = 0; q < 20; ++q) {
+            const std::vector<double> query = RandomPoint(rng, dim);
+            const double expected = ScalarMinRaw(buffer, query, metric);
+            const double actual = buffer.MinRawDistanceTo(query, metric);
+            // Bit-identical, not approximately equal: every dispatch
+            // target replicates the scalar arithmetic operation for
+            // operation (per lane), and min is exact.
+            EXPECT_EQ(expected, actual)
+                << target << " " << MetricKindName(kind) << " dim=" << dim
+                << " n=" << n;
+            // The normalized form agrees too (infinity when empty).
+            EXPECT_EQ(n == 0 ? std::numeric_limits<double>::infinity()
+                             : metric.FinishDistance(expected),
+                      buffer.MinDistanceTo(query, metric));
+          }
         }
       }
     }
-  }
+  });
 }
 
 TEST(PointBufferKernelsTest, AllAtLeastMatchesScalarDecision) {
-  Rng rng(321);
+  ForEachKernelTarget([](std::string_view target) {
+    Rng rng(321);
+    for (const MetricKind kind : kAllKinds) {
+      const Metric metric(kind);
+      for (const size_t dim : {1u, 3u, 6u, 17u}) {
+        // 25 points: three full blocks plus a padded tail lane.
+        const PointBuffer buffer = FillRandom(rng, 25, dim);
+        for (int q = 0; q < 50; ++q) {
+          const std::vector<double> query = RandomPoint(rng, dim);
+          const double min_raw = ScalarMinRaw(buffer, query, metric);
+          const double min_true = metric.FinishDistance(min_raw);
+          // Thresholds straddling the true minimum, including the exact
+          // value (the decision at equality must match the scalar rule —
+          // early exits may shorten the scan but never flip a decision).
+          for (const double threshold :
+               {min_true * 0.5, min_true, min_true * 1.5}) {
+            const bool expected =
+                min_raw >= metric.PrepareThreshold(threshold);
+            EXPECT_EQ(expected, buffer.AllAtLeast(query, metric, threshold))
+                << target << " " << MetricKindName(kind)
+                << " threshold=" << threshold;
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(PointBufferKernelsTest, MinRawDistanceToManyMatchesSingleQueryScans) {
+  ForEachKernelTarget([](std::string_view target) {
+    Rng rng(777);
+    for (const MetricKind kind : kAllKinds) {
+      const Metric metric(kind);
+      for (const size_t dim : {1u, 3u, 7u, 17u}) {
+        for (const size_t n : {0u, 1u, 9u, 40u}) {
+          const PointBuffer buffer = FillRandom(rng, n, dim);
+          constexpr size_t kQ = 13;
+          std::vector<std::vector<double>> queries;
+          std::vector<const double*> q_ptrs;
+          for (size_t q = 0; q < kQ; ++q) {
+            queries.push_back(RandomPoint(rng, dim));
+            q_ptrs.push_back(queries.back().data());
+          }
+          // Exact mode (-inf thresholds): bit-identical to per-query
+          // full scans.
+          std::vector<double> stops(
+              kQ, -std::numeric_limits<double>::infinity());
+          std::vector<double> out(kQ);
+          buffer.MinRawDistanceToMany(
+              std::span<const double* const>(q_ptrs.data(), kQ), metric,
+              stops, std::span<double>(out.data(), kQ));
+          for (size_t q = 0; q < kQ; ++q) {
+            EXPECT_EQ(buffer.MinRawDistanceTo(queries[q], metric), out[q])
+                << target << " " << MetricKindName(kind) << " dim=" << dim
+                << " n=" << n << " q=" << q;
+          }
+          if (n == 0) continue;
+          // Threshold mode: per-query decisions match AllAtLeast for
+          // thresholds straddling each query's true minimum.
+          for (const double factor : {0.5, 1.0, 1.5}) {
+            std::vector<double> raw_stops(kQ);
+            std::vector<double> trues(kQ);
+            for (size_t q = 0; q < kQ; ++q) {
+              trues[q] =
+                  metric.FinishDistance(out[q]) * factor;
+              raw_stops[q] = metric.PrepareThreshold(trues[q]);
+            }
+            std::vector<double> decided(kQ);
+            buffer.MinRawDistanceToMany(
+                std::span<const double* const>(q_ptrs.data(), kQ), metric,
+                raw_stops, std::span<double>(decided.data(), kQ));
+            for (size_t q = 0; q < kQ; ++q) {
+              EXPECT_EQ(buffer.AllAtLeast(queries[q], metric, trues[q]),
+                        decided[q] >= raw_stops[q])
+                  << target << " " << MetricKindName(kind)
+                  << " factor=" << factor << " q=" << q;
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(PointBufferKernelsTest, FuzzInterleavedMutationsKeepLayoutsConsistent) {
+  // Fuzz-style interleaving of Add / RemoveSwap / Clear with kernel scans:
+  // the padded block layout and the cached squared-norm array must track
+  // every mutation exactly (replicate-last padding included), for all
+  // three metrics and every reachable dispatch target.
+  ForEachKernelTarget([](std::string_view target) {
+    for (const MetricKind kind : kAllKinds) {
+      const Metric metric(kind);
+      for (const size_t dim : {1u, 3u, 8u, 17u}) {
+        Rng rng(1000 + dim);
+        PointBuffer buffer(dim, 0);
+        int64_t next_id = 0;
+        for (int step = 0; step < 400; ++step) {
+          const uint64_t op = rng.NextBounded(10);
+          if (op < 6 || buffer.empty()) {
+            const std::vector<double> coords = RandomPoint(rng, dim);
+            buffer.Add(StreamPoint{next_id++, 0, coords});
+          } else if (op < 9) {
+            buffer.RemoveSwap(rng.NextBounded(buffer.size()));
+          } else {
+            buffer.Clear();
+          }
+          // Norm cache tracks the compaction bit-exactly.
+          for (size_t i = 0; i < buffer.size(); ++i) {
+            ASSERT_EQ(internal::SquaredNorm(buffer.CoordsAt(i).data(), dim),
+                      buffer.SquaredNormAt(i))
+                << target << " " << MetricKindName(kind) << " step=" << step;
+          }
+          if (step % 7 != 0) continue;  // scan periodically, mutate often
+          const std::vector<double> query = RandomPoint(rng, dim);
+          ASSERT_EQ(ScalarMinRaw(buffer, query, metric),
+                    buffer.MinRawDistanceTo(query, metric))
+              << target << " " << MetricKindName(kind) << " dim=" << dim
+              << " step=" << step << " n=" << buffer.size();
+        }
+      }
+    }
+  });
+}
+
+TEST(PointBufferKernelsTest, AdmissionDecisionsIdenticalAcrossTargets) {
+  // The acceptance contract of the dispatch subsystem, at the candidate
+  // level: replaying the same stream through StreamingCandidate under
+  // every reachable target (early exits included, batched and per-element)
+  // must keep exactly the same elements in exactly the same order.
+  Rng stream_rng(9001);
   for (const MetricKind kind : kAllKinds) {
     const Metric metric(kind);
-    const size_t dim = 6;
-    const PointBuffer buffer = FillRandom(rng, 25, dim);
-    for (int q = 0; q < 50; ++q) {
-      const std::vector<double> query = RandomPoint(rng, dim);
-      const double min_raw = ScalarMinRaw(buffer, query, metric);
-      const double min_true = metric.FinishDistance(min_raw);
-      // Thresholds straddling the true minimum, including the exact value
-      // (the decision at equality must match the scalar rule too).
-      for (const double threshold :
-           {min_true * 0.5, min_true, min_true * 1.5}) {
-        const bool expected =
-            min_raw >= metric.PrepareThreshold(threshold);
-        EXPECT_EQ(expected, buffer.AllAtLeast(query, metric, threshold))
-            << MetricKindName(kind) << " threshold=" << threshold;
+    const size_t dim = 5;
+    const double mu = kind == MetricKind::kAngular ? 0.4 : 2.5;
+    std::vector<std::vector<double>> stream;
+    for (int i = 0; i < 600; ++i) {
+      stream.push_back(RandomPoint(stream_rng, dim));
+    }
+    std::vector<std::vector<int64_t>> kept_per_target;
+    ForEachKernelTarget([&](std::string_view) {
+      StreamingCandidate element_wise(mu, 25, dim);
+      StreamingCandidate batched(mu, 25, dim);
+      for (size_t i = 0; i < stream.size(); ++i) {
+        element_wise.TryAdd(
+            StreamPoint{static_cast<int64_t>(i), 0, stream[i]}, metric);
       }
+      // Batched replay in uneven chunks (straddles the worklist pruning).
+      std::vector<StreamPoint> batch;
+      size_t i = 0;
+      for (const size_t chunk : {1u, 7u, 64u, 128u, 400u}) {
+        batch.clear();
+        for (size_t t = 0; t < chunk && i < stream.size(); ++t, ++i) {
+          batch.push_back(
+              StreamPoint{static_cast<int64_t>(i), 0, stream[i]});
+        }
+        batched.TryAddBatch(batch, metric);
+      }
+      ASSERT_EQ(element_wise.points().size(), batched.points().size())
+          << MetricKindName(kind);
+      std::vector<int64_t> kept;
+      for (size_t p = 0; p < element_wise.points().size(); ++p) {
+        ASSERT_EQ(element_wise.points().IdAt(p), batched.points().IdAt(p))
+            << MetricKindName(kind);
+        kept.push_back(element_wise.points().IdAt(p));
+      }
+      kept_per_target.push_back(std::move(kept));
+    });
+    for (size_t t = 1; t < kept_per_target.size(); ++t) {
+      EXPECT_EQ(kept_per_target[0], kept_per_target[t])
+          << MetricKindName(kind) << " target index " << t;
     }
   }
 }

@@ -1,0 +1,70 @@
+// The runtime kernel-dispatch layer: target discovery, the FDM_KERNEL
+// override, and the test-force hook. The bit-exactness of the targets
+// themselves is covered by point_buffer_kernels_test.cc; this file pins
+// the dispatch *mechanics* the CI matrix relies on.
+
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "geo/simd/kernel_dispatch.h"
+#include "geo/simd/kernel_types.h"
+
+namespace fdm::simd {
+namespace {
+
+TEST(SimdDispatchTest, ScalarIsAlwaysAvailableAndFirst) {
+  const std::vector<std::string_view> targets = AvailableKernelTargets();
+  ASSERT_FALSE(targets.empty());
+  EXPECT_EQ(targets.front(), "scalar");
+  for (const std::string_view t : targets) {
+    EXPECT_TRUE(t == "scalar" || t == "avx2" || t == "neon")
+        << "unexpected target " << t;
+  }
+}
+
+TEST(SimdDispatchTest, ActiveTargetHonorsEnvironmentOverride) {
+  // The dispatch table is resolved once per process, so this test can only
+  // assert consistency with whatever environment it was launched under —
+  // which is exactly what the CI matrix legs do (ctest under
+  // FDM_KERNEL=scalar and FDM_KERNEL=avx2).
+  const std::vector<std::string_view> targets = AvailableKernelTargets();
+  const char* env = std::getenv("FDM_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    bool available = false;
+    for (const std::string_view t : targets) {
+      if (t == env) available = true;
+    }
+    if (available) {
+      EXPECT_EQ(ActiveKernelName(), env);
+      return;
+    }
+  }
+  // No (usable) override: the default is the best available target.
+  EXPECT_EQ(ActiveKernelName(), targets.back());
+}
+
+TEST(SimdDispatchTest, ForceForTestSwitchesAndRestores) {
+  const std::string default_name(ActiveKernelName());
+  for (const std::string_view target : AvailableKernelTargets()) {
+    ASSERT_TRUE(internal::ForceKernelTargetForTest(target));
+    EXPECT_EQ(ActiveKernelName(), target);
+    // Every slot of the forced table is populated.
+    const KernelOps& ops = ActiveKernelOps();
+    EXPECT_NE(ops.euclidean_min, nullptr);
+    EXPECT_NE(ops.manhattan_min, nullptr);
+    EXPECT_NE(ops.angular_min, nullptr);
+    EXPECT_NE(ops.euclidean_min_many, nullptr);
+    EXPECT_NE(ops.manhattan_min_many, nullptr);
+    EXPECT_NE(ops.angular_min_many, nullptr);
+  }
+  EXPECT_FALSE(internal::ForceKernelTargetForTest("sse9"));
+  // An unknown target changes nothing.
+  EXPECT_EQ(ActiveKernelName(), AvailableKernelTargets().back());
+  ASSERT_TRUE(internal::ForceKernelTargetForTest(""));
+  EXPECT_EQ(ActiveKernelName(), default_name);
+}
+
+}  // namespace
+}  // namespace fdm::simd

@@ -86,6 +86,65 @@ TEST(StreamingCandidateTest, OrderDependenceIsExpected) {
   EXPECT_GE(MinPairwiseDistance(backward.points(), m), 1.0);
 }
 
+TEST(StreamingCandidateTest, TryAddBatchMatchesSequentialTryAdd) {
+  // The batched admission path (one SIMD pass against the pre-batch set,
+  // then intra-batch re-checks) must keep exactly the sequential loop's
+  // elements, including across the capacity boundary mid-batch.
+  const Metric m(MetricKind::kEuclidean);
+  Rng rng(31);
+  for (const size_t batch_size : {2u, 5u, 16u, 100u}) {
+    StreamingCandidate sequential(0.3, 12, 2);
+    StreamingCandidate batched(0.3, 12, 2);
+    std::vector<std::vector<double>> coords;
+    std::vector<StreamPoint> batch;
+    int64_t id = 0;
+    for (int round = 0; round < 30; ++round) {
+      coords.clear();
+      batch.clear();
+      for (size_t t = 0; t < batch_size; ++t) {
+        coords.push_back({rng.NextDouble(), rng.NextDouble()});
+        batch.push_back(StreamPoint{id++, 0, coords.back()});
+      }
+      size_t kept_sequential = 0;
+      for (const StreamPoint& p : batch) {
+        if (sequential.TryAdd(p, m)) ++kept_sequential;
+      }
+      ASSERT_EQ(kept_sequential, batched.TryAddBatch(batch, m))
+          << "batch_size=" << batch_size << " round=" << round;
+    }
+    ASSERT_EQ(sequential.points().size(), batched.points().size());
+    for (size_t i = 0; i < sequential.points().size(); ++i) {
+      EXPECT_EQ(sequential.points().IdAt(i), batched.points().IdAt(i));
+    }
+  }
+}
+
+TEST(StreamingCandidateTest, TryAddBatchIndexedReplaysOnlyListedPositions) {
+  // The group-specific candidates replay a subset of the batch; the
+  // indexed form must match feeding exactly that subset sequentially.
+  const Metric m(MetricKind::kEuclidean);
+  Rng rng(37);
+  StreamingCandidate sequential(0.25, 10, 2);
+  StreamingCandidate batched(0.25, 10, 2);
+  std::vector<std::vector<double>> coords;
+  std::vector<StreamPoint> batch;
+  for (int64_t i = 0; i < 60; ++i) {
+    coords.push_back({rng.NextDouble(), rng.NextDouble()});
+    batch.push_back(StreamPoint{i, static_cast<int32_t>(i % 3), coords.back()});
+  }
+  std::vector<size_t> positions;
+  for (size_t t = 0; t < batch.size(); t += 3) positions.push_back(t);
+  size_t kept_sequential = 0;
+  for (const size_t t : positions) {
+    if (sequential.TryAdd(batch[t], m)) ++kept_sequential;
+  }
+  ASSERT_EQ(kept_sequential, batched.TryAddBatchIndexed(batch, positions, m));
+  ASSERT_EQ(sequential.points().size(), batched.points().size());
+  for (size_t i = 0; i < sequential.points().size(); ++i) {
+    EXPECT_EQ(sequential.points().IdAt(i), batched.points().IdAt(i));
+  }
+}
+
 TEST(StreamingCandidateTest, MetadataPreserved) {
   StreamingCandidate cand(0.5, 4, 1);
   const Metric m(MetricKind::kEuclidean);

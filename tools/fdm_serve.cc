@@ -16,7 +16,8 @@
 //   RESTORE <name>                  drop in-memory state, recover from disk
 //   STATS <name>                    observed/stored/snapshot position, sink
 //                                   state version, solve-cache hits/misses,
-//                                   last-solve latency
+//                                   last-solve latency, active distance-
+//                                   kernel dispatch target
 //   LIST                            all known sessions
 //   QUIT                            snapshot everything and exit
 //
@@ -157,6 +158,7 @@ int Main(int argc, char** argv) {
                   << " solve_hits=" << stats->solve_hits
                   << " solve_misses=" << stats->solve_misses
                   << " last_solve_ms=" << stats->last_solve_ms
+                  << " kernel=" << stats->kernel
                   << " spec=\"" << stats->spec << "\"\n";
       }
     } else {
