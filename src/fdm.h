@@ -36,7 +36,11 @@
 #include "core/stream_sink.h"       // IWYU pragma: export
 #include "core/streaming_dm.h"      // IWYU pragma: export
 #include "core/validate.h"          // IWYU pragma: export
+#include "replica/replica_manager.h"  // IWYU pragma: export
+#include "replica/replica_session.h"  // IWYU pragma: export
+#include "replica/replication_source.h"  // IWYU pragma: export
 #include "service/durable_session.h"  // IWYU pragma: export
+#include "service/session_layout.h"  // IWYU pragma: export
 #include "service/session_manager.h"  // IWYU pragma: export
 #include "service/sink_spec.h"      // IWYU pragma: export
 #include "service/wal.h"            // IWYU pragma: export

@@ -67,6 +67,15 @@ struct RunConfig {
   /// The final reported solution is unchanged either way (`Solve` is
   /// anytime and the cache is exact).
   size_t solve_every = 0;
+  /// Replica drill (streaming kinds with a sink-spec mapping): after the
+  /// run, re-ingest the same permuted stream through a durable primary
+  /// session in a scratch directory (snapshot at the midpoint, WAL-only
+  /// tail), bootstrap a follower off it through the replication layer
+  /// (`src/replica/`), and verify the follower's `Solve()` is
+  /// bit-identical to the primary's at the matched state version. Results
+  /// land in `RunResult::replica_*`; the drill never alters the run's own
+  /// metrics or solution.
+  bool replica_drill = false;
 };
 
 /// Measured outcome of one run.
@@ -96,6 +105,18 @@ struct RunResult {
   /// Trace mode: total wall time spent in mid-stream solves (excluded from
   /// `stream_time_sec` so one-pass numbers stay comparable).
   double trace_solve_time_sec = 0.0;
+
+  /// Replica drill (`RunConfig::replica_drill`): whether the drill ran to
+  /// the comparison (false also when the kind has no sink-spec mapping or
+  /// scratch I/O failed — see `replica_error`), whether the follower's
+  /// solution and state version matched the primary's exactly, the
+  /// follower's end-to-end bootstrap+catch-up throughput, and its lag
+  /// after the final poll (0 = fully caught up).
+  bool replica_checked = false;
+  bool replica_identical = false;
+  double replica_catchup_points_per_sec = 0.0;
+  int64_t replica_final_lag = 0;
+  std::string replica_error;
 
   std::vector<int64_t> selected_ids;
 };

@@ -1,0 +1,184 @@
+#include "replica/replica_manager.h"
+
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "service/durable_session.h"
+
+namespace fdm {
+
+namespace {
+
+/// Session names are path components, mirroring `SessionManager`'s rule.
+bool ValidSessionName(const std::string& name) {
+  if (name.empty() || name.size() > 128) return false;
+  if (name[0] == '.') return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ReplicaManager::ReplicaManager(ReplicaManagerOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::unique_ptr<ReplicaManager>> ReplicaManager::Create(
+    ReplicaManagerOptions options) {
+  if (options.primary_root.empty()) {
+    return Status::InvalidArgument("primary_root must be set");
+  }
+  std::error_code ec;
+  if (!std::filesystem::is_directory(options.primary_root, ec)) {
+    return Status::IoError("primary root is not a directory: " +
+                           options.primary_root);
+  }
+  std::unique_ptr<ReplicaManager> manager(
+      new ReplicaManager(std::move(options)));
+  manager->DiscoverSessions();
+  if (manager->options_.poll_ms > 0) {
+    manager->background_ = std::thread([m = manager.get()] {
+      m->BackgroundLoop();
+    });
+  }
+  return manager;
+}
+
+ReplicaManager::~ReplicaManager() {
+  if (background_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(background_mu_);
+      stopping_ = true;
+    }
+    background_cv_.notify_all();
+    background_.join();
+  }
+}
+
+void ReplicaManager::DiscoverSessions() {
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.primary_root, ec)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!ValidSessionName(name)) continue;
+    if (!DurableSession::Exists(entry.path().string())) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.emplace(name, std::make_shared<Entry>());  // no-op if known
+  }
+}
+
+Result<std::shared_ptr<ReplicaManager::Entry>> ReplicaManager::Follower(
+    const std::string& name) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it != entries_.end()) entry = it->second;
+  }
+  if (entry == nullptr) {
+    // Maybe created on the primary after our last scan.
+    DiscoverSessions();
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::InvalidArgument("no session named '" + name +
+                                     "' under " + options_.primary_root);
+    }
+    entry = it->second;
+  }
+  {
+    std::unique_lock<std::shared_mutex> entry_lock(entry->mu);
+    if (entry->replica == nullptr) {
+      auto source = std::make_shared<DirReplicationSource>(
+          options_.primary_root + "/" + name);
+      auto replica =
+          ReplicaSession::Bootstrap(std::move(source), options_.replica);
+      if (!replica.ok()) return replica.status();
+      entry->replica =
+          std::make_unique<ReplicaSession>(std::move(replica.value()));
+    }
+  }
+  return entry;
+}
+
+Result<ReplicaManager::ReplicaSolve> ReplicaManager::Solve(
+    const std::string& name) {
+  auto entry = Follower(name);
+  if (!entry.ok()) return entry.status();
+  std::shared_lock<std::shared_mutex> lock((*entry)->mu);
+  const ReplicaSession& replica = *(*entry)->replica;
+  auto solution = replica.Solve();
+  if (!solution.ok()) return solution.status();
+  ReplicaSolve result(std::move(solution.value()));
+  const auto stats = replica.Stats();
+  result.state_version = stats.state_version;
+  result.applied_seq = stats.applied_seq;
+  result.lag = stats.lag;
+  result.stale = stats.stale;
+  return result;
+}
+
+Result<ReplicaSession::ReplicaStats> ReplicaManager::Stats(
+    const std::string& name) {
+  auto entry = Follower(name);
+  if (!entry.ok()) return entry.status();
+  std::shared_lock<std::shared_mutex> lock((*entry)->mu);
+  return (*entry)->replica->Stats();
+}
+
+Result<ReplicaSession::ReplicaStats> ReplicaManager::Lag(
+    const std::string& name) {
+  auto entry = Follower(name);
+  if (!entry.ok()) return entry.status();
+  // RefreshLag only rewrites the manifest view, but that is a write as far
+  // as concurrent Stats readers are concerned — take the lock exclusive.
+  std::unique_lock<std::shared_mutex> lock((*entry)->mu);
+  if (Status s = (*entry)->replica->RefreshLag(); !s.ok()) return s;
+  return (*entry)->replica->Stats();
+}
+
+Result<int64_t> ReplicaManager::Poll(const std::string& name) {
+  auto entry = Follower(name);
+  if (!entry.ok()) return entry.status();
+  std::unique_lock<std::shared_mutex> lock((*entry)->mu);
+  return (*entry)->replica->Poll();
+}
+
+Status ReplicaManager::PollAll() {
+  DiscoverSessions();
+  std::vector<std::string> names = SessionNames();
+  Status first_error;
+  for (const std::string& name : names) {
+    auto applied = Poll(name);
+    if (!applied.ok() && first_error.ok()) first_error = applied.status();
+  }
+  return first_error;
+}
+
+std::vector<std::string> ReplicaManager::SessionNames() {
+  DiscoverSessions();
+  std::vector<std::string> names;
+  std::lock_guard<std::mutex> lock(mu_);
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+void ReplicaManager::BackgroundLoop() {
+  const auto period = std::chrono::milliseconds(options_.poll_ms);
+  std::unique_lock<std::mutex> lock(background_mu_);
+  while (!stopping_) {
+    background_cv_.wait_for(lock, period, [this] { return stopping_; });
+    if (stopping_) return;
+    lock.unlock();
+    (void)PollAll();  // per-session errors retried next tick
+    lock.lock();
+  }
+}
+
+}  // namespace fdm

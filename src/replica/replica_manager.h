@@ -1,0 +1,117 @@
+#ifndef FDM_REPLICA_REPLICA_MANAGER_H_
+#define FDM_REPLICA_REPLICA_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/solution.h"
+#include "replica/replica_session.h"
+#include "util/status.h"
+
+namespace fdm {
+
+struct ReplicaManagerOptions {
+  /// The primary's session-manager root (each session in
+  /// `<primary_root>/<name>/`), reachable through the filesystem. The
+  /// follower mirrors every session it finds there.
+  std::string primary_root;
+  /// Background catch-up period; 0 = poll only on demand (`Poll`,
+  /// `PollAll`, the `REPLICA` serve verb).
+  int poll_ms = 0;
+  /// Per-follower catch-up knobs. `max_records_per_poll` matters here: it
+  /// bounds how long one background poll holds a session's exclusive lock,
+  /// so queries interleave with catch-up.
+  ReplicaOptions replica;
+};
+
+/// The follower-side counterpart of `SessionManager`: many named read-only
+/// `ReplicaSession`s over one primary root, each behind its own
+/// reader–writer lock (queries shared, catch-up exclusive) so SOLVE/STATS
+/// keep flowing while tails apply. Sessions are discovered lazily — at
+/// creation and on every `PollAll`/`SessionNames` — so sessions created on
+/// the primary after the follower starts appear without a restart.
+///
+/// There is no write surface at all: the follower applies only what the
+/// primary's log says, which is what makes its answers bit-identical to
+/// the primary's at matched state versions.
+class ReplicaManager {
+ public:
+  static Result<std::unique_ptr<ReplicaManager>> Create(
+      ReplicaManagerOptions options);
+
+  ~ReplicaManager();
+
+  ReplicaManager(const ReplicaManager&) = delete;
+  ReplicaManager& operator=(const ReplicaManager&) = delete;
+
+  /// A follower's answer: the solution at its applied position plus the
+  /// staleness facts a caller needs to never mistake it for the primary's
+  /// latest — the solution is always *correct for `applied_seq`*; `stale`
+  /// says whether the primary is known to be ahead.
+  struct ReplicaSolve {
+    Solution solution;
+    uint64_t state_version = 0;
+    int64_t applied_seq = 0;
+    int64_t lag = 0;
+    bool stale = false;
+    explicit ReplicaSolve(Solution s) : solution(std::move(s)) {}
+  };
+  Result<ReplicaSolve> Solve(const std::string& name);
+
+  /// Last-known replication stats (no I/O beyond a possible first
+  /// bootstrap of the named session).
+  Result<ReplicaSession::ReplicaStats> Stats(const std::string& name);
+
+  /// Refreshes the manifest (no records applied) and returns stats — the
+  /// cheap staleness probe behind the `LAG` verb.
+  Result<ReplicaSession::ReplicaStats> Lag(const std::string& name);
+
+  /// Catches the named session up now; returns records applied.
+  Result<int64_t> Poll(const std::string& name);
+
+  /// Rescans the primary root and polls every known session once. Errors
+  /// are latched per-session and returned combined (first error wins) but
+  /// do not stop the sweep.
+  Status PollAll();
+
+  /// All sessions currently visible under the primary root.
+  std::vector<std::string> SessionNames();
+
+ private:
+  struct Entry {
+    /// Queries (Solve/Stats) shared; bootstrap/poll exclusive.
+    std::shared_mutex mu;
+    std::unique_ptr<ReplicaSession> replica;  // null until first touch
+  };
+
+  explicit ReplicaManager(ReplicaManagerOptions options);
+
+  /// Rescans the primary root for session directories, registering new
+  /// names (existing entries are untouched).
+  void DiscoverSessions();
+
+  /// Entry for `name`, bootstrapping the follower on first touch.
+  Result<std::shared_ptr<Entry>> Follower(const std::string& name);
+
+  void BackgroundLoop();
+
+  ReplicaManagerOptions options_;
+  mutable std::mutex mu_;  // guards entries_
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+
+  std::thread background_;
+  std::mutex background_mu_;
+  std::condition_variable background_cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_REPLICA_REPLICA_MANAGER_H_

@@ -1,0 +1,266 @@
+#include "replica/replica_session.h"
+
+#include <algorithm>
+#include <limits>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "service/durable_session.h"
+#include "service/sink_spec.h"
+#include "util/binary_io.h"
+
+namespace fdm {
+
+void ReplicaSession::NoteManifest(const ReplicaManifest& manifest) {
+  last_primary_seq_ = std::max(manifest.primary_seq, applied_seq_);
+  last_primary_version_ = manifest.primary_version;
+  last_advert_seq_ = manifest.advert_seq;
+}
+
+Result<ReplicaSession> ReplicaSession::Bootstrap(
+    std::shared_ptr<ReplicationSource> source, ReplicaOptions options) {
+  if (options.apply_batch == 0) options.apply_batch = 1;
+  if (options.max_sync_attempts < 1) options.max_sync_attempts = 1;
+  ReplicaSession session(std::move(source), options);
+
+  auto manifest = session.source_->GetManifest();
+  if (!manifest.ok()) return manifest.status();
+  session.spec_ = manifest->spec;
+  session.NoteManifest(*manifest);
+
+  auto restored = session.BootstrapFromSnapshot(*manifest, /*min_seq=*/0);
+  if (!restored.ok()) return restored.status();
+  if (!*restored) {
+    // No loadable snapshot: start fresh and replay the whole log (valid
+    // only while the log still reaches back to seq 1 — if it does not,
+    // the sync loop below detects the gap and re-syncs from whatever
+    // snapshot the next manifest lists).
+    auto fresh = MakeSinkFromSpec(session.spec_);
+    if (!fresh.ok()) return fresh.status();
+    session.sink_ = std::move(fresh.value());
+    session.applied_seq_ = 0;
+  }
+
+  if (auto applied = session.SyncOnce(); !applied.ok()) {
+    return applied.status();
+  }
+  return session;
+}
+
+Result<int64_t> ReplicaSession::Poll() { return SyncOnce(); }
+
+Status ReplicaSession::RefreshLag() {
+  auto manifest = source_->GetManifest();
+  if (!manifest.ok()) return manifest.status();
+  if (manifest->spec != spec_) {
+    return Status::IoError("primary spec changed under the follower");
+  }
+  NoteManifest(*manifest);
+  return Status::Ok();
+}
+
+Result<int64_t> ReplicaSession::SyncOnce() {
+  int64_t total = 0;
+  for (int attempt = 0; attempt < options_.max_sync_attempts; ++attempt) {
+    auto manifest = source_->GetManifest();
+    if (!manifest.ok()) return manifest.status();
+    if (manifest->spec != spec_) {
+      return Status::IoError("primary spec changed under the follower");
+    }
+    NoteManifest(*manifest);
+
+    auto outcome = ApplyFrom(*manifest, &total);
+    if (!outcome.ok()) return outcome.status();
+    switch (*outcome) {
+      case ApplyOutcome::kCaughtUp:
+      case ApplyOutcome::kBudgetExhausted:
+      case ApplyOutcome::kTornActiveTail:
+        // The determinism cross-check: at the advertised position the
+        // versions must agree. A mismatch means the applied history
+        // diverged from the durable log (the primary lost an unfsynced
+        // tail and re-wrote those seqs) — rebuild from scratch rather
+        // than keep serving divergent answers as fresh.
+        if (DivergedFromAdvert(*manifest)) {
+          ++divergence_rebuilds_;
+          // A rewritten log can reuse segment names and sizes, so any
+          // transport cache may be serving the pre-rewrite bytes.
+          source_->InvalidateCaches();
+          sink_.reset();
+          applied_seq_ = 0;
+          // Version numbering restarts with the rebuilt sink, so a cached
+          // solution from the diverged history could collide with a new
+          // version — drop it.
+          solve_cache_->Invalidate();
+          auto restored = BootstrapFromSnapshot(*manifest, /*min_seq=*/0);
+          if (!restored.ok()) return restored.status();
+          if (!*restored) {
+            auto fresh = MakeSinkFromSpec(spec_);
+            if (!fresh.ok()) return fresh.status();
+            sink_ = std::move(fresh.value());
+          }
+          continue;  // re-apply the tail over the rebuilt state
+        }
+        // Progress (or a clean stop at the primary's in-flight tail);
+        // anything left is the next poll's job.
+        return total;
+      case ApplyOutcome::kStaleManifest:
+        // A listed file vanished, shrank, or failed its checksum between
+        // manifest and fetch — the primary pruned/rotated mid-poll, or a
+        // transport cache is stale. Drop caches, refetch, retry.
+        ++stale_manifest_retries_;
+        source_->InvalidateCaches();
+        continue;
+      case ApplyOutcome::kNeedSnapshot: {
+        // The tail right after our position was pruned: only a snapshot
+        // strictly ahead of us can bridge the gap.
+        ++resyncs_;
+        auto swapped = BootstrapFromSnapshot(*manifest, applied_seq_);
+        if (!swapped.ok()) return swapped.status();
+        // Even when no newer snapshot is listed yet, retry with a fresh
+        // manifest — the primary prunes only after writing one, so it
+        // appears shortly; attempts bound the wait.
+        continue;
+      }
+    }
+  }
+  return Status::IoError(
+      "replica did not converge after " +
+      std::to_string(options_.max_sync_attempts) +
+      " manifest refreshes (primary pruning faster than the follower "
+      "can sync)");
+}
+
+Result<bool> ReplicaSession::BootstrapFromSnapshot(
+    const ReplicaManifest& manifest, int64_t min_seq) {
+  // Newest first; stop at min_seq — a re-sync must never move the served
+  // state backward (versions and lag stay monotone for readers).
+  for (auto it = manifest.snapshots.rbegin(); it != manifest.snapshots.rend();
+       ++it) {
+    if (it->seq <= min_seq) break;
+    auto bytes = source_->FetchSnapshot(it->seq);
+    if (!bytes.ok()) continue;  // pruned since the manifest; try older
+    if (it->checksum != 0 &&
+        (bytes->size() != it->bytes ||
+         Fnv1a64(bytes->data(), bytes->size()) != it->checksum)) {
+      continue;  // torn ship; the framed checksum below would catch it too
+    }
+    auto reader = SnapshotReader::FromBytes(std::move(bytes.value()));
+    if (!reader.ok()) continue;
+    auto restored = RestoreSessionSnapshot(*reader, spec_, it->seq);
+    if (!restored.ok()) continue;
+    sink_ = std::move(restored.value());
+    applied_seq_ = it->seq;
+    ++snapshots_loaded_;
+    return true;
+  }
+  return false;
+}
+
+Result<ReplicaSession::ApplyOutcome> ReplicaSession::ApplyFrom(
+    const ReplicaManifest& manifest, int64_t* applied) {
+  const size_t budget = options_.max_records_per_poll == 0
+                            ? std::numeric_limits<size_t>::max()
+                            : options_.max_records_per_poll;
+
+  // Tail application reuses the WAL's batched applier (the exact path
+  // crash-recovery replay takes), so a follower's apply is bit-identical
+  // to recovery by construction. `applied_seq_` advances only when a
+  // batch has actually reached the sink.
+  WalBatchApplier applier(*sink_, options_.apply_batch);
+  bool budget_hit = false;
+
+  auto flush = [&]() {
+    const int64_t flushed = static_cast<int64_t>(applier.Flush());
+    applied_seq_ += flushed;
+    *applied += flushed;
+  };
+
+  for (size_t s = 0; s < manifest.segments.size(); ++s) {
+    const WalSegmentInfo& seg = manifest.segments[s];
+    const bool is_last = s + 1 == manifest.segments.size();
+    // A whole segment is skippable when the next one starts at or before
+    // the position we need next.
+    if (!is_last && manifest.segments[s + 1].first_seq <= applied_seq_ + 1) {
+      continue;
+    }
+    if (seg.first_seq > applied_seq_ + 1) {
+      return ApplyOutcome::kNeedSnapshot;
+    }
+    auto bytes = source_->FetchWalSegment(seg.first_seq);
+    if (!bytes.ok()) return ApplyOutcome::kStaleManifest;
+    ++segments_fetched_;
+    if (bytes->empty()) continue;  // zero-length crash artifact
+    if (seg.checksum != 0 &&
+        (bytes->size() != seg.bytes ||
+         Fnv1a64(bytes->data(), bytes->size()) != seg.checksum)) {
+      return ApplyOutcome::kStaleManifest;  // short/garbled ship of a
+                                            // sealed (immutable) segment
+    }
+
+    WalSegmentCursor cursor(*bytes);
+    WalRecordView record;
+    while (cursor.Next(record)) {
+      const int64_t expected =
+          applied_seq_ + static_cast<int64_t>(applier.pending()) + 1;
+      if (record.seq < expected) continue;  // below the snapshot: skip
+      if (record.seq > expected) {
+        // Records within a segment are dense by construction; a gap means
+        // the shipped bytes are bad. Refetch (bounded by the sync loop).
+        return ApplyOutcome::kStaleManifest;
+      }
+      if (!applier.Add(record)) {
+        return Status::IoError("WAL record dimension changed mid-stream");
+      }
+      if (static_cast<size_t>(*applied) + applier.pending() >= budget) {
+        budget_hit = true;
+        break;
+      }
+      if (applier.ShouldFlush()) flush();
+    }
+    if (!cursor.status().ok()) {
+      // Checksum-valid but malformed payload in shipped bytes: treat as a
+      // bad ship and refetch; persistent corruption exhausts the attempts.
+      return ApplyOutcome::kStaleManifest;
+    }
+    if (budget_hit) {
+      flush();
+      return ApplyOutcome::kBudgetExhausted;
+    }
+    if (cursor.torn_tail()) {
+      if (is_last) {
+        // The active segment's in-flight record (or a mid-write ship of
+        // it): apply the intact prefix and stop cleanly; the next poll
+        // refetches a longer prefix.
+        flush();
+        ++torn_tails_seen_;
+        return ApplyOutcome::kTornActiveTail;
+      }
+      return ApplyOutcome::kStaleManifest;  // sealed segments never tear
+    }
+    flush();  // segment boundary: keep applied_seq_ aligned with fetches
+  }
+  flush();
+  return ApplyOutcome::kCaughtUp;
+}
+
+ReplicaSession::ReplicaStats ReplicaSession::Stats() const {
+  ReplicaStats stats;
+  stats.applied_seq = applied_seq_;
+  stats.primary_seq = last_primary_seq_;
+  stats.primary_version = last_primary_version_;
+  stats.advert_seq = last_advert_seq_;
+  stats.lag = std::max<int64_t>(0, last_primary_seq_ - applied_seq_);
+  stats.stale = stats.lag > 0;
+  stats.state_version = sink_->StateVersion();
+  stats.resyncs = resyncs_;
+  stats.divergence_rebuilds = divergence_rebuilds_;
+  stats.stale_manifest_retries = stale_manifest_retries_;
+  stats.segments_fetched = segments_fetched_;
+  stats.snapshots_loaded = snapshots_loaded_;
+  stats.torn_tails_seen = torn_tails_seen_;
+  stats.solve = solve_cache_->GetStats();
+  return stats;
+}
+
+}  // namespace fdm

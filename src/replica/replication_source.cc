@@ -1,0 +1,146 @@
+#include "replica/replication_source.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "service/durable_session.h"
+#include "service/session_layout.h"
+#include "util/binary_io.h"
+
+namespace fdm {
+
+DirReplicationSource::DirReplicationSource(std::string session_dir)
+    : dir_(std::move(session_dir)) {}
+
+Result<ReplicaManifest> DirReplicationSource::GetManifest() {
+  ReplicaManifest manifest;
+  {
+    std::ifstream in(SessionSpecPath(dir_));
+    if (!in || !std::getline(in, manifest.spec)) {
+      return Status::IoError("no session at " + dir_ + " (missing SPEC)");
+    }
+  }
+
+  // Advert (optional): the primary's (seq, version) at its last durability
+  // point. The durable position can be ahead of a stale advert, so the
+  // authoritative primary_seq comes from scanning the newest segment below.
+  if (auto advert = ReadReplicationAdvert(dir_); advert.ok()) {
+    manifest.advert_seq = advert->seq;
+    manifest.primary_version = advert->state_version;
+    manifest.primary_seq = advert->seq;
+  }
+
+  auto snapshots = ListSessionSnapshots(SessionSnapDir(dir_));
+  manifest.snapshots.reserve(snapshots.size());
+  for (const auto& [seq, path] : snapshots) {
+    ReplicaSnapshotInfo info;
+    info.seq = seq;
+    // Snapshots are immutable once renamed into place: hash each once and
+    // serve later manifests from the cache (size re-checked, so a
+    // replaced/truncated file re-hashes).
+    std::error_code size_ec;
+    const uint64_t size = std::filesystem::file_size(path, size_ec);
+    if (size_ec) continue;  // pruned between listing and stat
+    const auto cached = snapshot_checksums_.find(seq);
+    if (cached != snapshot_checksums_.end() && cached->second.first == size) {
+      info.bytes = size;
+      info.checksum = cached->second.second;
+    } else {
+      auto bytes = ReadFileToString(path);
+      if (!bytes.ok()) continue;  // pruned between stat and read
+      info.bytes = bytes->size();
+      info.checksum = Fnv1a64(bytes->data(), bytes->size());
+      snapshot_checksums_[seq] = {info.bytes, info.checksum};
+    }
+    manifest.snapshots.push_back(info);
+  }
+  // Pruned snapshots never come back under the same seq; drop their cache
+  // entries so the map tracks the (small) retained set.
+  std::erase_if(snapshot_checksums_, [&](const auto& entry) {
+    return snapshots.empty() || entry.first < snapshots.front().first;
+  });
+
+  auto segments = WriteAheadLog::ListSegments(SessionWalDir(dir_));
+  if (!segments.ok()) return segments.status();
+  manifest.segments = std::move(segments.value());
+
+  // Sealed segments (all but the newest) are immutable once rotated away
+  // from, so hash each once; the newest keeps checksum 0 (it grows).
+  for (size_t i = 0; i + 1 < manifest.segments.size(); ++i) {
+    WalSegmentInfo& seg = manifest.segments[i];
+    const auto cached = sealed_checksums_.find(seg.first_seq);
+    if (cached != sealed_checksums_.end() &&
+        cached->second.first == seg.bytes) {
+      seg.checksum = cached->second.second;
+      continue;
+    }
+    auto bytes = ReadFileToString(seg.path);
+    if (!bytes.ok()) continue;  // pruned mid-manifest; fetch will fail too
+    seg.bytes = bytes->size();
+    seg.checksum = Fnv1a64(bytes->data(), bytes->size());
+    sealed_checksums_[seg.first_seq] = {seg.bytes, seg.checksum};
+  }
+
+  // The durable stream position: the last intact record of the newest
+  // segment (records past a torn tail do not count — they are exactly what
+  // a follower cannot fetch). Segments are append-only, so when the newest
+  // segment's identity and size are unchanged since the last manifest, the
+  // previous scan result still holds and the read is skipped — the idle
+  // polling loop then costs directory stats, not a segment decode.
+  if (!manifest.segments.empty()) {
+    const WalSegmentInfo& newest = manifest.segments.back();
+    if (newest.first_seq == scanned_first_seq_ &&
+        newest.bytes == scanned_bytes_) {
+      if (scanned_last_seq_ > manifest.primary_seq) {
+        manifest.primary_seq = scanned_last_seq_;
+      }
+    } else {
+      auto bytes = ReadFileToString(newest.path);
+      if (bytes.ok()) {
+        WalSegmentCursor cursor(*bytes);
+        WalRecordView record;
+        int64_t last = 0;
+        while (cursor.Next(record)) last = record.seq;
+        if (last == 0) last = newest.first_seq - 1;
+        scanned_first_seq_ = newest.first_seq;
+        scanned_bytes_ = bytes->size();
+        scanned_last_seq_ = last;
+        scanned_segment_bytes_ = std::move(bytes.value());
+        if (last > manifest.primary_seq) manifest.primary_seq = last;
+      }
+    }
+  }
+  return manifest;
+}
+
+void DirReplicationSource::InvalidateCaches() {
+  sealed_checksums_.clear();
+  snapshot_checksums_.clear();
+  scanned_first_seq_ = 0;
+  scanned_bytes_ = 0;
+  scanned_last_seq_ = 0;
+  scanned_segment_bytes_.clear();
+}
+
+Result<std::string> DirReplicationSource::FetchSnapshot(int64_t seq) {
+  return ReadFileToString(SessionSnapDir(dir_) + "/" +
+                          SessionSnapshotFileName(seq));
+}
+
+Result<std::string> DirReplicationSource::FetchWalSegment(int64_t first_seq) {
+  // The active segment was just read (and scanned) by GetManifest — serve
+  // those bytes instead of re-reading the file. They describe exactly the
+  // state the manifest in hand advertises; anything appended since simply
+  // waits for the next poll. Sealed segments (rotation moved the newest
+  // first_seq past this one) always re-read, so their manifest checksums
+  // verify against the final file.
+  if (first_seq == scanned_first_seq_ && !scanned_segment_bytes_.empty()) {
+    return scanned_segment_bytes_;
+  }
+  return ReadFileToString(SessionWalDir(dir_) + "/" +
+                          WalSegmentFileName(first_seq));
+}
+
+}  // namespace fdm

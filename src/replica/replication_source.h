@@ -1,0 +1,117 @@
+#ifndef FDM_REPLICA_REPLICATION_SOURCE_H_
+#define FDM_REPLICA_REPLICATION_SOURCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "service/wal.h"
+#include "util/status.h"
+
+namespace fdm {
+
+/// One snapshot a follower can bootstrap from: its stream position, and
+/// the whole-file size + FNV-1a 64 checksum a fetcher verifies before
+/// trusting a shipped copy (the framed snapshot carries its own internal
+/// checksum too; the outer one catches a truncated ship without parsing).
+struct ReplicaSnapshotInfo {
+  int64_t seq = 0;
+  uint64_t bytes = 0;
+  uint64_t checksum = 0;  // 0 = not computed
+};
+
+/// What a primary exposes to followers at one instant: the sink spec, the
+/// advertised durable stream position + state version, and the snapshot /
+/// WAL-segment ranges currently fetchable. A manifest is a *hint*, not a
+/// lease — the primary keeps ingesting and pruning, so any listed file can
+/// be gone by fetch time; followers handle that by refetching the manifest
+/// (and, when the tail below their position was pruned, by re-syncing from
+/// a newer snapshot).
+struct ReplicaManifest {
+  std::string spec;
+  /// Highest durable (fetchable) record sequence number.
+  int64_t primary_seq = 0;
+  /// Sink state version advertised at `advert_seq` (0 = no advert yet).
+  /// Determinism contract: a follower that has applied exactly
+  /// `advert_seq` records has exactly this state version.
+  uint64_t primary_version = 0;
+  int64_t advert_seq = 0;
+  std::vector<ReplicaSnapshotInfo> snapshots;  // ascending seq
+  std::vector<WalSegmentInfo> segments;        // ascending first_seq;
+                                               // checksum 0 = active/growing
+};
+
+/// Follower-side transport interface: how a replica reads a primary's
+/// replication state. The first implementation is a shared filesystem
+/// directory (`DirReplicationSource`); a socket transport plugs in behind
+/// the same three calls. All methods may be called repeatedly and must
+/// tolerate the primary mutating between calls — fetch failures are
+/// ordinary control flow for a follower, never fatal on their own.
+class ReplicationSource {
+ public:
+  virtual ~ReplicationSource() = default;
+
+  virtual Result<ReplicaManifest> GetManifest() = 0;
+
+  /// Drops any transport-side caches. Followers call this when evidence
+  /// says cached views are lying — a checksum/fetch mismatch against a
+  /// fresh manifest, or a divergence rebuild (the primary's log was
+  /// rewritten in place, which can reuse file names *and* sizes, the two
+  /// things caches key on). A cacheless transport ignores it.
+  virtual void InvalidateCaches() {}
+
+  /// Framed snapshot bytes for the snapshot at `seq`.
+  virtual Result<std::string> FetchSnapshot(int64_t seq) = 0;
+
+  /// Raw bytes of the WAL segment whose first record is `first_seq`. The
+  /// active segment may gain records between manifest and fetch, and its
+  /// tail may be torn mid-record — callers stop cleanly at the intact
+  /// prefix (`WalSegmentCursor`).
+  virtual Result<std::string> FetchWalSegment(int64_t first_seq) = 0;
+};
+
+/// Filesystem-directory transport: reads a primary `DurableSession`
+/// directory in place (same host or a shared/replicated mount). Sealed
+/// WAL segments are immutable, so their whole-file checksums are cached by
+/// (first_seq, size) and computed once; the active segment and the
+/// snapshots are re-examined per manifest.
+class DirReplicationSource final : public ReplicationSource {
+ public:
+  /// `session_dir` is the primary session directory (the one holding
+  /// SPEC/wal/snap), not the session-manager root.
+  explicit DirReplicationSource(std::string session_dir);
+
+  Result<ReplicaManifest> GetManifest() override;
+  void InvalidateCaches() override;
+  Result<std::string> FetchSnapshot(int64_t seq) override;
+  Result<std::string> FetchWalSegment(int64_t first_seq) override;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  /// first_seq -> (bytes, checksum) for sealed segments already hashed.
+  std::map<int64_t, std::pair<uint64_t, uint64_t>> sealed_checksums_;
+  /// seq -> (bytes, checksum) for snapshots already hashed (immutable once
+  /// renamed into place, so a matching size means a valid cache hit).
+  std::map<int64_t, std::pair<uint64_t, uint64_t>> snapshot_checksums_;
+  /// Last primary-position scan of the active segment: (first_seq, size)
+  /// -> last intact record seq, plus the scanned bytes themselves.
+  /// Segments are append-only, so an unchanged size means an unchanged
+  /// tail and the scan can be skipped — and `FetchWalSegment` of the
+  /// still-newest segment is served from these bytes, so one poll reads
+  /// the active segment once (the manifest scan), not twice. The cached
+  /// bytes can only trail the file, which is exactly the torn/short state
+  /// every consumer already handles; a rotation changes the newest
+  /// first_seq and bypasses the cache.
+  int64_t scanned_first_seq_ = 0;
+  uint64_t scanned_bytes_ = 0;
+  int64_t scanned_last_seq_ = 0;
+  std::string scanned_segment_bytes_;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_REPLICA_REPLICATION_SOURCE_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/sink_snapshot.h"
+#include "service/session_layout.h"
 #include "service/sink_spec.h"
 #include "util/binary_io.h"
 
@@ -17,45 +18,59 @@ namespace fdm {
 namespace {
 
 constexpr std::string_view kSessionTag = "fdm.session";
-
-std::string SpecPath(const std::string& dir) { return dir + "/SPEC"; }
-std::string WalDir(const std::string& dir) { return dir + "/wal"; }
-std::string SnapDir(const std::string& dir) { return dir + "/snap"; }
-
-/// Snapshot files in `dir`, as (seq, path), sorted ascending by seq.
-std::vector<std::pair<int64_t, std::string>> ListSnapshots(
-    const std::string& snap_dir) {
-  std::vector<std::pair<int64_t, std::string>> found;
-  std::error_code ec;
-  for (const auto& entry :
-       std::filesystem::directory_iterator(snap_dir, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.rfind("snap-", 0) != 0 ||
-        name.size() < 6 + 5 ||  // "snap-" + at least one digit + ".snap"
-        name.substr(name.size() - 5) != ".snap") {
-      continue;
-    }
-    char* end = nullptr;
-    const long long seq = std::strtoll(name.c_str() + 5, &end, 10);
-    if (end == nullptr || std::strcmp(end, ".snap") != 0 || seq < 1) continue;
-    found.emplace_back(seq, entry.path().string());
-  }
-  std::sort(found.begin(), found.end());
-  return found;
-}
+constexpr std::string_view kReplAdvertTag = "fdm.repl";
 
 }  // namespace
 
+Result<std::unique_ptr<StreamSink>> RestoreSessionSnapshot(
+    SnapshotReader& reader, std::string_view expected_spec,
+    int64_t expected_seq) {
+  const std::string tag = reader.ReadString();
+  const std::string stored_spec = reader.ReadString();
+  const int64_t seq = reader.ReadI64();
+  if (!reader.ok()) return reader.status();
+  if (tag != kSessionTag) {
+    return Status::IoError("not a session snapshot (tag '" + tag + "')");
+  }
+  // A snapshot written under a different spec (edited SPEC file, foreign
+  // file copied in) must not restore silently — the caller's configuration
+  // and the restored sink's would disagree.
+  if (stored_spec != expected_spec) {
+    return Status::IoError("session snapshot spec mismatch");
+  }
+  if (expected_seq >= 0 && seq != expected_seq) {
+    return Status::IoError("session snapshot seq mismatch: header says " +
+                           std::to_string(seq) + ", expected " +
+                           std::to_string(expected_seq));
+  }
+  auto restored = RestoreSink(reader);
+  if (!restored.ok()) return restored.status();
+  if ((*restored)->ObservedElements() != seq) {
+    return Status::IoError("session snapshot observed-count mismatch");
+  }
+  return restored;
+}
+
+Result<ReplicationAdvert> ReadReplicationAdvert(const std::string& dir) {
+  auto reader = SnapshotReader::FromFile(SessionReplAdvertPath(dir));
+  if (!reader.ok()) return reader.status();
+  const std::string tag = reader->ReadString();
+  ReplicationAdvert advert;
+  advert.seq = reader->ReadI64();
+  advert.state_version = reader->ReadU64();
+  if (!reader->ok() || tag != kReplAdvertTag) {
+    return Status::IoError("malformed replication advert in " + dir);
+  }
+  return advert;
+}
+
 std::string DurableSession::SnapshotPath(int64_t seq) const {
-  char name[48];
-  std::snprintf(name, sizeof(name), "snap-%020lld.snap",
-                static_cast<long long>(seq));
-  return SnapDir(dir_) + "/" + name;
+  return SessionSnapDir(dir_) + "/" + SessionSnapshotFileName(seq);
 }
 
 bool DurableSession::Exists(const std::string& dir) {
   std::error_code ec;
-  return std::filesystem::exists(SpecPath(dir), ec);
+  return std::filesystem::exists(SessionSpecPath(dir), ec);
 }
 
 Result<DurableSession> DurableSession::Create(std::string dir,
@@ -72,19 +87,19 @@ Result<DurableSession> DurableSession::Create(std::string dir,
   if (!sink.ok()) return sink.status();
 
   std::error_code ec;
-  std::filesystem::create_directories(SnapDir(dir), ec);
+  std::filesystem::create_directories(SessionSnapDir(dir), ec);
   if (ec) {
     return Status::IoError("cannot create session dir " + dir + ": " +
                            ec.message());
   }
-  auto wal = WriteAheadLog::Open(WalDir(dir), options.wal);
+  auto wal = WriteAheadLog::Open(SessionWalDir(dir), options.wal);
   if (!wal.ok()) return wal.status();
 
   // SPEC is written last: its existence marks the directory as a session.
   {
-    std::ofstream out(SpecPath(dir));
+    std::ofstream out(SessionSpecPath(dir));
     out << spec << "\n";
-    if (!out) return Status::IoError("cannot write " + SpecPath(dir));
+    if (!out) return Status::IoError("cannot write " + SessionSpecPath(dir));
   }
 
   DurableSession session(std::move(dir), std::move(spec), options);
@@ -100,7 +115,7 @@ Result<DurableSession> DurableSession::Open(std::string dir,
   if (options.keep_snapshots == 0) options.keep_snapshots = 1;
   std::string spec;
   {
-    std::ifstream in(SpecPath(dir));
+    std::ifstream in(SessionSpecPath(dir));
     if (!in || !std::getline(in, spec)) {
       return Status::IoError("no session at " + dir + " (missing SPEC)");
     }
@@ -113,25 +128,14 @@ Result<DurableSession> DurableSession::Open(std::string dir,
   // ultimately to a fresh sink replaying the whole WAL.
   std::unique_ptr<StreamSink> sink;
   int64_t snapshot_seq = 0;
-  auto snapshots = ListSnapshots(SnapDir(dir));
+  auto snapshots = ListSessionSnapshots(SessionSnapDir(dir));
   for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
     auto reader = SnapshotReader::FromFile(it->second);
     if (!reader.ok()) continue;
-    const std::string tag = reader->ReadString();
-    const std::string stored_spec = reader->ReadString();
-    const int64_t seq = reader->ReadI64();
-    // A snapshot written under a different spec (edited SPEC file, foreign
-    // file copied in) must not restore silently — dim_ and the fresh-sink
-    // fallback would disagree with the restored sink's configuration.
-    if (!reader->ok() || tag != kSessionTag || stored_spec != spec ||
-        seq != it->first) {
-      continue;
-    }
-    auto restored = RestoreSink(*reader);
+    auto restored = RestoreSessionSnapshot(*reader, spec, it->first);
     if (!restored.ok()) continue;
-    if ((*restored)->ObservedElements() != seq) continue;
     sink = std::move(restored.value());
-    snapshot_seq = seq;
+    snapshot_seq = it->first;
     break;
   }
   if (sink == nullptr) {
@@ -141,7 +145,7 @@ Result<DurableSession> DurableSession::Open(std::string dir,
     snapshot_seq = 0;
   }
 
-  auto wal = WriteAheadLog::Open(WalDir(dir), options.wal);
+  auto wal = WriteAheadLog::Open(SessionWalDir(dir), options.wal);
   if (!wal.ok()) return wal.status();
   auto replayed = wal->Replay(snapshot_seq, *sink);
   if (!replayed.ok()) return replayed.status();
@@ -204,12 +208,27 @@ Status DurableSession::MaybeAutoSnapshot() {
   return TakeSnapshot();
 }
 
+Status DurableSession::PublishReplicationState() {
+  SnapshotWriter writer;
+  writer.WriteString(kReplAdvertTag);
+  writer.WriteI64(sink_->ObservedElements());
+  writer.WriteU64(sink_->StateVersion());
+  return writer.WriteFile(SessionReplAdvertPath(dir_));
+}
+
+Status DurableSession::Sync() {
+  if (Status s = wal_->Sync(); !s.ok()) return s;
+  // The advert is written only after the fsync, so a follower that reads
+  // (seq, version) can rely on every record up to seq being fetchable.
+  return PublishReplicationState();
+}
+
 Status DurableSession::TakeSnapshot() {
   if (!broken_.ok()) return broken_;
   // The log must be durable through this stream position first: the
   // snapshot claims "everything up to seq is covered", which is only true
   // if no acknowledged record can disappear behind it.
-  if (Status s = wal_->Sync(); !s.ok()) return s;
+  if (Status s = Sync(); !s.ok()) return s;
   const int64_t seq = sink_->ObservedElements();
   if (seq == snapshot_seq_) return Status::Ok();  // up to date (or empty)
 
@@ -231,7 +250,7 @@ Status DurableSession::TakeSnapshot() {
 }
 
 Result<int64_t> DurableSession::PruneSnapshots() {
-  auto snapshots = ListSnapshots(SnapDir(dir_));
+  auto snapshots = ListSessionSnapshots(SessionSnapDir(dir_));
   if (snapshots.size() > options_.keep_snapshots) {
     const size_t excess = snapshots.size() - options_.keep_snapshots;
     for (size_t i = 0; i < excess; ++i) {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 
 #include "core/solution.h"
 #include "core/solve_cache.h"
@@ -13,6 +14,35 @@
 #include "util/status.h"
 
 namespace fdm {
+
+class SnapshotReader;
+
+/// Restores the sink embedded in one session snapshot (the payload
+/// `DurableSession::TakeSnapshot` writes: tag, spec, stream position, sink
+/// state). Fails — instead of restoring silently — when the tag is wrong,
+/// the stored spec differs from `expected_spec`, or the embedded stream
+/// position disagrees with the header/`expected_seq` (pass -1 to accept
+/// any position). Shared by `DurableSession::Open` and the replica
+/// bootstrap path, which restores from shipped bytes rather than a file.
+Result<std::unique_ptr<StreamSink>> RestoreSessionSnapshot(
+    SnapshotReader& reader, std::string_view expected_spec,
+    int64_t expected_seq);
+
+/// The replication advertisement a primary publishes at each durability
+/// point (see `DurableSession::PublishReplicationState`): the stream
+/// position and the sink's state version at that position. Followers use
+/// the pair to detect staleness (`version` comparison is free) and to
+/// cross-check determinism: a follower that has applied exactly `seq`
+/// records must be at exactly `state_version`.
+struct ReplicationAdvert {
+  int64_t seq = 0;
+  uint64_t state_version = 0;
+};
+
+/// Reads the advert of the session at `dir`; IoError when absent or torn
+/// (the file is written atomically, so torn means foul play, but callers
+/// treat both as "no advert available").
+Result<ReplicationAdvert> ReadReplicationAdvert(const std::string& dir);
 
 /// Durability knobs of one session.
 struct DurableSessionOptions {
@@ -113,8 +143,15 @@ class DurableSession {
   /// Fsyncs the WAL and writes a snapshot at the current stream position.
   Status TakeSnapshot();
 
-  /// Fsyncs the WAL (durability barrier without a snapshot).
-  Status Sync() { return wal_->Sync(); }
+  /// Fsyncs the WAL (durability barrier without a snapshot) and publishes
+  /// the replication advertisement for this position.
+  Status Sync();
+
+  /// Atomically (re)writes `<dir>/REPL` with the current stream position
+  /// and sink state version — the primary's advertised replication state.
+  /// Called by `Sync`/`TakeSnapshot`; exposed for callers that want a
+  /// fresher advert between durability points.
+  Status PublishReplicationState();
 
   const std::string& dir() const { return dir_; }
   const std::string& spec() const { return spec_; }

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -29,10 +31,36 @@ constexpr uint32_t kMaxPayloadBytes = 64u << 20;
 constexpr size_t kFlushThresholdBytes = 256u << 10;
 
 std::string SegmentName(int64_t first_seq) {
-  char name[40];
-  std::snprintf(name, sizeof(name), "wal-%020lld.log",
-                static_cast<long long>(first_seq));
-  return name;
+  return WalSegmentFileName(first_seq);
+}
+
+/// A mid-log zero-length segment is skippable noise, but it sits on disk
+/// until pruning passes it and replication re-enumerates segments on every
+/// poll — warn once per path, not once per scan. (The *newest* segment is
+/// legitimately 0 bytes right after a rotation, while its magic still sits
+/// in the append buffer — callers must not report that at all.)
+void WarnZeroLengthSegmentOnce(const std::string& path) {
+  static std::mutex mu;
+  static std::set<std::string>& warned = *new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  if (warned.size() > 256) warned.clear();  // bound a long-lived process
+  if (!warned.insert(path).second) return;
+  std::fprintf(stderr,
+               "fdm wal: skipping zero-length segment %s (crash artifact)\n",
+               path.c_str());
+}
+
+/// Parses a `wal-<first_seq>.log` file name; returns -1 when `name` is not
+/// a segment file.
+int64_t ParseSegmentName(const std::string& name) {
+  if (name.size() != SegmentName(0).size() || name.rfind("wal-", 0) != 0 ||
+      name.substr(name.size() - 4) != ".log") {
+    return -1;
+  }
+  char* end = nullptr;
+  const long long first = std::strtoll(name.c_str() + 4, &end, 10);
+  if (end == nullptr || std::strcmp(end, ".log") != 0 || first < 1) return -1;
+  return first;
 }
 
 template <typename T>
@@ -41,60 +69,113 @@ void AppendScalar(std::string& out, T v) {
 }
 
 template <typename T>
-T ReadScalarAt(const std::string& bytes, size_t offset) {
+T ReadScalarAt(std::string_view bytes, size_t offset) {
   T v{};
   std::memcpy(&v, bytes.data() + offset, sizeof(v));
   return v;
 }
 
-/// Outcome of scanning one segment file.
-struct SegmentScan {
-  Status status;             // non-OK: unreadable / not a WAL segment
-  size_t valid_bytes = 0;    // offset just past the last intact record
-  bool torn_tail = false;    // trailing bytes exist past `valid_bytes`
-  int64_t first_seq = 0;     // of the records actually present (0 if none)
-  int64_t last_seq = 0;      // 0 if the segment holds no intact record
-};
+}  // namespace
 
-/// Walks the records of a loaded segment, invoking `on_record(payload
-/// bytes, payload size)` for each intact one. Stops at the first torn or
-/// corrupt record and reports where.
-template <typename OnRecord>
-SegmentScan ScanSegment(const std::string& bytes, OnRecord&& on_record) {
-  SegmentScan scan;
-  if (bytes.size() < sizeof(kSegmentMagic) ||
-      std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
-    scan.status = Status::IoError("not a WAL segment (bad magic)");
-    return scan;
-  }
-  size_t offset = sizeof(kSegmentMagic);
-  scan.valid_bytes = offset;
-  while (offset + kRecordHeaderBytes <= bytes.size()) {
-    const uint32_t len = ReadScalarAt<uint32_t>(bytes, offset);
-    if (len > kMaxPayloadBytes ||
-        offset + kRecordHeaderBytes + len + kRecordChecksumBytes >
-            bytes.size()) {
-      break;  // torn or corrupt tail
-    }
-    const char* payload = bytes.data() + offset + kRecordHeaderBytes;
-    const uint64_t stored = ReadScalarAt<uint64_t>(
-        bytes, offset + kRecordHeaderBytes + len);
-    if (stored != Fnv1a64(payload, len)) break;
-    const int64_t seq = on_record(payload, len);
-    if (seq < 0) {
-      scan.status = Status::IoError("malformed WAL record payload");
-      return scan;
-    }
-    if (scan.first_seq == 0) scan.first_seq = seq;
-    scan.last_seq = seq;
-    offset += kRecordHeaderBytes + len + kRecordChecksumBytes;
-    scan.valid_bytes = offset;
-  }
-  scan.torn_tail = scan.valid_bytes < bytes.size();
-  return scan;
+std::string WalSegmentFileName(int64_t first_seq) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "wal-%020lld.log",
+                static_cast<long long>(first_seq));
+  return name;
 }
 
-}  // namespace
+WalSegmentCursor::WalSegmentCursor(std::string_view bytes) : bytes_(bytes) {
+  if (bytes_.size() < sizeof(kSegmentMagic) ||
+      std::memcmp(bytes_.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    status_ = Status::IoError("not a WAL segment (bad magic)");
+    offset_ = bytes_.size();  // nothing is decodable
+    valid_bytes_ = 0;
+    return;
+  }
+  offset_ = sizeof(kSegmentMagic);
+  valid_bytes_ = offset_;
+}
+
+bool WalSegmentCursor::Next(WalRecordView& record) {
+  if (!status_.ok()) return false;
+  if (offset_ + kRecordHeaderBytes > bytes_.size()) return false;
+  const uint32_t len = ReadScalarAt<uint32_t>(bytes_, offset_);
+  if (len > kMaxPayloadBytes ||
+      offset_ + kRecordHeaderBytes + len + kRecordChecksumBytes >
+          bytes_.size()) {
+    return false;  // torn or corrupt tail
+  }
+  const char* payload = bytes_.data() + offset_ + kRecordHeaderBytes;
+  const uint64_t stored =
+      ReadScalarAt<uint64_t>(bytes_, offset_ + kRecordHeaderBytes + len);
+  if (stored != Fnv1a64(payload, len)) return false;  // torn mid-payload
+
+  // The checksum held, so a malformed payload is corruption, not a crash.
+  constexpr uint32_t kFixed = sizeof(uint64_t) + sizeof(int64_t) +
+                              sizeof(int32_t) + sizeof(uint32_t);
+  if (len < kFixed) {
+    status_ = Status::IoError("malformed WAL record payload");
+    return false;
+  }
+  size_t at = 0;
+  uint64_t seq = 0;
+  std::memcpy(&seq, payload + at, sizeof(seq)), at += sizeof(seq);
+  std::memcpy(&record.id, payload + at, sizeof(record.id)),
+      at += sizeof(record.id);
+  std::memcpy(&record.group, payload + at, sizeof(record.group)),
+      at += sizeof(record.group);
+  uint32_t dim = 0;
+  std::memcpy(&dim, payload + at, sizeof(dim)), at += sizeof(dim);
+  if (len != kFixed + dim * sizeof(double)) {
+    status_ = Status::IoError("malformed WAL record payload");
+    return false;
+  }
+  record.seq = static_cast<int64_t>(seq);
+  // memcpy into aligned scratch — the payload sits at an arbitrary byte
+  // offset, so reading doubles in place would be a misaligned access.
+  coords_.resize(dim);
+  std::memcpy(coords_.data(), payload + at, dim * sizeof(double));
+  record.coords = coords_;
+
+  offset_ += kRecordHeaderBytes + len + kRecordChecksumBytes;
+  valid_bytes_ = offset_;
+  return true;
+}
+
+Result<std::vector<WalSegmentInfo>> WriteAheadLog::ListSegments(
+    const std::string& dir) {
+  std::vector<WalSegmentInfo> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const int64_t first = ParseSegmentName(name);
+    if (first < 1) continue;
+    WalSegmentInfo info;
+    info.first_seq = first;
+    info.path = entry.path().string();
+    std::error_code size_ec;
+    info.bytes = entry.file_size(size_ec);
+    if (size_ec) info.bytes = 0;
+    segments.push_back(std::move(info));
+  }
+  if (ec) {
+    return Status::IoError("cannot list WAL dir " + dir + ": " + ec.message());
+  }
+  std::sort(segments.begin(), segments.end(),
+            [](const WalSegmentInfo& a, const WalSegmentInfo& b) {
+              return a.first_seq < b.first_seq;
+            });
+  // Zero-length files hold no records and are dropped. Only a *mid-log*
+  // one is a crash artifact worth a warning; the newest is legitimately
+  // empty right after a rotation (magic still in the append buffer).
+  if (!segments.empty() && segments.back().bytes == 0) segments.pop_back();
+  std::erase_if(segments, [](const WalSegmentInfo& seg) {
+    if (seg.bytes != 0) return false;
+    WarnZeroLengthSegmentOnce(seg.path);
+    return true;
+  });
+  return segments;
+}
 
 WriteAheadLog::WriteAheadLog(WriteAheadLog&& other) noexcept
     : dir_(std::move(other.dir_)),
@@ -155,14 +236,8 @@ Result<WriteAheadLog> WriteAheadLog::Open(std::string dir,
 
   // Discover existing segments.
   for (const auto& entry : std::filesystem::directory_iterator(wal.dir_, ec)) {
-    const std::string name = entry.path().filename().string();
-    if (name.size() != SegmentName(0).size() || name.rfind("wal-", 0) != 0 ||
-        name.substr(name.size() - 4) != ".log") {
-      continue;
-    }
-    char* end = nullptr;
-    const long long first = std::strtoll(name.c_str() + 4, &end, 10);
-    if (end == nullptr || std::strcmp(end, ".log") != 0 || first < 1) continue;
+    const int64_t first = ParseSegmentName(entry.path().filename().string());
+    if (first < 1) continue;
     wal.segment_first_seqs_.push_back(first);
   }
   if (ec) {
@@ -199,24 +274,21 @@ Result<WriteAheadLog> WriteAheadLog::Open(std::string dir,
     wal.last_seq_ = newest_first - 1;
     return wal;
   }
-  const SegmentScan scan = ScanSegment(bytes, [](const char* payload,
-                                                 uint32_t len) -> int64_t {
-    if (len < sizeof(uint64_t)) return -1;
-    uint64_t seq = 0;
-    std::memcpy(&seq, payload, sizeof(seq));
-    return static_cast<int64_t>(seq);
-  });
-  if (!scan.status.ok()) {
-    return Status::IoError(scan.status.message() + ": " + newest_path);
+  WalSegmentCursor cursor(bytes);
+  WalRecordView record;
+  int64_t newest_last_seq = 0;
+  while (cursor.Next(record)) newest_last_seq = record.seq;
+  if (!cursor.status().ok()) {
+    return Status::IoError(cursor.status().message() + ": " + newest_path);
   }
-  if (scan.torn_tail) {
+  if (cursor.torn_tail()) {
     if (::truncate(newest_path.c_str(),
-                   static_cast<off_t>(scan.valid_bytes)) != 0) {
+                   static_cast<off_t>(cursor.valid_bytes())) != 0) {
       return Status::IoError("cannot truncate torn WAL tail: " + newest_path +
                              ": " + std::strerror(errno));
     }
   }
-  wal.last_seq_ = scan.last_seq != 0 ? scan.last_seq : newest_first - 1;
+  wal.last_seq_ = newest_last_seq != 0 ? newest_last_seq : newest_first - 1;
 
   const int fd = ::open(newest_path.c_str(), O_WRONLY | O_APPEND);
   if (fd < 0) {
@@ -224,7 +296,7 @@ Result<WriteAheadLog> WriteAheadLog::Open(std::string dir,
                            newest_path + ": " + std::strerror(errno));
   }
   wal.fd_ = fd;
-  wal.active_segment_bytes_ = scan.valid_bytes;
+  wal.active_segment_bytes_ = cursor.valid_bytes();
   return wal;
 }
 
@@ -338,28 +410,10 @@ Result<int64_t> WriteAheadLog::Replay(int64_t after_seq,
   int64_t replayed = 0;
   int64_t prev_seq = after_seq;
 
-  // Batch scratch: coordinates pool + point views into it, flushed through
-  // ObserveBatch so rung-parallel sinks replay at batched-ingestion speed.
-  std::vector<double> coords_pool;
-  std::vector<int64_t> ids;
-  std::vector<int32_t> groups;
-  size_t batch_dim = 0;
-
-  auto flush_batch = [&]() {
-    if (ids.empty()) return;
-    std::vector<StreamPoint> points;
-    points.reserve(ids.size());
-    for (size_t i = 0; i < ids.size(); ++i) {
-      points.push_back(StreamPoint{
-          ids[i], groups[i],
-          std::span<const double>(coords_pool.data() + i * batch_dim,
-                                  batch_dim)});
-    }
-    sink.ObserveBatch(points);
-    coords_pool.clear();
-    ids.clear();
-    groups.clear();
-  };
+  // Batched apply through the shared applier, so rung-parallel sinks
+  // replay at batched-ingestion speed — and so recovery and follower
+  // tail application share one code path.
+  WalBatchApplier applier(sink, options_.replay_batch);
 
   for (size_t s = 0; s < segment_first_seqs_.size(); ++s) {
     // A whole segment is skippable when the next segment starts at or
@@ -372,67 +426,47 @@ Result<int64_t> WriteAheadLog::Replay(int64_t after_seq,
     auto loaded = ReadFileToString(path);
     if (!loaded.ok()) return loaded.status();
     const std::string& bytes = loaded.value();
+    if (bytes.empty()) {
+      // A crash between segment creation and the first flush leaves a
+      // zero-length file (the magic was still buffered). It holds no
+      // records, so skip it wherever it sits — warning only mid-log (the
+      // newest segment is legitimately empty right after a rotation).
+      if (s + 1 != segment_first_seqs_.size()) WarnZeroLengthSegmentOnce(path);
+      continue;
+    }
     if (bytes.size() < sizeof(kSegmentMagic)) {
-      // A freshly created/rotated active segment whose magic was never
-      // flushed (crash before the first flush, or the magic still sits in
-      // this object's buffer). Empty = nothing to replay; only legal for
-      // the newest segment.
+      // A partially flushed magic; only the newest segment can legally be
+      // in this state (the crash tail of the active segment).
       if (s + 1 == segment_first_seqs_.size()) continue;
-      return Status::IoError("empty WAL segment mid-log: " + path);
+      return Status::IoError("truncated WAL segment mid-log: " + path);
     }
 
-    Status record_error;
-    const SegmentScan scan = ScanSegment(
-        bytes, [&](const char* payload, uint32_t len) -> int64_t {
-          constexpr uint32_t kFixed = sizeof(uint64_t) + sizeof(int64_t) +
-                                      sizeof(int32_t) + sizeof(uint32_t);
-          if (len < kFixed) return -1;
-          size_t at = 0;
-          uint64_t seq_u = 0;
-          int64_t id = 0;
-          int32_t group = 0;
-          uint32_t dim = 0;
-          std::memcpy(&seq_u, payload + at, sizeof(seq_u)), at += sizeof(seq_u);
-          std::memcpy(&id, payload + at, sizeof(id)), at += sizeof(id);
-          std::memcpy(&group, payload + at, sizeof(group)), at += sizeof(group);
-          std::memcpy(&dim, payload + at, sizeof(dim)), at += sizeof(dim);
-          if (len != kFixed + dim * sizeof(double)) return -1;
-          const int64_t seq = static_cast<int64_t>(seq_u);
-          if (seq <= after_seq) return seq;  // before the snapshot: skip
-          if (seq != prev_seq + 1) {
-            record_error = Status::IoError(
-                "WAL sequence gap: expected " + std::to_string(prev_seq + 1) +
-                ", found " + std::to_string(seq) + " in " + path);
-            return -1;
-          }
-          if (batch_dim == 0) {
-            batch_dim = dim;
-            coords_pool.reserve(options_.replay_batch * batch_dim);
-          } else if (dim != batch_dim) {
-            record_error = Status::IoError(
-                "WAL record dimension changed mid-log in " + path);
-            return -1;
-          }
-          coords_pool.insert(
-              coords_pool.end(), reinterpret_cast<const double*>(payload + at),
-              reinterpret_cast<const double*>(payload + at) + dim);
-          ids.push_back(id);
-          groups.push_back(group);
-          prev_seq = seq;
-          ++replayed;
-          if (ids.size() >= options_.replay_batch) flush_batch();
-          return seq;
-        });
-    if (!record_error.ok()) return record_error;
-    if (!scan.status.ok()) {
-      return Status::IoError(scan.status.message() + ": " + path);
+    WalSegmentCursor cursor(bytes);
+    WalRecordView record;
+    while (cursor.Next(record)) {
+      if (record.seq <= after_seq) continue;  // before the snapshot: skip
+      if (record.seq != prev_seq + 1) {
+        return Status::IoError(
+            "WAL sequence gap: expected " + std::to_string(prev_seq + 1) +
+            ", found " + std::to_string(record.seq) + " in " + path);
+      }
+      if (!applier.Add(record)) {
+        return Status::IoError("WAL record dimension changed mid-log in " +
+                               path);
+      }
+      prev_seq = record.seq;
+      ++replayed;
+      if (applier.ShouldFlush()) applier.Flush();
     }
-    if (scan.torn_tail && s + 1 != segment_first_seqs_.size()) {
+    if (!cursor.status().ok()) {
+      return Status::IoError(cursor.status().message() + ": " + path);
+    }
+    if (cursor.torn_tail() && s + 1 != segment_first_seqs_.size()) {
       return Status::IoError("corrupt record mid-WAL (not the newest "
                              "segment): " + path);
     }
   }
-  flush_batch();
+  applier.Flush();
   return replayed;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/stream_sink.h"
@@ -11,6 +12,128 @@
 #include "util/status.h"
 
 namespace fdm {
+
+/// One decoded WAL record. `coords` points into cursor-owned scratch and
+/// stays valid until the next `Next()` call.
+struct WalRecordView {
+  int64_t seq = 0;
+  int64_t id = -1;
+  int32_t group = 0;
+  std::span<const double> coords;
+};
+
+/// Forward reader over the intact records of one WAL segment's raw bytes.
+/// This is the one record parser in the system: `WriteAheadLog::Open` uses
+/// it to recover the last sequence number, `Replay` to feed a sink, and the
+/// replication layer (`src/replica/`) to apply shipped segment bytes on a
+/// follower without owning a `WriteAheadLog`.
+///
+/// `Next` stops at the first torn record (length/checksum framing does not
+/// hold — `torn_tail()` reports whether undecodable bytes remain) and
+/// latches a non-OK `status()` on real corruption: a bad segment magic, or
+/// a record whose checksum verifies but whose payload is malformed (that is
+/// never a crash artifact).
+class WalSegmentCursor {
+ public:
+  explicit WalSegmentCursor(std::string_view bytes);
+
+  /// Advances to the next intact record. Returns false at the end of the
+  /// intact prefix (check `status()` to distinguish "clean end / torn
+  /// tail" from corruption).
+  bool Next(WalRecordView& record);
+
+  /// Non-OK after a bad magic or a checksum-valid but malformed payload.
+  const Status& status() const { return status_; }
+
+  /// True iff bytes remain past the last intact record (a crash tail).
+  bool torn_tail() const { return valid_bytes_ < bytes_.size(); }
+
+  /// Offset just past the last intact record (segment magic included), i.e.
+  /// the truncation point that removes a torn tail.
+  size_t valid_bytes() const { return valid_bytes_; }
+
+ private:
+  std::string_view bytes_;
+  size_t offset_ = 0;
+  size_t valid_bytes_ = 0;
+  Status status_;
+  std::vector<double> coords_;  // per-record scratch behind `record.coords`
+};
+
+/// `wal-<first_seq>.log`, zero-padded so lexicographic and numeric order
+/// agree — the one definition of the segment file name, shared by the log
+/// itself and the replication transport.
+std::string WalSegmentFileName(int64_t first_seq);
+
+/// Accumulates decoded WAL records and flushes them into a sink through
+/// `ObserveBatch` — the one batched-apply path shared by crash-recovery
+/// replay (`WriteAheadLog::Replay`) and follower tail application
+/// (`ReplicaSession`), so both apply streams bit-identically and a fix to
+/// either reaches the other. Callers decide when to flush (`ShouldFlush`
+/// signals the configured batch size); sequence bookkeeping stays with the
+/// caller, whose gap-handling policies differ.
+class WalBatchApplier {
+ public:
+  WalBatchApplier(StreamSink& sink, size_t batch_records)
+      : sink_(sink), batch_records_(batch_records == 0 ? 1 : batch_records) {}
+
+  /// Buffers one record (coordinates copied). Returns false when the
+  /// record's dimension disagrees with the buffered batch's.
+  bool Add(const WalRecordView& record) {
+    if (dim_ == 0) {
+      dim_ = record.coords.size();
+      coords_.reserve(batch_records_ * dim_);
+    } else if (record.coords.size() != dim_) {
+      return false;
+    }
+    coords_.insert(coords_.end(), record.coords.begin(),
+                   record.coords.end());
+    ids_.push_back(record.id);
+    groups_.push_back(record.group);
+    return true;
+  }
+
+  bool ShouldFlush() const { return ids_.size() >= batch_records_; }
+  size_t pending() const { return ids_.size(); }
+
+  /// Applies the buffered records through one `ObserveBatch` call; returns
+  /// how many this call applied.
+  size_t Flush() {
+    if (ids_.empty()) return 0;
+    std::vector<StreamPoint> points;
+    points.reserve(ids_.size());
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      points.push_back(StreamPoint{
+          ids_[i], groups_[i],
+          std::span<const double>(coords_.data() + i * dim_, dim_)});
+    }
+    sink_.ObserveBatch(points);
+    const size_t applied = ids_.size();
+    coords_.clear();
+    ids_.clear();
+    groups_.clear();
+    return applied;
+  }
+
+ private:
+  StreamSink& sink_;
+  size_t batch_records_;
+  size_t dim_ = 0;
+  std::vector<double> coords_;
+  std::vector<int64_t> ids_;
+  std::vector<int32_t> groups_;
+};
+
+/// One WAL segment file as seen by segment enumeration: its first sequence
+/// number (from the file name), its size, and — when the caller computes it
+/// (sealed segments only; the active segment keeps growing) — a whole-file
+/// FNV-1a 64 checksum so a shipped copy can be verified byte-for-byte.
+struct WalSegmentInfo {
+  int64_t first_seq = 0;
+  std::string path;
+  uint64_t bytes = 0;
+  uint64_t checksum = 0;  // 0 = not computed / not verifiable
+};
 
 /// Durability/performance knobs of the write-ahead log.
 struct WalOptions {
@@ -80,6 +203,16 @@ class WriteAheadLog {
   /// (call after a snapshot at `before_seq - 1` has been written). The
   /// active segment is never deleted.
   Status TruncateBefore(int64_t before_seq);
+
+  /// Enumerates the segment files of the log at `dir` without opening it
+  /// for appends — the read-only view the replication source exports.
+  /// Segments are sorted by first sequence number; zero-length files (a
+  /// crash between segment creation and the first flush) are skipped with
+  /// a warning rather than reported, matching `Replay`'s tolerance.
+  /// Checksums are left 0 (callers that ship bytes compute them for sealed
+  /// segments; see `WalSegmentInfo`).
+  static Result<std::vector<WalSegmentInfo>> ListSegments(
+      const std::string& dir);
 
   /// Highest sequence number ever appended (0 when empty).
   int64_t last_seq() const { return last_seq_; }

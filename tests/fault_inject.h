@@ -1,0 +1,155 @@
+#ifndef FDM_TESTS_FAULT_INJECT_H_
+#define FDM_TESTS_FAULT_INJECT_H_
+
+// Deterministic fault injection for the replication layer: a
+// `ReplicationSource` wrapper that reshapes what a follower sees, so tests
+// can freeze the primary's visible position at any record ("kill the
+// follower here"), tear the tail of the last visible segment mid-record,
+// drop listed files between manifest and fetch (pruning races), and serve
+// a stale manifest captured earlier. Everything is pure function of the
+// wrapped source plus explicit knobs — no timing, no randomness — so every
+// injected failure replays exactly.
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "replica/replication_source.h"
+#include "service/wal.h"
+#include "util/binary_io.h"
+
+namespace fdm {
+
+class FaultInjectingSource : public ReplicationSource {
+ public:
+  explicit FaultInjectingSource(std::shared_ptr<ReplicationSource> inner)
+      : inner_(std::move(inner)) {}
+
+  /// Freezes the follower-visible stream at `seq`: manifests hide
+  /// snapshots and whole segments past it, fetched segment bytes are cut
+  /// at the last record <= seq. -1 = unlimited (default).
+  void SetMaxVisibleSeq(int64_t seq) { max_visible_seq_ = seq; }
+
+  /// After a `SetMaxVisibleSeq` cut, additionally expose up to `bytes`
+  /// bytes of the record after the cut — a torn tail exactly as a crash
+  /// (or a ship racing an append) would leave it.
+  void SetTornTailBytes(size_t bytes) { torn_tail_bytes_ = bytes; }
+
+  /// The next `GetManifest` calls return these (FIFO) instead of asking
+  /// the wrapped source — a follower working off a stale manifest while
+  /// the primary moves on.
+  void QueueManifest(ReplicaManifest manifest) {
+    queued_manifests_.push_back(std::move(manifest));
+  }
+
+  /// Force-fails every fetch of the snapshot at `seq` / the segment whose
+  /// first record is `first_seq` (a pruned or unreachable file).
+  void FailSnapshot(int64_t seq) { failed_snapshots_.insert(seq); }
+  void FailSegment(int64_t first_seq) { failed_segments_.insert(first_seq); }
+  void ClearFailures() {
+    failed_snapshots_.clear();
+    failed_segments_.clear();
+  }
+
+  int64_t manifest_fetches() const { return manifest_fetches_; }
+  int64_t forced_failures() const { return forced_failures_; }
+
+  void InvalidateCaches() override { inner_->InvalidateCaches(); }
+
+  Result<ReplicaManifest> GetManifest() override {
+    ++manifest_fetches_;
+    ReplicaManifest manifest;
+    if (!queued_manifests_.empty()) {
+      manifest = std::move(queued_manifests_.front());
+      queued_manifests_.pop_front();
+    } else {
+      auto inner = inner_->GetManifest();
+      if (!inner.ok()) return inner.status();
+      manifest = std::move(inner.value());
+    }
+    if (max_visible_seq_ < 0) return manifest;
+
+    const int64_t cap = max_visible_seq_;
+    if (manifest.primary_seq > cap) manifest.primary_seq = cap;
+    if (manifest.advert_seq > cap) {
+      // The advert pairs (seq, version); a capped view never saw it.
+      manifest.advert_seq = 0;
+      manifest.primary_version = 0;
+    }
+    std::erase_if(manifest.snapshots, [cap](const ReplicaSnapshotInfo& s) {
+      return s.seq > cap;
+    });
+    std::erase_if(manifest.segments, [cap](const WalSegmentInfo& s) {
+      return s.first_seq > cap;
+    });
+    if (!manifest.segments.empty()) {
+      // The last visible segment will be byte-truncated by the fetch
+      // below; its listed size/checksum no longer describe it.
+      manifest.segments.back().checksum = 0;
+      manifest.segments.back().bytes = 0;
+    }
+    return manifest;
+  }
+
+  Result<std::string> FetchSnapshot(int64_t seq) override {
+    if (failed_snapshots_.count(seq) != 0 ||
+        (max_visible_seq_ >= 0 && seq > max_visible_seq_)) {
+      ++forced_failures_;
+      return Status::IoError("fault injection: snapshot " +
+                             std::to_string(seq) + " unavailable");
+    }
+    return inner_->FetchSnapshot(seq);
+  }
+
+  Result<std::string> FetchWalSegment(int64_t first_seq) override {
+    if (failed_segments_.count(first_seq) != 0 ||
+        (max_visible_seq_ >= 0 && first_seq > max_visible_seq_)) {
+      ++forced_failures_;
+      return Status::IoError("fault injection: segment " +
+                             std::to_string(first_seq) + " unavailable");
+    }
+    auto bytes = inner_->FetchWalSegment(first_seq);
+    if (!bytes.ok() || max_visible_seq_ < 0) return bytes;
+
+    // Cut at the last record <= cap, optionally re-exposing a torn prefix
+    // of the next record.
+    WalSegmentCursor cursor(*bytes);
+    WalRecordView record;
+    size_t cut = cursor.valid_bytes();
+    size_t next_record_end = cut;
+    bool capped = false;
+    while (cursor.Next(record)) {
+      if (record.seq > max_visible_seq_) {
+        capped = true;
+        next_record_end = cursor.valid_bytes();
+        break;
+      }
+      cut = cursor.valid_bytes();
+    }
+    if (!capped) return bytes;
+    std::string visible = bytes->substr(0, cut);
+    if (torn_tail_bytes_ > 0) {
+      const size_t torn =
+          std::min(torn_tail_bytes_, next_record_end - cut - 1);
+      visible.append(bytes->substr(cut, torn));
+    }
+    return visible;
+  }
+
+ private:
+  std::shared_ptr<ReplicationSource> inner_;
+  int64_t max_visible_seq_ = -1;
+  size_t torn_tail_bytes_ = 0;
+  std::deque<ReplicaManifest> queued_manifests_;
+  std::set<int64_t> failed_snapshots_;
+  std::set<int64_t> failed_segments_;
+  int64_t manifest_fetches_ = 0;
+  int64_t forced_failures_ = 0;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_TESTS_FAULT_INJECT_H_

@@ -1,0 +1,441 @@
+// The read-replica acceptance suite: followers bootstrapped from snapshots
+// and WAL tails must serve bit-identical solutions at matched state
+// versions — under deterministic fault injection (kill/restart at every
+// segment boundary and at torn mid-segment points), under live staleness
+// (a follower never runs ahead of the primary, lag is monotone during
+// catch-up, stale answers are flagged), and under pruning races (the
+// primary deletes snapshots/segments while a follower is mid-bootstrap).
+
+#include "replica/replica_session.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "fault_inject.h"
+#include "replica/replica_manager.h"
+#include "replica/replication_source.h"
+#include "service/durable_session.h"
+#include "service/session_manager.h"
+#include "service/sink_spec.h"
+
+namespace fdm {
+namespace {
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/fdm_replica_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+Dataset TestData(int m, size_t n = 150, uint64_t seed = 31) {
+  BlobsOptions opt;
+  opt.n = n;
+  opt.num_groups = m;
+  opt.seed = seed;
+  return MakeBlobs(opt);
+}
+
+std::string BoundsSuffix(const Dataset& ds) {
+  const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+  return " dmin=" + std::to_string(b.min) + " dmax=" + std::to_string(b.max);
+}
+
+void ExpectSameSolution(const StreamSink& a, const StreamSink& b) {
+  ASSERT_EQ(a.ObservedElements(), b.ObservedElements());
+  ASSERT_EQ(a.StoredElements(), b.StoredElements());
+  EXPECT_EQ(a.StateVersion(), b.StateVersion());
+  const auto sa = a.Solve();
+  const auto sb = b.Solve();
+  ASSERT_EQ(sa.ok(), sb.ok());
+  if (!sa.ok()) return;
+  EXPECT_EQ(sa->Ids(), sb->Ids());
+  EXPECT_DOUBLE_EQ(sa->diversity, sb->diversity);
+  EXPECT_DOUBLE_EQ(sa->mu, sb->mu);
+}
+
+/// Builds a durable primary over `ds` with small WAL segments (many
+/// boundaries), a midpoint snapshot, and a WAL-only tail; everything
+/// synced so the whole stream is fetchable.
+Result<DurableSession> MakePrimary(const std::string& dir,
+                                   const std::string& spec,
+                                   const Dataset& ds,
+                                   size_t keep_snapshots = 2) {
+  DurableSessionOptions options;
+  options.wal.segment_bytes = 1024;
+  options.keep_snapshots = keep_snapshots;
+  auto primary = DurableSession::Create(dir, spec, options);
+  if (!primary.ok()) return primary.status();
+  const size_t mid = ds.size() / 2;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    if (Status s = primary->Observe(ds.At(i)); !s.ok()) return s;
+    if (i + 1 == mid) {
+      if (Status s = primary->TakeSnapshot(); !s.ok()) return s;
+    }
+  }
+  if (Status s = primary->Sync(); !s.ok()) return s;
+  return primary;
+}
+
+// The acceptance-criteria suite: for every registered sink kind, kill the
+// follower at every WAL-segment boundary and at a torn mid-segment point
+// in every segment; at each kill point the follower must be bit-identical
+// (solution + state version) to a per-element reference over the same
+// prefix, and after restart it must catch up to the primary bit-exactly.
+TEST_F(ReplicaTest, KillRestartBitIdenticalAtEveryBoundaryForEveryKind) {
+  const Dataset ds2 = TestData(2);
+  const Dataset ds3 = TestData(3, 150, 33);
+  struct Case {
+    const Dataset* data;
+    std::string spec;
+  };
+  const std::vector<Case> cases = {
+      {&ds2, "algo=streaming_dm dim=2 k=4" + BoundsSuffix(ds2)},
+      {&ds2, "algo=sfdm1 dim=2 quotas=2,2" + BoundsSuffix(ds2)},
+      {&ds3, "algo=sfdm2 dim=2 quotas=2,1,2" + BoundsSuffix(ds3)},
+      {&ds2, "algo=adaptive dim=2 k=4"},
+      {&ds2, "algo=sharded dim=2 k=4 shards=3" + BoundsSuffix(ds2)},
+      {&ds2, "algo=sliding_window dim=2 k=4 window=60 checkpoints=3" +
+                 BoundsSuffix(ds2)},
+  };
+  for (size_t c = 0; c < cases.size(); ++c) {
+    SCOPED_TRACE(cases[c].spec);
+    const Dataset& ds = *cases[c].data;
+    const std::string dir = dir_ + "/case" + std::to_string(c);
+    auto primary = MakePrimary(dir, cases[c].spec, ds);
+    ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+
+    auto base = std::make_shared<DirReplicationSource>(dir);
+    auto manifest = base->GetManifest();
+    ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+    ASSERT_EQ(manifest->primary_seq, static_cast<int64_t>(ds.size()));
+    ASSERT_GT(manifest->segments.size(), 3u);  // boundaries are plentiful
+
+    // Kill points: every segment boundary (the last record of each sealed
+    // segment), a mid-segment point in every segment (applied with a torn
+    // tail), and the full stream.
+    struct KillPoint {
+      int64_t seq;
+      bool torn;
+    };
+    std::vector<KillPoint> kill_points;
+    for (size_t s = 1; s < manifest->segments.size(); ++s) {
+      kill_points.push_back({manifest->segments[s].first_seq - 1, false});
+      kill_points.push_back({manifest->segments[s].first_seq, true});
+    }
+    kill_points.push_back({manifest->primary_seq, false});
+    // Positions below the snapshot are gone from the log by design (the
+    // midpoint snapshot pruned them), so no follower can be *at* them —
+    // the surviving boundaries all sit at or past the snapshot.
+    std::erase_if(kill_points, [&](const KillPoint& k) {
+      return k.seq < primary->SnapshotSeq();
+    });
+    ASSERT_GT(kill_points.size(), 4u);
+    std::sort(kill_points.begin(), kill_points.end(),
+              [](const KillPoint& a, const KillPoint& b) {
+                return a.seq < b.seq;
+              });
+
+    // One per-element reference sink, advanced incrementally: the follower
+    // at kill point P must match the reference fed exactly P elements.
+    auto reference = MakeSinkFromSpec(cases[c].spec);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    int64_t reference_fed = 0;
+
+    for (const KillPoint& kill : kill_points) {
+      SCOPED_TRACE("kill at seq " + std::to_string(kill.seq) +
+                   (kill.torn ? " (torn tail)" : ""));
+      while (reference_fed < kill.seq) {
+        (*reference)->Observe(ds.At(static_cast<size_t>(reference_fed)));
+        ++reference_fed;
+      }
+
+      auto fault = std::make_shared<FaultInjectingSource>(base);
+      fault->SetMaxVisibleSeq(kill.seq);
+      if (kill.torn) fault->SetTornTailBytes(7);
+      auto follower = ReplicaSession::Bootstrap(fault);
+      ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+      EXPECT_EQ(follower->applied_seq(), kill.seq);
+      ExpectSameSolution(**reference, follower->sink());
+      EXPECT_EQ(follower->Stats().lag, 0);  // caught up with the capped view
+
+      // Restart: the fault clears and the follower tails the rest.
+      fault->SetMaxVisibleSeq(-1);
+      fault->SetTornTailBytes(0);
+      auto caught_up = follower->Poll();
+      ASSERT_TRUE(caught_up.ok()) << caught_up.status().ToString();
+      EXPECT_EQ(*caught_up,
+                static_cast<int64_t>(ds.size()) - kill.seq);
+      ExpectSameSolution(primary->sink(), follower->sink());
+      EXPECT_EQ(follower->Stats().lag, 0);
+    }
+
+    // Cold restart over the healthy source converges identically too.
+    auto cold = ReplicaSession::Bootstrap(base);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    ExpectSameSolution(primary->sink(), cold->sink());
+    // The advert was published by Sync at the full position: a follower at
+    // that position must sit at exactly the advertised version.
+    const auto stats = cold->Stats();
+    EXPECT_EQ(stats.advert_seq, static_cast<int64_t>(ds.size()));
+    EXPECT_EQ(stats.primary_version, cold->StateVersion());
+  }
+}
+
+// The staleness contract: while the primary ingests, a follower never
+// serves a solution whose state version exceeds the primary's, LAG is
+// monotone non-increasing during catch-up, and a stale SOLVE is flagged.
+TEST_F(ReplicaTest, StalenessFlaggedAndLagMonotoneDuringCatchUp) {
+  const Dataset ds = TestData(2, 600, 35);
+  const std::string spec = "algo=sfdm2 dim=2 quotas=2,2" + BoundsSuffix(ds);
+  DurableSessionOptions options;
+  options.wal.segment_bytes = 1024;
+  auto primary = DurableSession::Create(dir_, spec, options);
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+  const size_t head = 150;
+  for (size_t i = 0; i < head; ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(primary->Sync().ok());
+
+  ReplicaOptions bounded;
+  bounded.max_records_per_poll = 64;  // catch-up in observable steps
+  auto follower = ReplicaSession::Bootstrap(
+      std::make_shared<DirReplicationSource>(dir_), bounded);
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  // The bounded bootstrap may still be mid-tail; finish catching up first.
+  for (int i = 0; i < 100 && follower->Stats().lag > 0; ++i) {
+    ASSERT_TRUE(follower->Poll().ok());
+  }
+  EXPECT_EQ(follower->applied_seq(), static_cast<int64_t>(head));
+  EXPECT_FALSE(follower->Stats().stale);
+  EXPECT_EQ(follower->StateVersion(), primary->StateVersion());
+
+  // Primary moves on; the follower only refreshes its manifest view.
+  for (size_t i = head; i < ds.size(); ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+    if ((i + 1) % 150 == 0) {
+      ASSERT_TRUE(primary->Sync().ok());
+      ASSERT_TRUE(follower->RefreshLag().ok());
+      const auto stats = follower->Stats();
+      EXPECT_EQ(stats.lag,
+                static_cast<int64_t>(i + 1) - static_cast<int64_t>(head));
+      EXPECT_TRUE(stats.stale);  // flagged, not silently wrong
+      EXPECT_LE(follower->StateVersion(), primary->StateVersion());
+      // A stale SOLVE still answers — correctly for its own position.
+      EXPECT_TRUE(follower->Solve().ok());
+      EXPECT_EQ(follower->applied_seq(), static_cast<int64_t>(head));
+    }
+  }
+  ASSERT_TRUE(primary->Sync().ok());
+
+  // Catch-up: lag must shrink monotonically to zero, with the follower's
+  // version never passing the primary's.
+  ASSERT_TRUE(follower->RefreshLag().ok());
+  int64_t prev_lag = follower->Stats().lag;
+  ASSERT_GT(prev_lag, 0);
+  for (int i = 0; i < 1000 && follower->Stats().lag > 0; ++i) {
+    auto applied = follower->Poll();
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    const auto stats = follower->Stats();
+    EXPECT_LE(stats.lag, prev_lag);
+    EXPECT_LE(stats.state_version, primary->StateVersion());
+    prev_lag = stats.lag;
+  }
+  const auto stats = follower->Stats();
+  EXPECT_EQ(stats.lag, 0);
+  EXPECT_FALSE(stats.stale);
+  // At the advertised position the versions must agree exactly — the
+  // determinism cross-check the advert exists for.
+  EXPECT_EQ(stats.advert_seq, follower->applied_seq());
+  EXPECT_EQ(stats.primary_version, follower->StateVersion());
+  ExpectSameSolution(primary->sink(), follower->sink());
+}
+
+// Pruning race, bootstrap flavor: the follower holds a manifest listing a
+// snapshot and segments the primary prunes before the fetches land. The
+// follower must fall back to the next manifest and converge bit-exactly.
+TEST_F(ReplicaTest, SnapshotPrunedMidBootstrapFallsBackToNextManifest) {
+  const Dataset ds = TestData(2, 400, 39);
+  const std::string spec = "algo=streaming_dm dim=2 k=4" + BoundsSuffix(ds);
+  DurableSessionOptions options;
+  options.wal.segment_bytes = 1024;
+  options.keep_snapshots = 1;  // pruning is aggressive
+  auto primary = DurableSession::Create(dir_, spec, options);
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+  for (size_t i = 0; i < 120; ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(primary->TakeSnapshot().ok());
+  for (size_t i = 120; i < 260; ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(primary->Sync().ok());
+
+  // The follower grabs its manifest now ...
+  auto base = std::make_shared<DirReplicationSource>(dir_);
+  auto stale_manifest = base->GetManifest();
+  ASSERT_TRUE(stale_manifest.ok());
+  ASSERT_EQ(stale_manifest->snapshots.size(), 1u);
+  ASSERT_EQ(stale_manifest->snapshots[0].seq, 120);
+
+  // ... and the primary prunes everything it lists before the fetches run:
+  // the new snapshot at 400 supersedes the one at 120 (keep_snapshots=1)
+  // and truncates the WAL segments below it.
+  for (size_t i = 260; i < ds.size(); ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(primary->TakeSnapshot().ok());
+  ASSERT_FALSE(std::filesystem::exists(
+      dir_ + "/snap/snap-00000000000000000120.snap"));
+
+  auto fault = std::make_shared<FaultInjectingSource>(base);
+  fault->QueueManifest(std::move(stale_manifest.value()));
+  auto follower = ReplicaSession::Bootstrap(fault);
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  EXPECT_GE(follower->Stats().resyncs, 1u);
+  ExpectSameSolution(primary->sink(), follower->sink());
+}
+
+// Pruning race, tail flavor: a caught-up follower pauses, the primary
+// snapshots and prunes the WAL range the follower would need next; the
+// next poll must re-sync from the newer snapshot instead of failing or —
+// worse — serving quietly forever at the old position.
+TEST_F(ReplicaTest, PrunedTailForcesResyncOnPoll) {
+  const Dataset ds = TestData(2, 500, 41);
+  const std::string spec = "algo=streaming_dm dim=2 k=4" + BoundsSuffix(ds);
+  DurableSessionOptions options;
+  options.wal.segment_bytes = 1024;
+  options.keep_snapshots = 1;
+  auto primary = DurableSession::Create(dir_, spec, options);
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(primary->Sync().ok());
+
+  auto follower = ReplicaSession::Bootstrap(
+      std::make_shared<DirReplicationSource>(dir_));
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  ASSERT_EQ(follower->applied_seq(), 200);
+
+  // Primary advances far enough that rotation + snapshot pruning delete
+  // the segments holding records 201..; the follower's position is gone.
+  for (size_t i = 200; i < ds.size(); ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+  }
+  ASSERT_TRUE(primary->TakeSnapshot().ok());
+
+  auto applied = follower->Poll();
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_GE(follower->Stats().resyncs, 1u);
+  EXPECT_EQ(follower->Stats().lag, 0);
+  ExpectSameSolution(primary->sink(), follower->sink());
+}
+
+// The advert determinism cross-check: when the primary's durable log is
+// rewritten under the same sequence numbers (the power-loss scenario — an
+// unfsynced tail is lost and different points take its seqs), a follower
+// that applied the old tail must detect the version mismatch at the
+// advertised position and rebuild from scratch, instead of serving
+// divergent answers flagged fresh.
+TEST_F(ReplicaTest, RewrittenLogForcesDivergenceRebuild) {
+  const Dataset ds = TestData(2, 80, 47);
+  const std::string spec = "algo=streaming_dm dim=2 k=4" + BoundsSuffix(ds);
+  {
+    auto primary = DurableSession::Create(dir_, spec);
+    ASSERT_TRUE(primary.ok());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+    }
+    ASSERT_TRUE(primary->Sync().ok());
+  }
+  auto follower = ReplicaSession::Bootstrap(
+      std::make_shared<DirReplicationSource>(dir_));
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  const uint64_t old_version = follower->StateVersion();
+
+  // Rewrite history: same spec, same number of records, different points
+  // (constant duplicates — almost no state mutations, so the version at
+  // the same position provably differs).
+  std::filesystem::remove_all(dir_);
+  auto rewritten = DurableSession::Create(dir_, spec);
+  ASSERT_TRUE(rewritten.ok());
+  const std::vector<double> constant = {1.0, 1.0};
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(rewritten
+                    ->Observe(StreamPoint{static_cast<int64_t>(i), 0,
+                                          constant})
+                    .ok());
+  }
+  ASSERT_TRUE(rewritten->Sync().ok());
+  ASSERT_NE(rewritten->StateVersion(), old_version);
+
+  auto polled = follower->Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_GE(follower->Stats().divergence_rebuilds, 1u);
+  ExpectSameSolution(rewritten->sink(), follower->sink());
+}
+
+// The serving façade: a ReplicaManager mirrors every session under the
+// primary root, discovers sessions created after it started, serves
+// flagged solves, and rejects nothing it should serve.
+TEST_F(ReplicaTest, ReplicaManagerMirrorsAPrimaryRoot) {
+  const Dataset ds = TestData(2, 120, 43);
+  const std::string spec = "algo=sfdm2 dim=2 quotas=2,2" + BoundsSuffix(ds);
+  const std::string root = dir_ + "/primary_root";
+
+  SessionManagerOptions primary_options;
+  primary_options.root_dir = root;
+  auto primaries = SessionManager::Create(primary_options);
+  ASSERT_TRUE(primaries.ok());
+  for (const std::string name : {"alpha", "beta"}) {
+    ASSERT_TRUE((*primaries)->CreateSession(name, spec).ok());
+    for (size_t i = 0; i < ds.size(); ++i) {
+      ASSERT_TRUE((*primaries)->Observe(name, ds.At(i)).ok());
+    }
+    ASSERT_TRUE((*primaries)->Snapshot(name).ok());  // durable + advertised
+  }
+
+  ReplicaManagerOptions options;
+  options.primary_root = root;
+  auto followers = ReplicaManager::Create(options);
+  ASSERT_TRUE(followers.ok()) << followers.status().ToString();
+  const auto names = (*followers)->SessionNames();
+  ASSERT_EQ(names.size(), 2u);
+
+  for (const std::string name : {"alpha", "beta"}) {
+    auto solve = (*followers)->Solve(name);
+    ASSERT_TRUE(solve.ok()) << solve.status().ToString();
+    EXPECT_FALSE(solve->stale);
+    EXPECT_EQ(solve->applied_seq, static_cast<int64_t>(ds.size()));
+    auto primary_solution = (*primaries)->Solve(name);
+    ASSERT_TRUE(primary_solution.ok());
+    EXPECT_EQ(solve->solution.Ids(), primary_solution->Ids());
+    EXPECT_DOUBLE_EQ(solve->solution.diversity,
+                     primary_solution->diversity);
+  }
+
+  // A session created after the follower started appears on rescan.
+  ASSERT_TRUE((*primaries)->CreateSession("gamma", spec).ok());
+  ASSERT_TRUE((*primaries)->Observe("gamma", ds.At(0)).ok());
+  ASSERT_TRUE((*primaries)->Snapshot("gamma").ok());
+  EXPECT_EQ((*followers)->SessionNames().size(), 3u);
+  auto gamma = (*followers)->Stats("gamma");
+  ASSERT_TRUE(gamma.ok()) << gamma.status().ToString();
+  EXPECT_EQ(gamma->applied_seq, 1);
+  EXPECT_EQ(gamma->lag, 0);
+}
+
+}  // namespace
+}  // namespace fdm

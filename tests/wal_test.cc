@@ -1,5 +1,6 @@
 #include "service/wal.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -188,6 +189,60 @@ TEST_F(WalTest, EmptyActiveSegmentIsRecoverableAndReplayable) {
   ASSERT_TRUE(wal->Append(ds.At(10)).ok());
   ASSERT_TRUE(wal->Sync().ok());
   EXPECT_EQ(wal->last_seq(), 11);
+}
+
+TEST_F(WalTest, ZeroLengthSegmentMidLogIsSkippedNotCorruption) {
+  // A crash between segment creation (open/O_CREAT) and the first flush
+  // leaves a zero-length file. When such a file sits MID-log (e.g. it was
+  // shipped to a follower before the primary reinitialized it, or sorting
+  // places later rotations after it), enumeration and replay must skip it
+  // with a warning — it holds no records — instead of calling the log
+  // corrupt.
+  const Dataset ds = TestData(120, 21);
+  WalOptions options;
+  options.segment_bytes = 1024;  // force several rotations
+  {
+    auto wal = WriteAheadLog::Open(dir_, options);
+    ASSERT_TRUE(wal.ok());
+    for (size_t i = 0; i < 60; ++i) {
+      ASSERT_TRUE(wal->Append(ds.At(i)).ok());
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+    ASSERT_GT(wal->SegmentPaths().size(), 2u);
+  }
+  // Forge the artifact strictly between the first seqs of the 2nd and 3rd
+  // real segments, so it is unambiguously mid-log.
+  auto listed = WriteAheadLog::ListSegments(dir_);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_GT(listed->size(), 2u);
+  const int64_t forged = (*listed)[1].first_seq + 1;
+  ASSERT_LT(forged, (*listed)[2].first_seq);
+  char name[40];
+  std::snprintf(name, sizeof(name), "wal-%020lld.log",
+                static_cast<long long>(forged));
+  {
+    std::ofstream empty(dir_ + "/" + name, std::ios::binary);
+  }
+
+  // Enumeration skips it ...
+  auto relisted = WriteAheadLog::ListSegments(dir_);
+  ASSERT_TRUE(relisted.ok());
+  EXPECT_EQ(relisted->size(), listed->size());
+  for (const auto& seg : *relisted) EXPECT_NE(seg.first_seq, forged);
+
+  // ... and a reopened log replays through it seamlessly.
+  auto wal = WriteAheadLog::Open(dir_, options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ(wal->last_seq(), 60);
+  auto sink = StreamingDm::Create(4, ds.dim(), ds.metric_kind(),
+                                  OptionsFor(ds));
+  ASSERT_TRUE(sink.ok());
+  auto count = wal->Replay(0, *sink);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, 60);
+  ASSERT_TRUE(wal->Append(ds.At(60)).ok());
+  ASSERT_TRUE(wal->Sync().ok());
+  EXPECT_EQ(wal->last_seq(), 61);
 }
 
 TEST_F(WalTest, CorruptedRecordIsDetected) {

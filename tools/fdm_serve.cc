@@ -3,6 +3,7 @@
 //
 //   ./fdm_serve [--root=DIR] [--snapshot_every=N] [--max_resident=N]
 //               [--background_ms=N] [--threads=N]
+//   ./fdm_serve --follow=DIR [--poll_ms=N]        read-only follower mode
 //
 // Reads commands from stdin, one per line; writes one `OK ...` or
 // `ERR <message>` line per command to stdout:
@@ -21,6 +22,20 @@
 //   LIST                            all known sessions
 //   QUIT                            snapshot everything and exit
 //
+// Follower mode (`--follow=<primary root>`) serves the same SOLVE / STATS
+// / LIST read path from replicas that bootstrap off the primary's
+// snapshots and tail its WAL segments (src/replica/). Write verbs are
+// rejected — a follower is read-only by construction — and two verbs are
+// follower-only:
+//
+//   LAG <name>          refresh the manifest; report replication lag
+//   REPLICA <name>      catch up now; report records applied + stats
+//
+// Follower SOLVE replies carry `version=`, `applied=`, `lag=`, `stale=` so
+// a stale answer is flagged, never silently wrong. A background poll
+// thread (`--poll_ms`, default 200) keeps followers caught up and
+// re-syncs them when the primary prunes segments.
+//
 // Example session:
 //
 //   CREATE demo algo=sfdm2 dim=2 quotas=2,2 dmin=0.1 dmax=300
@@ -34,6 +49,7 @@
 #include <string>
 #include <vector>
 
+#include "replica/replica_manager.h"
 #include "service/session_manager.h"
 #include "util/argparse.h"
 #include "util/stringutil.h"
@@ -49,8 +65,110 @@ void Reply(const Status& status) {
   }
 }
 
+void PrintIds(const Solution& solution) {
+  std::cout << "div=" << solution.diversity << " ids=";
+  const auto ids = solution.Ids();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) std::cout << ',';
+    std::cout << ids[i];
+  }
+}
+
+int FollowerMain(const ArgParser& args) {
+  ReplicaManagerOptions options;
+  options.primary_root = args.GetString("follow", "");
+  options.poll_ms = static_cast<int>(args.GetInt("poll_ms", 200));
+  auto manager = ReplicaManager::Create(options);
+  if (!manager.ok()) {
+    std::fprintf(stderr, "fdm_serve: %s\n",
+                 manager.status().ToString().c_str());
+    return 1;
+  }
+  ReplicaManager& replicas = **manager;
+  std::cout << "READY follow=" << options.primary_root
+            << " poll_ms=" << options.poll_ms << "\n";
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) continue;  // blank line
+
+    if (command == "QUIT") {
+      std::cout << "OK\n";
+      break;
+    }
+    if (command == "LIST") {
+      std::cout << "OK";
+      for (const std::string& name : replicas.SessionNames()) {
+        std::cout << ' ' << name;
+      }
+      std::cout << "\n";
+      continue;
+    }
+    if (command == "CREATE" || command == "OBSERVE" ||
+        command == "SNAPSHOT" || command == "RESTORE") {
+      std::cout << "ERR read-only follower (this process serves --follow="
+                << options.primary_root << ")\n";
+      continue;
+    }
+
+    std::string name;
+    if (!(in >> name)) {
+      std::cout << "ERR " << command << " requires a session name\n";
+      continue;
+    }
+    if (command == "SOLVE") {
+      auto solve = replicas.Solve(name);
+      if (!solve.ok()) {
+        std::cout << "ERR " << solve.status().ToString() << "\n";
+        continue;
+      }
+      std::cout << "OK ";
+      PrintIds(solve->solution);
+      std::cout << " version=" << solve->state_version
+                << " applied=" << solve->applied_seq
+                << " lag=" << solve->lag
+                << " stale=" << (solve->stale ? 1 : 0) << "\n";
+    } else if (command == "STATS" || command == "LAG" ||
+               command == "REPLICA") {
+      int64_t just_applied = -1;
+      if (command == "REPLICA") {
+        auto applied = replicas.Poll(name);
+        if (!applied.ok()) {
+          std::cout << "ERR " << applied.status().ToString() << "\n";
+          continue;
+        }
+        just_applied = *applied;
+      }
+      auto stats = command == "LAG" ? replicas.Lag(name)
+                                    : replicas.Stats(name);
+      if (!stats.ok()) {
+        std::cout << "ERR " << stats.status().ToString() << "\n";
+        continue;
+      }
+      std::cout << "OK";
+      if (just_applied >= 0) std::cout << " applied_records=" << just_applied;
+      std::cout << " applied=" << stats->applied_seq
+                << " primary=" << stats->primary_seq
+                << " lag=" << stats->lag
+                << " stale=" << (stats->stale ? 1 : 0)
+                << " version=" << stats->state_version
+                << " resyncs=" << stats->resyncs
+                << " segments_fetched=" << stats->segments_fetched
+                << " snapshots_loaded=" << stats->snapshots_loaded
+                << " solve_hits=" << stats->solve.hits
+                << " solve_misses=" << stats->solve.misses << "\n";
+    } else {
+      std::cout << "ERR unknown command '" << command << "'\n";
+    }
+  }
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   const ArgParser args(argc, argv);
+  if (args.Has("follow")) return FollowerMain(args);
   SessionManagerOptions options;
   options.root_dir = args.GetString("root", "fdm_sessions");
   options.session.snapshot_every =
@@ -123,13 +241,12 @@ int Main(int argc, char** argv) {
         std::cout << "ERR " << solution.status().ToString() << "\n";
         continue;
       }
-      std::cout << "OK div=" << solution->diversity << " ids=";
-      const auto ids = solution->Ids();
-      for (size_t i = 0; i < ids.size(); ++i) {
-        if (i > 0) std::cout << ',';
-        std::cout << ids[i];
-      }
+      std::cout << "OK ";
+      PrintIds(*solution);
       std::cout << "\n";
+    } else if (command == "REPLICA" || command == "LAG") {
+      std::cout << "ERR " << command
+                << " is a follower verb (start with --follow=DIR)\n";
     } else if (command == "SNAPSHOT") {
       Reply(sessions.Snapshot(name));
     } else if (command == "RESTORE") {
