@@ -1,6 +1,7 @@
 // Distance-kernel microbenchmark: per-metric, per-dispatch-target
 // one-to-many scan throughput over the paper's dimension range, plus the
-// batched Q×N kernel, with scalar-vs-SIMD speedup ratios. Emits
+// batched Q×N kernel and the offline full-dists scan (RawDistancesToAll —
+// the cold-SOLVE unit), with scalar-vs-SIMD speedup ratios. Emits
 // machine-readable BENCH_kernels.json (default: results/BENCH_kernels.json)
 // so future PRs can track the kernel trajectory, plus a human summary.
 //
@@ -14,9 +15,9 @@
 // the stable, comparable unit.
 //
 // --min-speedup=X (CI smoke): exit non-zero unless the best SIMD Euclidean
-// one-to-many kernel reaches X× the scalar target at dim 25 / 16k stored
-// points. Vacuously passes (with a warning) when no SIMD target is
-// available on the machine.
+// one-to-many kernel AND the best SIMD offline full-dists kernel each reach
+// X× the scalar target at dim 25 / 16k stored points. Vacuously passes
+// (with a warning) when no SIMD target is available on the machine.
 
 #include <algorithm>
 #include <cstdio>
@@ -53,7 +54,9 @@ struct Cell {
   std::string target;
   double single_ns_per_point = 0.0;   // one-to-many scan, per stored point
   double batch_ns_per_point = 0.0;    // Q×N kernel, per (query, point) pair
+  double offline_ns_per_point = 0.0;  // full-dists scan (RawDistancesToAll)
   double speedup_vs_scalar = 0.0;     // single-scan ratio, filled later
+  double offline_speedup_vs_scalar = 0.0;  // full-dists ratio, filled later
 };
 
 std::vector<double> RandomPoint(Rng& rng, size_t dim) {
@@ -100,6 +103,20 @@ void TimeKernels(const PointBuffer& buffer, const Metric& metric,
     cell.batch_ns_per_point =
         timer.ElapsedSeconds() * 1e9 /
         static_cast<double>(rounds * kBatchQueries * n);
+  }
+  {
+    // The offline Solve-path unit: materialize *all* raw distances to the
+    // stored set (no min reduction, no early exit) — what GreedyGmm's
+    // relax step, the pairwise-diversity rows, and MaxSumGreedy's updates
+    // consume per point.
+    std::vector<double> dists;
+    Timer timer;
+    for (size_t s = 0; s < scans; ++s) {
+      buffer.RawDistancesToAll(queries[s % queries.size()], metric, dists);
+      sink += dists[0];
+    }
+    cell.offline_ns_per_point =
+        timer.ElapsedSeconds() * 1e9 / static_cast<double>(scans * n);
   }
   if (sink == 0.12345) std::printf("?");  // never true; keeps `sink` live
 }
@@ -158,21 +175,34 @@ int Main(int argc, char** argv) {
                 std::to_string(c.n)] = c.single_ns_per_point;
     }
   }
+  std::map<std::string, double> scalar_offline_ns;
+  for (const Cell& c : cells) {
+    if (c.target == "scalar") {
+      scalar_offline_ns[c.metric + "/" + std::to_string(c.dim) + "/" +
+                        std::to_string(c.n)] = c.offline_ns_per_point;
+    }
+  }
   for (Cell& c : cells) {
-    const double base = scalar_ns[c.metric + "/" + std::to_string(c.dim) +
-                                  "/" + std::to_string(c.n)];
+    const std::string key =
+        c.metric + "/" + std::to_string(c.dim) + "/" + std::to_string(c.n);
     c.speedup_vs_scalar = c.single_ns_per_point > 0.0
-                              ? base / c.single_ns_per_point
+                              ? scalar_ns[key] / c.single_ns_per_point
                               : 0.0;
+    c.offline_speedup_vs_scalar =
+        c.offline_ns_per_point > 0.0
+            ? scalar_offline_ns[key] / c.offline_ns_per_point
+            : 0.0;
   }
 
-  std::printf("%-10s %4s %6s %-7s %14s %14s %8s\n", "metric", "dim", "n",
-              "target", "scan ns/pt", "batch ns/pt", "vs scalar");
+  std::printf("%-10s %4s %6s %-7s %14s %14s %14s %8s %8s\n", "metric", "dim",
+              "n", "target", "scan ns/pt", "batch ns/pt", "dists ns/pt",
+              "vs scal", "dists vs");
   for (const Cell& c : cells) {
-    std::printf("%-10s %4zu %6zu %-7s %14.3f %14.3f %7.2fx\n",
+    std::printf("%-10s %4zu %6zu %-7s %14.3f %14.3f %14.3f %7.2fx %7.2fx\n",
                 c.metric.c_str(), c.dim, c.n, c.target.c_str(),
                 c.single_ns_per_point, c.batch_ns_per_point,
-                c.speedup_vs_scalar);
+                c.offline_ns_per_point, c.speedup_vs_scalar,
+                c.offline_speedup_vs_scalar);
   }
 
   std::error_code ec;
@@ -191,7 +221,10 @@ int Main(int argc, char** argv) {
          << ", \"n\": " << c.n << ", \"target\": \"" << c.target
          << "\", \"single_ns_per_point\": " << c.single_ns_per_point
          << ", \"batch_ns_per_point\": " << c.batch_ns_per_point
-         << ", \"speedup_vs_scalar\": " << c.speedup_vs_scalar << "}"
+         << ", \"offline_dists_ns_per_point\": " << c.offline_ns_per_point
+         << ", \"speedup_vs_scalar\": " << c.speedup_vs_scalar
+         << ", \"offline_speedup_vs_scalar\": " << c.offline_speedup_vs_scalar
+         << "}"
          << (i + 1 < cells.size() ? ",\n" : "\n");
   }
   json << "  ]\n}\n";
@@ -208,15 +241,23 @@ int Main(int argc, char** argv) {
                    "--min-speedup check skipped\n");
       return 0;
     }
-    // The acceptance gate of the kernel subsystem: best SIMD Euclidean
-    // one-to-many scan at dim 25, 16k stored points.
-    double best = 0.0;
-    std::string best_target;
+    // The acceptance gates of the kernel subsystem, both at the Euclidean
+    // dim 25 / 16k stored-points cell: best SIMD one-to-many min scan, and
+    // best SIMD offline full-dists scan (the cold-SOLVE unit).
+    double best = 0.0, best_offline = 0.0;
+    std::string best_target, best_offline_target;
     for (const Cell& c : cells) {
-      if (c.metric == "euclidean" && c.dim == 25 && c.n == 16384 &&
-          c.target != "scalar" && c.speedup_vs_scalar > best) {
+      if (c.metric != "euclidean" || c.dim != 25 || c.n != 16384 ||
+          c.target == "scalar") {
+        continue;
+      }
+      if (c.speedup_vs_scalar > best) {
         best = c.speedup_vs_scalar;
         best_target = c.target;
+      }
+      if (c.offline_speedup_vs_scalar > best_offline) {
+        best_offline = c.offline_speedup_vs_scalar;
+        best_offline_target = c.target;
       }
     }
     if (best < min_speedup) {
@@ -226,9 +267,17 @@ int Main(int argc, char** argv) {
                    best_target.c_str(), best, min_speedup);
       return 1;
     }
-    std::printf("speedup gate passed: %s is %.2fx scalar at dim 25 / 16k "
-                "(>= %.2fx)\n",
-                best_target.c_str(), best, min_speedup);
+    if (best_offline < min_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: best SIMD Euclidean offline-dists kernel (%s) is "
+                   "%.2fx scalar at dim 25 / n 16384, below the %.2fx gate\n",
+                   best_offline_target.c_str(), best_offline, min_speedup);
+      return 1;
+    }
+    std::printf("speedup gate passed: %s is %.2fx scalar (min scan), %s is "
+                "%.2fx scalar (offline dists) at dim 25 / 16k (>= %.2fx)\n",
+                best_target.c_str(), best, best_offline_target.c_str(),
+                best_offline, min_speedup);
   }
   return 0;
 }

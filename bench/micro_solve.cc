@@ -3,7 +3,8 @@
 // machine-readable BENCH_solve.json (default: results/BENCH_solve.json) so
 // future PRs can track the serving-perf trajectory, plus a human summary.
 //
-//   ./micro_solve [--n=20000] [--dim=8] [--reps=25] [--out=results]
+//   ./micro_solve [--n=20000] [--dim=8] [--reps=25] [--cold_reps=3]
+//                 [--out=results] [--min-cold-speedup=0]
 //
 // Sections:
 //   solve_cold       full SFDM-2 post-processing from scratch (the memo is
@@ -12,8 +13,19 @@
 //                    per-rung incremental memo answers, no SolveCache
 //   solve_cached     repeated Solve() through a version-keyed SolveCache —
 //                    the serving hot path (a memoized copy per query)
+//   cold_grid        cache-miss Solve() per registered streaming kind ×
+//                    n {4096, 16384} × k {10, 20} at dim 25 (Euclidean),
+//                    under every reachable kernel target — the offline
+//                    Solve-path routing's speedup surface
 //   under_ingest     SOLVE latency against a live SessionManager session
 //                    while a writer floods OBSERVE into another session
+//
+// --min-cold-speedup=X (release gate): exit non-zero unless, at the
+// sfdm2 / n=16384 / k=20 cold_grid cell, the best non-scalar target's
+// cold Solve is at least X× faster than the scalar target's. Before this
+// PR the offline Solve loops *were* scalar regardless of target, so the
+// scalar column doubles as the prior-release baseline. Vacuously passes
+// (with a warning) when only the scalar target is available.
 
 #include <algorithm>
 #include <atomic>
@@ -25,16 +37,87 @@
 #include <vector>
 
 #include "core/sfdm2.h"
+#include "core/sink_snapshot.h"
 #include "core/solve_cache.h"
 #include "data/synthetic.h"
 #include "geo/simd/kernel_dispatch.h"
+#include "harness/registry.h"
 #include "service/session_manager.h"
 #include "util/argparse.h"
 #include "util/binary_io.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace fdm {
 namespace {
+
+/// One cell of the cold-SOLVE grid.
+struct ColdCell {
+  std::string kind;
+  size_t n = 0;
+  int k = 0;
+  std::string target;
+  double cold_ms = 0.0;
+  double speedup_vs_scalar = 0.0;  // filled after the sweep
+};
+
+/// Cache-miss Solve() cost per kernel target for one (kind, n, k) cell:
+/// ingest once, snapshot, then per target restore a fresh sink (empty
+/// memo) and time Solve() alone. Returns false if the kind cannot run the
+/// cell (creation or solve error) — the grid skips it.
+bool TimeColdCell(AlgorithmKind kind, size_t n, const std::vector<int>& quotas,
+                  int cold_reps, std::vector<ColdCell>& cells) {
+  BlobsOptions data_options;
+  data_options.n = n;
+  data_options.dim = 25;  // the paper's Adult-scale dimensionality
+  data_options.num_groups = 2;
+  data_options.seed = 7 + n;
+  const Dataset ds = MakeBlobs(data_options);
+  const DistanceBounds bounds = EstimateDistanceBounds(ds, 1000, 1);
+
+  const AlgorithmEntry* entry = AlgorithmRegistry::Instance().Find(kind);
+  if (entry == nullptr || !entry->streaming) return false;
+  RunConfig config;
+  config.algorithm = kind;
+  config.constraint.quotas = quotas;
+  config.bounds = bounds;
+  config.num_shards = 3;
+  config.window_size = 0;
+
+  auto sink = entry->make_sink(ds, config);
+  if (!sink.ok()) return false;
+  std::vector<StreamPoint> batch;
+  batch.reserve(ds.size());
+  for (size_t i = 0; i < ds.size(); ++i) batch.push_back(ds.At(i));
+  (*sink)->ObserveBatch(batch);
+  SnapshotWriter writer;
+  if (!(*sink)->Snapshot(writer).ok()) return false;
+  const std::string bytes = writer.Serialize();
+
+  const int k = config.constraint.TotalK();
+  for (const std::string_view target : simd::AvailableKernelTargets()) {
+    FDM_CHECK(simd::internal::ForceKernelTargetForTest(target));
+    double total = 0.0;
+    for (int r = 0; r < cold_reps; ++r) {
+      auto reader = SnapshotReader::FromBytes(bytes);
+      if (!reader.ok()) return false;
+      auto fresh = RestoreSink(*reader);
+      if (!fresh.ok()) return false;
+      Timer timer;
+      if (!(*fresh)->Solve().ok()) return false;
+      total += timer.ElapsedSeconds();
+    }
+    ColdCell cell;
+    cell.kind = std::string(AlgorithmName(kind));
+    cell.n = n;
+    cell.k = k;
+    cell.target = std::string(target);
+    cell.cold_ms = total * 1000.0 / cold_reps;
+    cells.push_back(cell);
+  }
+  simd::internal::ForceKernelTargetForTest("");
+  return true;
+}
 
 struct SolveBenchResult {
   size_t n = 0;
@@ -57,6 +140,8 @@ int Main(int argc, char** argv) {
   result.n = static_cast<size_t>(args.GetInt("n", 20000));
   result.dim = static_cast<size_t>(args.GetInt("dim", 8));
   result.reps = static_cast<int>(args.GetInt("reps", 25));
+  const int cold_reps = static_cast<int>(args.GetInt("cold_reps", 3));
+  const double min_cold_speedup = args.GetDouble("min-cold-speedup", 0.0);
   const std::string out_dir = args.GetString("out", "results");
 
   BlobsOptions data_options;
@@ -140,6 +225,38 @@ int Main(int argc, char** argv) {
         result.cached_ms, result.cached_speedup_vs_cold);
   }
 
+  // --- Cold-SOLVE grid across kinds, sizes, and kernel targets --------
+  std::vector<ColdCell> cold_cells;
+  {
+    std::printf("\ncold grid (dim 25, euclidean, %d reps/cell):\n",
+                cold_reps);
+    for (const AlgorithmKind kind : AlgorithmRegistry::Instance().Kinds()) {
+      const AlgorithmEntry* entry = AlgorithmRegistry::Instance().Find(kind);
+      if (entry == nullptr || !entry->streaming) continue;
+      for (const size_t grid_n : {size_t{4096}, size_t{16384}}) {
+        for (const std::vector<int>& quotas :
+             {std::vector<int>{5, 5}, std::vector<int>{10, 10}}) {
+          TimeColdCell(kind, grid_n, quotas, cold_reps, cold_cells);
+        }
+      }
+    }
+    // Speedups vs the scalar column of the same (kind, n, k) cell.
+    for (ColdCell& c : cold_cells) {
+      for (const ColdCell& s : cold_cells) {
+        if (s.target == "scalar" && s.kind == c.kind && s.n == c.n &&
+            s.k == c.k) {
+          c.speedup_vs_scalar = c.cold_ms > 0.0 ? s.cold_ms / c.cold_ms : 0.0;
+        }
+      }
+    }
+    std::printf("%-14s %6s %3s %-7s %12s %9s\n", "kind", "n", "k", "target",
+                "cold ms", "vs scal");
+    for (const ColdCell& c : cold_cells) {
+      std::printf("%-14s %6zu %3d %-7s %12.3f %8.2fx\n", c.kind.c_str(), c.n,
+                  c.k, c.target.c_str(), c.cold_ms, c.speedup_vs_scalar);
+    }
+  }
+
   // --- SOLVE latency under concurrent OBSERVE load --------------------
   {
     const std::string scratch =
@@ -218,6 +335,16 @@ int Main(int argc, char** argv) {
        << ", \"cached_ms\": " << result.cached_ms
        << ", \"cached_speedup_vs_cold\": " << result.cached_speedup_vs_cold
        << "},\n"
+       << "  \"cold_grid\": [\n";
+  for (size_t i = 0; i < cold_cells.size(); ++i) {
+    const ColdCell& c = cold_cells[i];
+    json << "    {\"kind\": \"" << c.kind << "\", \"n\": " << c.n
+         << ", \"k\": " << c.k << ", \"target\": \"" << c.target
+         << "\", \"cold_ms\": " << c.cold_ms
+         << ", \"speedup_vs_scalar\": " << c.speedup_vs_scalar << "}"
+         << (i + 1 < cold_cells.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
        << "  \"under_ingest\": {\"solves_per_sec\": " << result.solves_per_sec
        << ", \"mean_ms\": " << result.solve_mean_ms
        << ", \"max_ms\": " << result.solve_max_ms
@@ -235,6 +362,36 @@ int Main(int argc, char** argv) {
                  "FAIL: cached speedup %.1fx < 10x over cold solves\n",
                  result.cached_speedup_vs_cold);
     return 1;
+  }
+  // The acceptance gate of the offline kernel routing: a cache-miss SOLVE
+  // at the paper-scale cell must beat the (pre-routing-equivalent) scalar
+  // target by the requested factor on some SIMD target.
+  if (min_cold_speedup > 0.0) {
+    if (simd::AvailableKernelTargets().size() < 2) {
+      std::fprintf(stderr,
+                   "WARN: no SIMD target available on this machine; "
+                   "--min-cold-speedup check skipped\n");
+      return 0;
+    }
+    double best = 0.0;
+    std::string best_target;
+    for (const ColdCell& c : cold_cells) {
+      if (c.kind == "SFDM2" && c.n == 16384 && c.k == 20 &&
+          c.target != "scalar" && c.speedup_vs_scalar > best) {
+        best = c.speedup_vs_scalar;
+        best_target = c.target;
+      }
+    }
+    if (best < min_cold_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: best cold-SOLVE speedup (%s) is %.2fx scalar at "
+                   "sfdm2 / n 16384 / k 20, below the %.2fx gate\n",
+                   best_target.c_str(), best, min_cold_speedup);
+      return 1;
+    }
+    std::printf("cold-solve gate passed: %s is %.2fx scalar at sfdm2 / "
+                "n 16384 / k 20 (>= %.2fx)\n",
+                best_target.c_str(), best, min_cold_speedup);
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "core/diversity.h"
 #include "core/gmm.h"
+#include "core/kernel_workspace.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -33,7 +34,8 @@ class Enumerator {
   Enumerator(const Dataset& dataset, const FairnessConstraint& constraint,
              const std::vector<std::vector<size_t>>& coresets)
       : dataset_(dataset), constraint_(constraint), coresets_(coresets),
-        metric_(dataset.metric()) {}
+        metric_(dataset.metric()),
+        mirror_(dataset.dim(), static_cast<size_t>(constraint.TotalK())) {}
 
   void Run() { RecurseGroup(0, std::numeric_limits<double>::infinity()); }
 
@@ -65,15 +67,19 @@ class Enumerator {
     for (size_t pos = next;
          pos + static_cast<size_t>(remaining) <= coreset.size(); ++pos) {
       const size_t row = coreset[pos];
+      // One dispatched min-reduction over the mirrored partial selection
+      // replaces the scalar member loop: the kernel minimum is the exact
+      // minimum of the same per-pair values (squared diffs are
+      // sign-insensitive), so the pruning decisions are bit-identical.
       double with_row = min_so_far;
-      for (const size_t s : current_) {
-        const double d = metric_(dataset_.Point(s), dataset_.Point(row));
-        if (d < with_row) with_row = d;
-      }
+      const double d = mirror_.MinDistanceTo(dataset_.Point(row), metric_);
+      if (d < with_row) with_row = d;
       if (with_row <= best_diversity_) continue;
       current_.push_back(row);
+      mirror_.Append(dataset_.At(row));
       RecurseChoose(group, pos + 1, remaining - 1, with_row);
       current_.pop_back();
+      mirror_.RemoveLast();
     }
   }
 
@@ -83,6 +89,8 @@ class Enumerator {
   Metric metric_;
   std::vector<size_t> current_;
   std::vector<size_t> best_indices_;
+  /// `current_` mirrored into the kernel block layout (push/pop in step).
+  KernelWorkspace mirror_;
   double best_diversity_ = -1.0;
 };
 

@@ -6,6 +6,7 @@
 
 #include "core/diversity.h"
 #include "core/gmm.h"
+#include "core/kernel_workspace.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -61,14 +62,18 @@ Result<Solution> FairSwap(const Dataset& dataset,
       }
       return false;
     };
+    // The under-filled side of the solution, mirrored into the kernel
+    // block layout: both swap loops scan only that side, so each scan is
+    // one dispatched min-reduction over the same point set the scalar
+    // filter walked (donors join on insertion; victims are never in it) —
+    // the exact minimum of the same per-pair values, so every
+    // argmax/argmin decision matches the scalar loops bit for bit.
+    KernelWorkspace under_side(dataset.dim(), static_cast<size_t>(k) + 1);
+    for (const size_t r : blind) {
+      if (dataset.GroupOf(r) == under) under_side.Append(dataset.At(r));
+    }
     auto distance_to_under_side = [&](size_t row) {
-      double dist = std::numeric_limits<double>::infinity();
-      for (const size_t r : blind) {
-        if (dataset.GroupOf(r) != under) continue;
-        const double d = metric(dataset.Point(row), dataset.Point(r));
-        if (d < dist) dist = d;
-      }
-      return dist;
+      return under_side.MinDistanceTo(dataset.Point(row), metric);
     };
 
     // Insert donors farthest from the under-filled side of the solution.
@@ -87,6 +92,7 @@ Result<Solution> FairSwap(const Dataset& dataset,
       FDM_CHECK_MSG(best_row < dataset.size(),
                     "FairSwap: donor pool exhausted");
       blind.push_back(best_row);
+      under_side.Append(dataset.At(best_row));
       ++have;
     }
 

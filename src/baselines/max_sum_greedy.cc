@@ -1,7 +1,9 @@
 #include "baselines/max_sum_greedy.h"
 
 #include <limits>
+#include <numeric>
 
+#include "core/kernel_workspace.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -13,13 +15,26 @@ std::vector<size_t> MaxSumGreedy(const Dataset& dataset, size_t k) {
   if (k == 1) return {0};
   const Metric metric = dataset.metric();
 
+  // Every row mirrored into the kernel block layout once: the farthest
+  // pair, the sum initialization, and each incremental update are then one
+  // dispatched per-point scan per row/pick instead of n scalar Metric
+  // calls. Each finished entry is bit-identical to the scalar distance
+  // (squared diffs are sign-insensitive), and the scans are consumed in
+  // the scalar loops' exact order, so the selection is unchanged.
+  KernelWorkspace workspace(dataset.dim(), n);
+  std::vector<size_t> all_rows(n);
+  std::iota(all_rows.begin(), all_rows.end(), size_t{0});
+  workspace.AssignRows(dataset, all_rows);
+  std::vector<double> raw;
+
   // Farthest pair (exact, O(n^2) — illustration-scale datasets only).
   size_t best_i = 0;
   size_t best_j = 1 % n;
   double best_d = -1.0;
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i + 1 < n; ++i) {
+    workspace.RawDistancesTo(dataset.Point(i), metric, raw);
     for (size_t j = i + 1; j < n; ++j) {
-      const double d = metric(dataset.Point(i), dataset.Point(j));
+      const double d = metric.FinishDistance(raw[j]);
       if (d > best_d) {
         best_d = d;
         best_i = i;
@@ -33,9 +48,12 @@ std::vector<size_t> MaxSumGreedy(const Dataset& dataset, size_t k) {
   std::vector<double> sum_dist(n, 0.0);
   std::vector<char> in_selected(n, 0);
   in_selected[best_i] = in_selected[best_j] = 1;
+  std::vector<double> raw_j;
+  workspace.RawDistancesTo(dataset.Point(best_i), metric, raw);
+  workspace.RawDistancesTo(dataset.Point(best_j), metric, raw_j);
   for (size_t x = 0; x < n; ++x) {
-    sum_dist[x] = metric(dataset.Point(x), dataset.Point(best_i)) +
-                  metric(dataset.Point(x), dataset.Point(best_j));
+    sum_dist[x] =
+        metric.FinishDistance(raw[x]) + metric.FinishDistance(raw_j[x]);
   }
 
   while (selected.size() < std::min(k, n)) {
@@ -51,8 +69,9 @@ std::vector<size_t> MaxSumGreedy(const Dataset& dataset, size_t k) {
     FDM_CHECK(best < n);
     selected.push_back(best);
     in_selected[best] = 1;
+    workspace.RawDistancesTo(dataset.Point(best), metric, raw);
     for (size_t x = 0; x < n; ++x) {
-      sum_dist[x] += metric(dataset.Point(x), dataset.Point(best));
+      sum_dist[x] += metric.FinishDistance(raw[x]);
     }
   }
   return selected;

@@ -1,17 +1,28 @@
 #include "core/diversity.h"
 
 #include <limits>
+#include <vector>
 
+#include "core/kernel_workspace.h"
 #include "util/check.h"
 
 namespace fdm {
 
+// The pairwise reductions walk row `i`'s dispatched per-point scan and
+// consult only the upper triangle (`j > i`), in the scalar loop's exact
+// `(i, j)` order — each finished entry is bit-identical to
+// `metric(point_i, point_j)`, so minima and sums match the scalar loops
+// bit for bit. Self-distances (and the `j < i` half) are computed but
+// never read.
+
 double MinPairwiseDistance(const PointBuffer& buffer, const Metric& metric) {
   const size_t n = buffer.size();
   double best = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < n; ++i) {
+  std::vector<double> raw;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    buffer.RawDistancesToAll(buffer.CoordsAt(i), metric, raw);
     for (size_t j = i + 1; j < n; ++j) {
-      const double d = metric(buffer.CoordsAt(i), buffer.CoordsAt(j));
+      const double d = metric.FinishDistance(raw[j]);
       if (d < best) best = d;
     }
   }
@@ -22,10 +33,14 @@ double MinPairwiseDistance(const Dataset& dataset,
                            std::span<const size_t> indices) {
   const Metric metric = dataset.metric();
   double best = std::numeric_limits<double>::infinity();
-  for (size_t i = 0; i < indices.size(); ++i) {
+  if (indices.size() < 2) return best;
+  KernelWorkspace workspace(dataset.dim(), indices.size());
+  workspace.AssignRows(dataset, indices);
+  std::vector<double> raw;
+  for (size_t i = 0; i + 1 < indices.size(); ++i) {
+    workspace.RawDistancesTo(dataset.Point(indices[i]), metric, raw);
     for (size_t j = i + 1; j < indices.size(); ++j) {
-      const double d =
-          metric(dataset.Point(indices[i]), dataset.Point(indices[j]));
+      const double d = metric.FinishDistance(raw[j]);
       if (d < best) best = d;
     }
   }
@@ -36,9 +51,14 @@ double SumPairwiseDistance(const Dataset& dataset,
                            std::span<const size_t> indices) {
   const Metric metric = dataset.metric();
   double sum = 0.0;
-  for (size_t i = 0; i < indices.size(); ++i) {
+  if (indices.size() < 2) return sum;
+  KernelWorkspace workspace(dataset.dim(), indices.size());
+  workspace.AssignRows(dataset, indices);
+  std::vector<double> raw;
+  for (size_t i = 0; i + 1 < indices.size(); ++i) {
+    workspace.RawDistancesTo(dataset.Point(indices[i]), metric, raw);
     for (size_t j = i + 1; j < indices.size(); ++j) {
-      sum += metric(dataset.Point(indices[i]), dataset.Point(indices[j]));
+      sum += metric.FinishDistance(raw[j]);
     }
   }
   return sum;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "core/kernel_workspace.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -26,10 +27,22 @@ std::vector<size_t> GreedyGmm(const Dataset& dataset,
   for (size_t i = 0; i < universe.size(); ++i) {
     if (warm.count(universe[i]) > 0) distance[i] = kExcluded;
   }
+  // The universe mirrored into the kernel block layout once per call: each
+  // relax pass is then one dispatched per-point scan (raw distances from
+  // the picked row to every universe row) instead of |universe| scalar
+  // Metric calls. Entry `i` of the scan is bit-identical to
+  // `metric.RawDistance(universe[i], row)` — same per-lane arithmetic
+  // order, and the squared diffs are sign-insensitive — so finishing it
+  // reproduces the scalar relaxation value bit for bit and the
+  // farthest-first selection order is unchanged.
+  KernelWorkspace workspace(dataset.dim(), universe.size());
+  workspace.AssignRows(dataset, universe);
   auto relax_against = [&](size_t row) {
+    const std::span<const double> raw =
+        workspace.RawDistancesTo(dataset.Point(row), metric);
     for (size_t i = 0; i < universe.size(); ++i) {
       if (distance[i] == kExcluded) continue;
-      const double d = metric(dataset.Point(universe[i]), dataset.Point(row));
+      const double d = metric.FinishDistance(raw[i]);
       if (d < distance[i]) distance[i] = d;
     }
   };

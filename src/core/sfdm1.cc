@@ -112,27 +112,28 @@ PointBuffer Sfdm1::BalancedCandidate(size_t j) const {
   const int quota_under = constraint_.quotas[static_cast<size_t>(under)];
   const PointBuffer& donors = specific_[under][j].points();
 
+  // The under-filled side of `working`, mirrored into the kernel block
+  // layout: both balancing loops scan only that side, so each scan becomes
+  // one dispatched min-reduction instead of |working| scalar Metric calls.
+  // The mirror holds the same point set as the scalar filter (donors join
+  // it on insertion; victims are never in it), and `MinDistanceTo` is the
+  // exact minimum of the same per-pair values (finishing the raw minimum
+  // commutes with the monotone sqrt), so every argmax/argmin decision is
+  // bit-identical to the scalar loops.
+  PointBuffer under_side(dim_, static_cast<size_t>(k_) + 1);
+  for (size_t i = 0; i < working.size(); ++i) {
+    if (working.GroupAt(i) == under) under_side.Add(working.ViewAt(i));
+  }
+
   // Algorithm 2, lines 12–14: insert the donor farthest from the selected
   // elements of the under-filled group, repeatedly.
-  auto count_group = [&](int g) {
-    int c = 0;
-    for (size_t i = 0; i < working.size(); ++i) {
-      if (working.GroupAt(i) == g) ++c;
-    }
-    return c;
-  };
-  while (count_group(under) < quota_under) {
+  while (static_cast<int>(under_side.size()) < quota_under) {
     double best_distance = -1.0;
     size_t best_donor = donors.size();
     for (size_t d = 0; d < donors.size(); ++d) {
       if (working.ContainsId(donors.IdAt(d))) continue;
       // d(x, S_µ ∩ X_iu): +infinity when the group is empty in S_µ.
-      double dist = std::numeric_limits<double>::infinity();
-      for (size_t i = 0; i < working.size(); ++i) {
-        if (working.GroupAt(i) != under) continue;
-        const double dd = metric_(donors.CoordsAt(d), working.CoordsAt(i));
-        if (dd < dist) dist = dd;
-      }
+      const double dist = under_side.MinDistanceTo(donors.CoordsAt(d), metric_);
       if (dist > best_distance) {
         best_distance = dist;
         best_donor = d;
@@ -142,6 +143,7 @@ PointBuffer Sfdm1::BalancedCandidate(size_t j) const {
                   "SFDM1 balance: donor pool exhausted (U' membership "
                   "should prevent this)");
     working.Add(donors.ViewAt(best_donor));
+    under_side.Add(donors.ViewAt(best_donor));
   }
 
   // Algorithm 2, lines 15–17: delete the other-group element closest to the
@@ -151,12 +153,8 @@ PointBuffer Sfdm1::BalancedCandidate(size_t j) const {
     size_t victim = working.size();
     for (size_t i = 0; i < working.size(); ++i) {
       if (working.GroupAt(i) == under) continue;
-      double dist = std::numeric_limits<double>::infinity();
-      for (size_t u = 0; u < working.size(); ++u) {
-        if (working.GroupAt(u) != under) continue;
-        const double dd = metric_(working.CoordsAt(i), working.CoordsAt(u));
-        if (dd < dist) dist = dd;
-      }
+      const double dist =
+          under_side.MinDistanceTo(working.CoordsAt(i), metric_);
       if (dist < best_distance) {
         best_distance = dist;
         victim = i;

@@ -1,5 +1,6 @@
 #include "core/sfdm2.h"
 
+#include <algorithm>
 #include <limits>
 #include <set>
 #include <string>
@@ -175,15 +176,31 @@ std::optional<Solution> Sfdm2::SolveRung(size_t j) const {
   const PartitionMatroid m2(
       cluster_of, std::vector<int>(static_cast<size_t>(num_clusters), 1));
 
-  // Algorithm 4 with farthest-first greedy inserts (line 18).
+  // Algorithm 4 with farthest-first greedy inserts (line 18). The member
+  // set is mirrored into the kernel block layout so each ground-set scan
+  // is one dispatched min-reduction instead of |members| scalar Metric
+  // calls. The greedy phase only appends to the member set, so the mirror
+  // usually extends by the new members; any other change (an augmentation
+  // rebuilt the set) rebuilds the mirror. `MinDistanceTo` is the exact
+  // minimum of the same per-pair values the scalar loop produced
+  // (finishing the raw minimum commutes with the monotone, correctly
+  // rounded sqrt), so augmentation decisions are bit-identical.
+  PointBuffer member_mirror(dim_, static_cast<size_t>(k_));
+  std::vector<int> mirrored;
   auto distance_to_set = [&](int x, std::span<const int> members) {
-    double dist = std::numeric_limits<double>::infinity();
-    for (const int mmb : members) {
-      const double d = metric_(ground.CoordsAt(static_cast<size_t>(x)),
-                               ground.CoordsAt(static_cast<size_t>(mmb)));
-      if (d < dist) dist = d;
+    const bool mirror_is_prefix =
+        mirrored.size() <= members.size() &&
+        std::equal(mirrored.begin(), mirrored.end(), members.begin());
+    if (!mirror_is_prefix) {
+      member_mirror.Clear();
+      mirrored.clear();
     }
-    return dist;
+    for (size_t i = mirrored.size(); i < members.size(); ++i) {
+      member_mirror.Add(ground.ViewAt(static_cast<size_t>(members[i])));
+      mirrored.push_back(members[i]);
+    }
+    return member_mirror.MinDistanceTo(
+        ground.CoordsAt(static_cast<size_t>(x)), metric_);
   };
   const std::vector<int> result = MaxCardinalityMatroidIntersection(
       m1, m2, initial,

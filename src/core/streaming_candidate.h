@@ -104,9 +104,16 @@ class StreamingCandidate {
         }
       }
       if (!admit) continue;
-      points_.Add(p);
+      // Fused admission+insert: the kernel scan over the old set already
+      // ran (above, before any mutation) and the intra-batch re-check
+      // reads the point-major layout, so nothing scans the block layout
+      // again until the batch completes — each accepted point writes only
+      // its own block lane here, and the padding-replication invariant is
+      // restored once per batch below instead of once per insertion.
+      points_.AddDeferPadding(p);
       ++kept;
     }
+    if (kept > 0) points_.SealPadding();
     return kept;
   }
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/diversity.h"
+#include "core/kernel_workspace.h"
 #include "util/check.h"
 
 namespace fdm {
@@ -17,7 +18,8 @@ class Enumerator {
   Enumerator(const Dataset& dataset, const FairnessConstraint* constraint,
              int k)
       : dataset_(dataset), constraint_(constraint), k_(k),
-        metric_(dataset.metric()) {
+        metric_(dataset.metric()),
+        mirror_(dataset.dim(), static_cast<size_t>(k)) {
     if (constraint_ != nullptr) {
       remaining_quota_ = constraint_->quotas;
     }
@@ -25,6 +27,7 @@ class Enumerator {
 
   ExactSolution Run() {
     current_.clear();
+    mirror_.Clear();
     Recurse(0, std::numeric_limits<double>::infinity());
     return best_;
   }
@@ -48,18 +51,21 @@ class Enumerator {
           remaining_quota_[static_cast<size_t>(g)] == 0) {
         continue;
       }
-      // div of current ∪ {i}.
+      // div of current ∪ {i}: one dispatched min-reduction over the
+      // mirrored partial selection — the exact minimum of the same
+      // per-pair values the scalar member loop produced, so pruning
+      // decisions are bit-identical.
       double with_i = min_so_far;
-      for (const size_t s : current_) {
-        const double d = metric_(dataset_.Point(s), dataset_.Point(i));
-        if (d < with_i) with_i = d;
-      }
+      const double d = mirror_.MinDistanceTo(dataset_.Point(i), metric_);
+      if (d < with_i) with_i = d;
       if (with_i <= best_.diversity) continue;
       current_.push_back(i);
+      mirror_.Append(dataset_.At(i));
       if (constraint_ != nullptr) --remaining_quota_[static_cast<size_t>(g)];
       Recurse(i + 1, with_i);
       if (constraint_ != nullptr) ++remaining_quota_[static_cast<size_t>(g)];
       current_.pop_back();
+      mirror_.RemoveLast();
     }
   }
 
@@ -69,6 +75,8 @@ class Enumerator {
   Metric metric_;
   std::vector<size_t> current_;
   std::vector<int> remaining_quota_;
+  /// `current_` mirrored into the kernel block layout (push/pop in step).
+  KernelWorkspace mirror_;
   ExactSolution best_;
 };
 

@@ -95,6 +95,42 @@ class PointBuffer {
     }
   }
 
+  /// Batched-append fast path (the fused admission+insert of
+  /// `StreamingCandidate::TryAddBatch`): identical to `Add` except the
+  /// padding lanes after the new point are NOT rewritten — only the
+  /// point's own lane is stored, so a run of accepted points writes each
+  /// coordinate once instead of re-replicating the tail per insertion.
+  /// The block layout is INVALID for kernel scans until `SealPadding()`
+  /// runs; callers must seal before any `MinDistanceTo`/`AllAtLeast`/
+  /// `RawDistancesToAll`/`MinRawDistanceToMany` call touches the buffer.
+  /// (A freshly resized block row is zero-filled, and a zero padding lane
+  /// *can* win a min reduction — unlike the replicated-last-point padding
+  /// the kernels are specified against.) The point-major span API stays
+  /// valid throughout.
+  void AddDeferPadding(const StreamPoint& p) {
+    FDM_DCHECK(p.coords.size() == dim_);
+    const size_t i = size();
+    coords_.insert(coords_.end(), p.coords.begin(), p.coords.end());
+    ids_.push_back(p.id);
+    groups_.push_back(p.group);
+    const double norm = internal::SquaredNorm(p.coords.data(), dim_);
+    const size_t lane = i % simd::kPointBlockLanes;
+    if (lane == 0) {
+      blocks_.resize(blocks_.size() + simd::PointBlockStride(dim_));
+      norms_.resize(norms_.size() + simd::kPointBlockLanes);
+    }
+    double* block = blocks_.data() +
+                    (i / simd::kPointBlockLanes) * simd::PointBlockStride(dim_);
+    for (size_t d = 0; d < dim_; ++d) {
+      block[d * simd::kPointBlockLanes + lane] = p.coords[d];
+    }
+    norms_[i] = norm;
+  }
+
+  /// Restores the replicate-last-point padding invariant after a run of
+  /// `AddDeferPadding` calls. Idempotent; O(dim) on the final block only.
+  void SealPadding() { RepadTail(); }
+
   /// Removes the point at `index` (order is not preserved: the last point
   /// moves into the hole — O(dim), including re-padding the block layout).
   void RemoveSwap(size_t index) {
@@ -230,6 +266,36 @@ class PointBuffer {
         }
         args.query_norms = query_norms.data();
         ops.angular_min_many(view, args);
+        return;
+    }
+    FDM_CHECK_MSG(false, "unreachable metric kind");
+  }
+
+  /// Offline per-point kernel: the raw distance from `x` to *every* stored
+  /// point, through the dispatched `*_dists` ops. `out` is resized to the
+  /// padded lane count (`PointBlockCount(size()) * 8`); entries `[0,
+  /// size())` are the raw distances in storage order — bit-identical to
+  /// `metric.RawDistance(x, CoordsAt(i))` on every target — and the
+  /// remaining entries are padding-lane values the caller must ignore.
+  /// This is the row primitive of the offline Solve paths (GMM relax
+  /// scans, clustering rows, pairwise sums), which need every distance
+  /// rather than the minimum; there is no early exit.
+  void RawDistancesToAll(std::span<const double> x, const Metric& metric,
+                         std::vector<double>& out) const {
+    out.resize(simd::PointBlockCount(size()) * simd::kPointBlockLanes);
+    if (empty()) return;
+    const simd::KernelOps& ops = simd::ActiveKernelOps();
+    const simd::PointBlockView view = BlockView();
+    switch (metric.kind()) {
+      case MetricKind::kEuclidean:
+        ops.euclidean_dists(view, x.data(), out.data());
+        return;
+      case MetricKind::kManhattan:
+        ops.manhattan_dists(view, x.data(), out.data());
+        return;
+      case MetricKind::kAngular:
+        ops.angular_dists(view, x.data(),
+                          internal::SquaredNorm(x.data(), dim_), out.data());
         return;
     }
     FDM_CHECK_MSG(false, "unreachable metric kind");

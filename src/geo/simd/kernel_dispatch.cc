@@ -26,6 +26,35 @@ bool CpuSupportsAvx2() {
 #endif
 }
 
+/// True iff the running CPU can execute the AVX-512 target. The target
+/// uses only the F (foundation) subset, so that is the only cpuid bit
+/// checked.
+bool CpuSupportsAvx512F() {
+#if defined(__x86_64__) || defined(_M_X64)
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+/// Every target name any build of this binary could know, across
+/// architectures — the vocabulary `FDM_KERNEL` is validated against.
+/// A name outside this list is a typo and fails loudly; a name inside it
+/// that is not *available* here merely warns and falls back.
+constexpr std::string_view kKnownTargets[] = {"scalar", "avx2", "avx512",
+                                              "neon"};
+
+bool IsKnownTargetName(std::string_view name) {
+  for (const std::string_view known : kKnownTargets) {
+    if (known == name) return true;
+  }
+  return false;
+}
+
 const KernelOps* FindByName(const std::vector<const KernelOps*>& targets,
                             std::string_view name) {
   for (const KernelOps* ops : targets) {
@@ -48,6 +77,10 @@ struct Dispatch {
         avx2 != nullptr && CpuSupportsAvx2()) {
       available.push_back(avx2);
     }
+    if (const KernelOps* avx512 = internal::Avx512KernelOpsOrNull();
+        avx512 != nullptr && CpuSupportsAvx512F()) {
+      available.push_back(avx512);
+    }
     if (const KernelOps* neon = internal::NeonKernelOpsOrNull();
         neon != nullptr) {
       // NEON double-precision SIMD is mandatory on aarch64 — compiled-in
@@ -59,11 +92,26 @@ struct Dispatch {
         env != nullptr && env[0] != '\0') {
       if (const KernelOps* forced = FindByName(available, env)) {
         standard = forced;
-      } else {
+      } else if (IsKnownTargetName(env)) {
+        // A real target this machine can't run (wrong arch or missing
+        // cpuid feature): a pinned CI recipe degrades loudly, once.
         std::fprintf(stderr,
-                     "fdm: FDM_KERNEL=%s is not available on this machine; "
-                     "using '%s'\n",
+                     "fdm: FDM_KERNEL=%s is not supported by this "
+                     "machine/build; using '%s'\n",
                      env, std::string(standard->name).c_str());
+      } else {
+        // Not a target name at all — a typo would otherwise silently
+        // benchmark or test the wrong code path. Fail loudly instead.
+        std::string valid;
+        for (const std::string_view known : kKnownTargets) {
+          if (!valid.empty()) valid += ", ";
+          valid += known;
+        }
+        std::fprintf(stderr,
+                     "fdm: FDM_KERNEL=%s is not a valid kernel target; "
+                     "valid targets: %s\n",
+                     env, valid.c_str());
+        std::exit(2);
       }
     }
     active.store(standard, std::memory_order_relaxed);
@@ -103,6 +151,14 @@ bool ForceKernelTargetForTest(std::string_view name) {
   if (target == nullptr) return false;
   d.active.store(target, std::memory_order_relaxed);
   return true;
+}
+
+KernelEnvClass ClassifyKernelEnv(std::string_view name) {
+  if (FindByName(GetDispatch().available, name) != nullptr) {
+    return KernelEnvClass::kAvailable;
+  }
+  return IsKnownTargetName(name) ? KernelEnvClass::kKnownUnavailable
+                                 : KernelEnvClass::kUnknown;
 }
 
 }  // namespace internal

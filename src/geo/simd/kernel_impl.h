@@ -72,7 +72,7 @@ inline void MinRawManyBlocked(size_t n_blocks, const ManyQueryArgs& args,
   }
 }
 
-/// The six dispatch-table entry points, generated from a target's three
+/// The nine dispatch-table entry points, generated from a target's five
 /// block primitives so the glue exists exactly once. `Target` provides:
 ///
 ///   static double EuclideanBlockMin(const double* block, size_t dim,
@@ -82,6 +82,18 @@ inline void MinRawManyBlocked(size_t n_blocks, const ManyQueryArgs& args,
 ///   static void AngularDotBlock(const double* block, size_t dim,
 ///                               const double* q,
 ///                               double dots[kPointBlockLanes]);
+///   static void EuclideanBlockDists(const double* block, size_t dim,
+///                                   const double* q,
+///                                   double out[kPointBlockLanes]);
+///   static void ManhattanBlockDists(const double* block, size_t dim,
+///                                   const double* q,
+///                                   double out[kPointBlockLanes]);
+///
+/// The `*BlockDists` primitives run the same per-lane accumulation as the
+/// `*BlockMin` ones but store all 8 lane values (unaligned stores — the
+/// caller's output row is a plain vector) instead of reducing to the
+/// minimum; the angular per-point epilogue goes through the baseline
+/// `AngularBlockDistsFromDots`.
 ///
 /// Each translation unit instantiates this with an internal-linkage target
 /// struct, so the instantiation is private to the TU — an ISA-extended
@@ -152,6 +164,35 @@ struct KernelEntryPoints {
                       });
   }
 
+  static void EuclideanDists(const PointBlockView& pts, const double* q,
+                             double* out_raw) {
+    const size_t n_blocks = PointBlockCount(pts.n);
+    for (size_t b = 0; b < n_blocks; ++b) {
+      Target::EuclideanBlockDists(Block(pts, b), pts.dim, q,
+                                  out_raw + b * kPointBlockLanes);
+    }
+  }
+
+  static void ManhattanDists(const PointBlockView& pts, const double* q,
+                             double* out_raw) {
+    const size_t n_blocks = PointBlockCount(pts.n);
+    for (size_t b = 0; b < n_blocks; ++b) {
+      Target::ManhattanBlockDists(Block(pts, b), pts.dim, q,
+                                  out_raw + b * kPointBlockLanes);
+    }
+  }
+
+  static void AngularDists(const PointBlockView& pts, const double* q,
+                           double q_norm, double* out_raw) {
+    alignas(64) double dots[kPointBlockLanes];
+    const size_t n_blocks = PointBlockCount(pts.n);
+    for (size_t b = 0; b < n_blocks; ++b) {
+      Target::AngularDotBlock(Block(pts, b), pts.dim, q, dots);
+      AngularBlockDistsFromDots(dots, pts.norms + b * kPointBlockLanes,
+                                q_norm, out_raw + b * kPointBlockLanes);
+    }
+  }
+
   static KernelOps Ops(std::string_view name) {
     return KernelOps{name,
                      EuclideanMin,
@@ -159,7 +200,10 @@ struct KernelEntryPoints {
                      AngularMin,
                      EuclideanMinMany,
                      ManhattanMinMany,
-                     AngularMinMany};
+                     AngularMinMany,
+                     EuclideanDists,
+                     ManhattanDists,
+                     AngularDists};
   }
 };
 

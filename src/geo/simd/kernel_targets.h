@@ -11,8 +11,9 @@ namespace fdm::simd::internal {
 /// the *CPU* can run a compiled-in target is a separate runtime question
 /// answered in `kernel_dispatch.cc`.
 const KernelOps& ScalarKernelOps();
-const KernelOps* Avx2KernelOpsOrNull();  // x86-64 builds only
-const KernelOps* NeonKernelOpsOrNull();  // aarch64 builds only
+const KernelOps* Avx2KernelOpsOrNull();    // x86-64 builds only
+const KernelOps* Avx512KernelOpsOrNull();  // x86-64 builds only
+const KernelOps* NeonKernelOpsOrNull();    // aarch64 builds only
 
 /// The angular epilogue shared by every target: maps a block's 8 dot
 /// products to angles through `fdm::internal::AngularFromDotAndNorms` and
@@ -24,6 +25,29 @@ const KernelOps* NeonKernelOpsOrNull();  // aarch64 builds only
 /// CPUs without the extension.
 double AngularBlockMinFromDots(const double* dots, const double* norms8,
                                double q_norm);
+
+/// Per-point variant of the angular epilogue for the offline `*_dists`
+/// kernels: writes all 8 lane angles to `out8` instead of reducing to the
+/// minimum. Same baseline-ISA placement rules as above.
+void AngularBlockDistsFromDots(const double* dots, const double* norms8,
+                               double q_norm, double* out8);
+
+/// Opt-in approximate-acos epilogue for the angular kernels (default off).
+///
+/// When enabled — `FDM_APPROX_ACOS=1` at process start, or the test hook
+/// below — both angular epilogues replace `std::acos` with the 7-term
+/// Hastings polynomial (Abramowitz & Stegun 4.4.46 reflected onto [-1, 1]).
+/// Error policy: |acos_poly(x) − acos(x)| ≤ 2e-8 rad, i.e. up to ~1e8 ULP
+/// of a double near π — far below the inter-point angle gaps diversity
+/// maximization discriminates, but NOT bit-exact, which is why it is off by
+/// default. Because the epilogue is shared baseline code, results remain
+/// bit-identical *across dispatch targets* even when the flag is on; they
+/// differ from the scalar `Metric` reference. The flag is read once.
+bool ApproxAcosEnabled();
+
+/// Test hook: overrides the approximate-acos flag (not thread-safe; tests
+/// toggle it only between scans).
+void SetApproxAcosForTest(bool enabled);
 
 }  // namespace fdm::simd::internal
 

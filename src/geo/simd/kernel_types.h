@@ -91,6 +91,23 @@ struct KernelOps {
                              const ManyQueryArgs& args) = nullptr;
   void (*angular_min_many)(const PointBlockView& pts,
                            const ManyQueryArgs& args) = nullptr;
+
+  // Offline per-point kernels: the raw distance from one query to *every*
+  // stored point, in lane order — the primitive behind the offline Solve
+  // paths (GMM relax scans, clustering rows, max-sum accumulation), which
+  // need every distance rather than the minimum. `out_raw` must hold
+  // `PointBlockCount(pts.n) * kPointBlockLanes` doubles; every block is
+  // written in full (padding lanes receive the replicated-last-point
+  // distance) and callers read the first `pts.n` entries. No early exit,
+  // no alignment requirement on `out_raw` (targets use unaligned stores).
+  // Per-lane arithmetic is the scalar `Metric` order, so entry `i` is
+  // bit-identical to `metric.RawDistance(q, point_i)` on every target.
+  void (*euclidean_dists)(const PointBlockView& pts, const double* q,
+                          double* out_raw) = nullptr;
+  void (*manhattan_dists)(const PointBlockView& pts, const double* q,
+                          double* out_raw) = nullptr;
+  void (*angular_dists)(const PointBlockView& pts, const double* q,
+                        double q_norm, double* out_raw) = nullptr;
 };
 
 }  // namespace fdm::simd

@@ -92,6 +92,40 @@ struct Avx2Target {
     _mm256_store_pd(dots, dot0);
     _mm256_store_pd(dots + 4, dot1);
   }
+
+  static void EuclideanBlockDists(const double* block, size_t dim,
+                                  const double* q, double out[kLanes]) {
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      const double* row = block + d * kLanes;
+      const __m256d diff0 = _mm256_sub_pd(qd, _mm256_load_pd(row));
+      const __m256d diff1 = _mm256_sub_pd(qd, _mm256_load_pd(row + 4));
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(diff0, diff0));
+      acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(diff1, diff1));
+    }
+    // Unaligned stores: the offline callers' output rows are plain vectors.
+    _mm256_storeu_pd(out, acc0);
+    _mm256_storeu_pd(out + 4, acc1);
+  }
+
+  static void ManhattanBlockDists(const double* block, size_t dim,
+                                  const double* q, double out[kLanes]) {
+    const __m256d abs_mask = _mm256_set1_pd(-0.0);
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m256d qd = _mm256_set1_pd(q[d]);
+      const double* row = block + d * kLanes;
+      const __m256d diff0 = _mm256_sub_pd(qd, _mm256_load_pd(row));
+      const __m256d diff1 = _mm256_sub_pd(qd, _mm256_load_pd(row + 4));
+      acc0 = _mm256_add_pd(acc0, _mm256_andnot_pd(abs_mask, diff0));
+      acc1 = _mm256_add_pd(acc1, _mm256_andnot_pd(abs_mask, diff1));
+    }
+    _mm256_storeu_pd(out, acc0);
+    _mm256_storeu_pd(out + 4, acc1);
+  }
 };
 
 }  // namespace

@@ -1,0 +1,131 @@
+// AVX-512F dispatch target: the 8 lanes of a point block are exactly one
+// 512-bit double vector, so every dimension row is a single *aligned* load
+// (the block rows are 64-byte aligned by `PointBuffer`'s storage contract
+// and padded — no tail handling anywhere in this file).
+//
+// Bit-exactness: every lane accumulates its point's distance over the
+// dimensions with separate vmulpd/vaddpd (this translation unit is
+// compiled with `-mavx512f` only — never `-mfma`, and the intrinsics are
+// explicit, so no FMA contraction can occur), which is exactly the scalar
+// `Metric` accumulation order. The lane→block-min reduction uses
+// `_mm512_reduce_min_pd` — a min tree, order-invariant for the non-NaN
+// raw distances the metrics produce — so the block minimum equals the
+// scalar target's bit for bit. The scan skeletons and entry-point glue in
+// kernel_impl.h are shared, so early-exit behavior is structurally
+// identical too.
+//
+// fabs is implemented as an integer-domain andnot
+// (`_mm512_andnot_epi64`): clearing the sign bit is exact and identical
+// to std::fabs, and the float-domain `_mm512_andnot_pd` would require
+// AVX-512DQ — this TU assumes only the F foundation subset, which is what
+// the cpuid gate in kernel_dispatch.cc checks.
+//
+// Like the AVX2 TU, this file includes no shared inline headers beyond the
+// kernel subsystem's own (notably not geo/metric.h): everything here is
+// EVEX-encoded, and a vague-linkage copy of a shared inline function
+// emitted from this TU could be the one the linker keeps for the whole
+// program — crashing scalar code paths on CPUs without AVX-512. The
+// angular epilogue is reached through the baseline-compiled
+// `AngularBlockMinFromDots` / `AngularBlockDistsFromDots`, and the
+// entry-point template is instantiated with an internal-linkage target so
+// its code stays private to this TU.
+
+#include "geo/simd/kernel_targets.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "geo/simd/kernel_impl.h"
+
+namespace fdm::simd::internal {
+namespace {
+
+constexpr size_t kLanes = kPointBlockLanes;
+
+/// fabs for one 8-lane vector: clear the sign bits in the integer domain
+/// (AVX-512F; the float-domain andnot needs the DQ subset).
+inline __m512d Abs512(__m512d x) {
+  const __m512i sign = _mm512_set1_epi64(0x8000000000000000LL);
+  return _mm512_castsi512_pd(
+      _mm512_andnot_si512(sign, _mm512_castpd_si512(x)));
+}
+
+struct Avx512Target {
+  static double EuclideanBlockMin(const double* block, size_t dim,
+                                  const double* q) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d qd = _mm512_set1_pd(q[d]);
+      const __m512d diff =
+          _mm512_sub_pd(qd, _mm512_load_pd(block + d * kLanes));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    return _mm512_reduce_min_pd(acc);
+  }
+
+  static double ManhattanBlockMin(const double* block, size_t dim,
+                                  const double* q) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d qd = _mm512_set1_pd(q[d]);
+      const __m512d diff =
+          _mm512_sub_pd(qd, _mm512_load_pd(block + d * kLanes));
+      acc = _mm512_add_pd(acc, Abs512(diff));
+    }
+    return _mm512_reduce_min_pd(acc);
+  }
+
+  static void AngularDotBlock(const double* block, size_t dim,
+                              const double* q, double dots[kLanes]) {
+    __m512d dot = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d qd = _mm512_set1_pd(q[d]);
+      dot = _mm512_add_pd(dot,
+                          _mm512_mul_pd(qd, _mm512_load_pd(block + d * kLanes)));
+    }
+    _mm512_store_pd(dots, dot);
+  }
+
+  static void EuclideanBlockDists(const double* block, size_t dim,
+                                  const double* q, double out[kLanes]) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d qd = _mm512_set1_pd(q[d]);
+      const __m512d diff =
+          _mm512_sub_pd(qd, _mm512_load_pd(block + d * kLanes));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    // Unaligned store: the offline callers' output rows are plain vectors.
+    _mm512_storeu_pd(out, acc);
+  }
+
+  static void ManhattanBlockDists(const double* block, size_t dim,
+                                  const double* q, double out[kLanes]) {
+    __m512d acc = _mm512_setzero_pd();
+    for (size_t d = 0; d < dim; ++d) {
+      const __m512d qd = _mm512_set1_pd(q[d]);
+      const __m512d diff =
+          _mm512_sub_pd(qd, _mm512_load_pd(block + d * kLanes));
+      acc = _mm512_add_pd(acc, Abs512(diff));
+    }
+    _mm512_storeu_pd(out, acc);
+  }
+};
+
+}  // namespace
+
+const KernelOps* Avx512KernelOpsOrNull() {
+  static const KernelOps ops = KernelEntryPoints<Avx512Target>::Ops("avx512");
+  return &ops;
+}
+
+}  // namespace fdm::simd::internal
+
+#else  // not x86-64
+
+namespace fdm::simd::internal {
+const KernelOps* Avx512KernelOpsOrNull() { return nullptr; }
+}  // namespace fdm::simd::internal
+
+#endif

@@ -91,6 +91,50 @@ struct NeonTarget {
     vst1q_f64(dots + 4, dot2);
     vst1q_f64(dots + 6, dot3);
   }
+
+  static void EuclideanBlockDists(const double* block, size_t dim,
+                                  const double* q, double out[kLanes]) {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    float64x2_t acc2 = vdupq_n_f64(0.0);
+    float64x2_t acc3 = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      const float64x2_t qd = vdupq_n_f64(q[d]);
+      const double* row = block + d * kLanes;
+      const float64x2_t d0 = vsubq_f64(qd, vld1q_f64(row));
+      const float64x2_t d1 = vsubq_f64(qd, vld1q_f64(row + 2));
+      const float64x2_t d2 = vsubq_f64(qd, vld1q_f64(row + 4));
+      const float64x2_t d3 = vsubq_f64(qd, vld1q_f64(row + 6));
+      acc0 = vaddq_f64(acc0, vmulq_f64(d0, d0));
+      acc1 = vaddq_f64(acc1, vmulq_f64(d1, d1));
+      acc2 = vaddq_f64(acc2, vmulq_f64(d2, d2));
+      acc3 = vaddq_f64(acc3, vmulq_f64(d3, d3));
+    }
+    vst1q_f64(out, acc0);
+    vst1q_f64(out + 2, acc1);
+    vst1q_f64(out + 4, acc2);
+    vst1q_f64(out + 6, acc3);
+  }
+
+  static void ManhattanBlockDists(const double* block, size_t dim,
+                                  const double* q, double out[kLanes]) {
+    float64x2_t acc0 = vdupq_n_f64(0.0);
+    float64x2_t acc1 = vdupq_n_f64(0.0);
+    float64x2_t acc2 = vdupq_n_f64(0.0);
+    float64x2_t acc3 = vdupq_n_f64(0.0);
+    for (size_t d = 0; d < dim; ++d) {
+      const float64x2_t qd = vdupq_n_f64(q[d]);
+      const double* row = block + d * kLanes;
+      acc0 = vaddq_f64(acc0, vabsq_f64(vsubq_f64(qd, vld1q_f64(row))));
+      acc1 = vaddq_f64(acc1, vabsq_f64(vsubq_f64(qd, vld1q_f64(row + 2))));
+      acc2 = vaddq_f64(acc2, vabsq_f64(vsubq_f64(qd, vld1q_f64(row + 4))));
+      acc3 = vaddq_f64(acc3, vabsq_f64(vsubq_f64(qd, vld1q_f64(row + 6))));
+    }
+    vst1q_f64(out, acc0);
+    vst1q_f64(out + 2, acc1);
+    vst1q_f64(out + 4, acc2);
+    vst1q_f64(out + 6, acc3);
+  }
 };
 
 }  // namespace

@@ -8,6 +8,7 @@
 // therefore every algorithm's output, depends on it.
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "geo/metric.h"
 #include "geo/point_buffer.h"
 #include "geo/simd/kernel_dispatch.h"
+#include "geo/simd/kernel_targets.h"
 #include "util/rng.h"
 
 namespace fdm {
@@ -269,6 +271,115 @@ TEST(PointBufferKernelsTest, AdmissionDecisionsIdenticalAcrossTargets) {
           << MetricKindName(kind) << " target index " << t;
     }
   }
+}
+
+TEST(PointBufferKernelsTest, RawDistancesToAllMatchesScalarMetricLoop) {
+  // The offline one-to-many "dists" entry points (the Solve-path routing
+  // added for the cold-SOLVE work): every target must fill the first n
+  // slots with exactly metric.RawDistance(q, point_i), padded tail slots
+  // notwithstanding.
+  ForEachKernelTarget([](std::string_view target) {
+    Rng rng(2024);
+    std::vector<double> out;
+    for (const MetricKind kind : kAllKinds) {
+      const Metric metric(kind);
+      for (const size_t dim : {1u, 3u, 7u, 8u, 17u}) {
+        for (const size_t n : {0u, 1u, 7u, 8u, 9u, 25u, 64u}) {
+          const PointBuffer buffer = FillRandom(rng, n, dim);
+          for (int q = 0; q < 10; ++q) {
+            const std::vector<double> query = RandomPoint(rng, dim);
+            buffer.RawDistancesToAll(query, metric, out);
+            ASSERT_GE(out.size(), n);
+            for (size_t i = 0; i < n; ++i) {
+              EXPECT_EQ(metric.RawDistance(query.data(),
+                                           buffer.CoordsAt(i).data(), dim),
+                        out[i])
+                  << target << " " << MetricKindName(kind) << " dim=" << dim
+                  << " n=" << n << " i=" << i;
+            }
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(PointBufferKernelsTest, DeferredPaddingEquivalentToPlainAddAfterSeal) {
+  // AddDeferPadding + SealPadding (the fused batch-insert path) must leave
+  // the buffer indistinguishable from a plain Add sequence: same scan
+  // results under every target, same norms, same ids — including when the
+  // deferred run ends mid-block, where the padding lanes matter most.
+  ForEachKernelTarget([](std::string_view target) {
+    Rng rng(4242);
+    for (const MetricKind kind : kAllKinds) {
+      const Metric metric(kind);
+      const size_t dim = 7;
+      for (const size_t pre : {0u, 3u, 8u, 13u}) {
+        for (const size_t batch : {1u, 2u, 5u, 8u, 11u}) {
+          PointBuffer plain(dim, pre + batch);
+          PointBuffer deferred(dim, pre + batch);
+          int64_t id = 0;
+          for (size_t i = 0; i < pre; ++i, ++id) {
+            const std::vector<double> coords = RandomPoint(rng, dim);
+            plain.Add(StreamPoint{id, 0, coords});
+            deferred.Add(StreamPoint{id, 0, coords});
+          }
+          for (size_t i = 0; i < batch; ++i, ++id) {
+            const std::vector<double> coords = RandomPoint(rng, dim);
+            plain.Add(StreamPoint{id, 0, coords});
+            deferred.AddDeferPadding(StreamPoint{id, 0, coords});
+          }
+          deferred.SealPadding();
+          ASSERT_EQ(plain.size(), deferred.size());
+          for (size_t i = 0; i < plain.size(); ++i) {
+            ASSERT_EQ(plain.IdAt(i), deferred.IdAt(i));
+            ASSERT_EQ(plain.SquaredNormAt(i), deferred.SquaredNormAt(i));
+          }
+          for (int q = 0; q < 10; ++q) {
+            const std::vector<double> query = RandomPoint(rng, dim);
+            EXPECT_EQ(plain.MinRawDistanceTo(query, metric),
+                      deferred.MinRawDistanceTo(query, metric))
+                << target << " " << MetricKindName(kind) << " pre=" << pre
+                << " batch=" << batch;
+          }
+        }
+      }
+    }
+  });
+}
+
+TEST(PointBufferKernelsTest, ApproxAcosWithinDocumentedBoundAndCrossTarget) {
+  // The opt-in polynomial acos epilogue: |approx - std::acos| <= 2e-8 rad
+  // over the full cosine range (the documented ULP-policy bound), and —
+  // because the polynomial runs in the shared baseline epilogue — the
+  // approximation is itself bit-identical across every dispatch target.
+  ASSERT_FALSE(simd::internal::ApproxAcosEnabled());  // default off
+  simd::internal::SetApproxAcosForTest(true);
+  Rng rng(31415);
+  const Metric metric(MetricKind::kAngular);
+  const size_t dim = 6;
+  const PointBuffer buffer = FillRandom(rng, 25, dim);
+  for (int q = 0; q < 40; ++q) {
+    const std::vector<double> query = RandomPoint(rng, dim);
+    const double exact = ScalarMinRaw(buffer, query, metric);
+    double first = 0.0;
+    size_t t = 0;
+    ForEachKernelTarget([&](std::string_view target) {
+      const double approx = buffer.MinRawDistanceTo(query, metric);
+      EXPECT_LE(std::abs(approx - exact), 2e-8)
+          << target << " q=" << q;
+      if (t++ == 0) {
+        first = approx;
+      } else {
+        EXPECT_EQ(first, approx) << target << " q=" << q;
+      }
+    });
+  }
+  simd::internal::SetApproxAcosForTest(false);
+  // Back off: the exact std::acos epilogue again.
+  const std::vector<double> query = RandomPoint(rng, dim);
+  EXPECT_EQ(ScalarMinRaw(buffer, query, metric),
+            buffer.MinRawDistanceTo(query, metric));
 }
 
 TEST(PointBufferKernelsTest, AngularNormCacheSurvivesRemoveSwap) {
