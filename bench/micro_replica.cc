@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "data/synthetic.h"
+#include "obs/histogram.h"
 #include "replica/replica_session.h"
 #include "replica/replication_source.h"
 #include "service/durable_session.h"
@@ -284,7 +285,10 @@ int Main(int argc, char** argv) {
         std::make_shared<DirReplicationSource>(dir), bounded);
     if (!follower.ok()) return 1;
 
-    std::vector<int64_t> lags;
+    // Per-poll lag samples through the shared log-bucketed histogram:
+    // p50/p99 are bucket upper bounds (exact below 8, ≤ 14% high above),
+    // the same semantics the METRICS plane reports for fdm_replica_lag.
+    obs::HistogramSnapshot lag_hist;
     size_t fed = 1024;
     while (fed < ds.size()) {
       const size_t slice = std::min<size_t>(4096, ds.size() - fed);
@@ -292,24 +296,21 @@ int Main(int argc, char** argv) {
       fed += slice;
       if (!primary->Sync().ok()) return 1;
       if (!follower->Poll().ok()) return 1;
-      lags.push_back(follower->Stats().lag);
+      lag_hist.Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, follower->Stats().lag)));
     }
     for (int i = 0; i < 1000 && follower->Stats().lag > 0; ++i) {
       if (!follower->Poll().ok()) return 1;
-      lags.push_back(follower->Stats().lag);
+      lag_hist.Record(
+          static_cast<uint64_t>(std::max<int64_t>(0, follower->Stats().lag)));
     }
     final_lag = follower->Stats().lag;
-    std::sort(lags.begin(), lags.end());
-    lag_p50 = lags.empty()
-                  ? 0.0
-                  : static_cast<double>(lags[lags.size() / 2]);
-    lag_p99 = lags.empty()
-                  ? 0.0
-                  : static_cast<double>(lags[lags.size() * 99 / 100]);
+    lag_p50 = static_cast<double>(lag_hist.Percentile(0.5));
+    lag_p99 = static_cast<double>(lag_hist.Percentile(0.99));
     std::printf("lag:             p50=%.0f p99=%.0f final=%lld "
-                "(records behind, %zu polls)\n",
+                "(records behind, %llu polls)\n",
                 lag_p50, lag_p99, static_cast<long long>(final_lag),
-                lags.size());
+                static_cast<unsigned long long>(lag_hist.count));
   }
 
   std::filesystem::remove_all(scratch);

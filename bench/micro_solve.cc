@@ -41,6 +41,7 @@
 #include "core/solve_cache.h"
 #include "data/synthetic.h"
 #include "geo/simd/kernel_dispatch.h"
+#include "obs/histogram.h"
 #include "harness/registry.h"
 #include "service/session_manager.h"
 #include "util/argparse.h"
@@ -127,8 +128,11 @@ struct SolveBenchResult {
   double warm_ms = 0.0;
   double cached_ms = 0.0;
   double cached_speedup_vs_cold = 0.0;
-  // under concurrent ingest
+  // under concurrent ingest (percentiles from the shared log-bucketed
+  // histogram — p50/p99/max are bucket upper bounds, i.e. conservative)
   double solve_mean_ms = 0.0;
+  double solve_p50_ms = 0.0;
+  double solve_p99_ms = 0.0;
   double solve_max_ms = 0.0;
   double solves_per_sec = 0.0;
   double ingest_points_per_sec = 0.0;
@@ -290,31 +294,32 @@ int Main(int argc, char** argv) {
         ++i;
       }
     });
-    std::vector<double> latencies;
+    obs::HistogramSnapshot latency;
     Timer wall;
     while (wall.ElapsedSeconds() < 1.0) {
       Timer one;
       if (!(*manager)->Solve("hot").ok()) return 1;
-      latencies.push_back(one.ElapsedSeconds() * 1000.0);
+      latency.Record(static_cast<uint64_t>(one.ElapsedNanos()));
     }
     const double elapsed = wall.ElapsedSeconds();
     stop.store(true, std::memory_order_relaxed);
     writer.join();
 
-    double sum = 0.0, max = 0.0;
-    for (const double l : latencies) {
-      sum += l;
-      max = std::max(max, l);
-    }
-    result.solve_mean_ms = sum / static_cast<double>(latencies.size());
-    result.solve_max_ms = max;
-    result.solves_per_sec = static_cast<double>(latencies.size()) / elapsed;
+    constexpr double kNsToMs = 1e-6;
+    result.solve_mean_ms = latency.Mean() * kNsToMs;
+    result.solve_p50_ms =
+        static_cast<double>(latency.Percentile(0.5)) * kNsToMs;
+    result.solve_p99_ms =
+        static_cast<double>(latency.Percentile(0.99)) * kNsToMs;
+    result.solve_max_ms = static_cast<double>(latency.Max()) * kNsToMs;
+    result.solves_per_sec = static_cast<double>(latency.count) / elapsed;
     result.ingest_points_per_sec =
         static_cast<double>(ingested.load()) / elapsed;
     std::printf(
-        "under ingest:    %10.0f solves/sec (mean %.3f ms, max %.3f ms) "
-        "while %0.f pts/sec ingest\n",
-        result.solves_per_sec, result.solve_mean_ms, result.solve_max_ms,
+        "under ingest:    %10.0f solves/sec (mean %.3f ms, p50 %.3f ms, "
+        "p99 %.3f ms, max %.3f ms) while %0.f pts/sec ingest\n",
+        result.solves_per_sec, result.solve_mean_ms, result.solve_p50_ms,
+        result.solve_p99_ms, result.solve_max_ms,
         result.ingest_points_per_sec);
     std::filesystem::remove_all(scratch);
   }
@@ -347,6 +352,8 @@ int Main(int argc, char** argv) {
   json << "  ],\n"
        << "  \"under_ingest\": {\"solves_per_sec\": " << result.solves_per_sec
        << ", \"mean_ms\": " << result.solve_mean_ms
+       << ", \"p50_ms\": " << result.solve_p50_ms
+       << ", \"p99_ms\": " << result.solve_p99_ms
        << ", \"max_ms\": " << result.solve_max_ms
        << ", \"ingest_points_per_sec\": " << result.ingest_points_per_sec
        << "}\n}\n";

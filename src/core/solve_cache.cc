@@ -2,17 +2,56 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace fdm {
 
+namespace {
+
+// Process-wide mirrors of the per-cache latency histograms, so one METRICS
+// scrape sees solve behavior across every session. Cached vs cold are
+// separate series — their distributions differ by ~3 orders of magnitude
+// and a merged histogram would bury the cold tail.
+obs::Histogram& CachedSolveHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_solve_cached_ns", "latency of cache-hit SOLVE serves",
+      /*slow_threshold_ns=*/10'000'000);
+  return h;
+}
+obs::Histogram& ColdSolveHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_solve_cold_ns", "latency of cache-miss SOLVE computes",
+      /*slow_threshold_ns=*/1'000'000'000);
+  return h;
+}
+obs::Counter& HitCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_solve_hits_total", "SOLVEs served from cache");
+  return c;
+}
+obs::Counter& MissCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_solve_misses_total", "SOLVEs that ran the solver");
+  return c;
+}
+
+}  // namespace
+
 Result<Solution> SolveCache::GetOrCompute(
-    uint64_t version, const std::function<Result<Solution>()>& solver) {
+    uint64_t version, const std::function<Result<Solution>()>& solver,
+    std::string_view context) {
+  Timer timer;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (cached_.has_value() && version_ == version) {
       ++hits_;
-      return *cached_;
+      Result<Solution> result = *cached_;
+      hit_ns_.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+      HitCounter().Inc();
+      CachedSolveHist().RecordWithContext(
+          static_cast<uint64_t>(timer.ElapsedNanos()), context, version);
+      return result;
     }
   }
   // Compute under a separate mutex so the entry mutex stays cheap: a
@@ -27,17 +66,25 @@ Result<Solution> SolveCache::GetOrCompute(
     std::lock_guard<std::mutex> lock(mu_);
     if (cached_.has_value() && version_ == version) {
       ++hits_;
-      return *cached_;
+      Result<Solution> result = *cached_;
+      // A hit behind a concurrent compute waited for compute_mu_ — its
+      // latency belongs in the hit series (that wait is what a caller saw).
+      hit_ns_.Record(static_cast<uint64_t>(timer.ElapsedNanos()));
+      HitCounter().Inc();
+      CachedSolveHist().RecordWithContext(
+          static_cast<uint64_t>(timer.ElapsedNanos()), context, version);
+      return result;
     }
   }
-  Timer timer;
   Result<Solution> result = solver();
-  const double solve_ms = timer.ElapsedSeconds() * 1000.0;
+  const uint64_t solve_ns = static_cast<uint64_t>(timer.ElapsedNanos());
   std::lock_guard<std::mutex> lock(mu_);
-  last_solve_ms_ = solve_ms;
+  miss_ns_.Record(solve_ns);
   ++misses_;
   version_ = version;
   cached_.emplace(result);
+  MissCounter().Inc();
+  ColdSolveHist().RecordWithContext(solve_ns, context, version);
   return result;
 }
 
@@ -52,8 +99,9 @@ SolveCache::Stats SolveCache::GetStats() const {
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;
-  stats.last_solve_ms = last_solve_ms_;
   stats.cached_version = cached_.has_value() ? version_ : 0;
+  stats.hit_ns = hit_ns_;
+  stats.miss_ns = miss_ns_;
   return stats;
 }
 

@@ -5,8 +5,10 @@
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string_view>
 
 #include "core/solution.h"
+#include "obs/histogram.h"
 #include "util/status.h"
 
 namespace fdm {
@@ -39,10 +41,16 @@ class SolveCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    /// Wall time of the most recent cache-miss computation, milliseconds.
-    double last_solve_ms = 0.0;
     /// State version of the currently cached result (0 if none yet).
     uint64_t cached_version = 0;
+    /// Per-cache latency of cache-hit serves (nanoseconds, lock wait and
+    /// result copy included) and of cache-miss computes. Kept as plain
+    /// histograms under the entry mutex — they survive `FDM_NO_METRICS`,
+    /// so STATS p50/p99 work in both configurations; the process-wide
+    /// `fdm_solve_cached_ns`/`fdm_solve_cold_ns` registry histograms
+    /// mirror them when metrics are enabled.
+    obs::HistogramSnapshot hit_ns;
+    obs::HistogramSnapshot miss_ns;
   };
 
   SolveCache() = default;
@@ -52,9 +60,12 @@ class SolveCache {
   /// Returns the cached result if it was computed at exactly `version`;
   /// otherwise runs `solver`, caches its outcome under `version`, and
   /// returns it. The caller must derive `version` from the same sink the
-  /// solver reads, with the sink unmutated in between.
+  /// solver reads, with the sink unmutated in between. `context` tags the
+  /// slow-op journal entry for a slow compute (a session name or similar);
+  /// it is not stored past the call.
   Result<Solution> GetOrCompute(
-      uint64_t version, const std::function<Result<Solution>()>& solver);
+      uint64_t version, const std::function<Result<Solution>()>& solver,
+      std::string_view context = {});
 
   /// Drops the cached result (e.g. after swapping the underlying sink for
   /// one with an unrelated version history).
@@ -69,7 +80,8 @@ class SolveCache {
   uint64_t version_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  double last_solve_ms_ = 0.0;
+  obs::HistogramSnapshot hit_ns_;
+  obs::HistogramSnapshot miss_ns_;
 };
 
 }  // namespace fdm

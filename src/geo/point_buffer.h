@@ -8,6 +8,7 @@
 
 #include "geo/metric.h"
 #include "geo/simd/kernel_dispatch.h"
+#include "obs/metrics.h"
 #include "util/aligned.h"
 #include "util/check.h"
 
@@ -239,6 +240,19 @@ class PointBuffer {
       for (double& o : out) o = std::numeric_limits<double>::infinity();
       return;
     }
+#ifndef FDM_NO_METRICS
+    // Per-shape kernel invocation counters, one uncontended bump per scan
+    // (~1-2ns against a multi-microsecond scan). The cell reference is
+    // resolved once per thread and cached — no registry lookup on the hot
+    // path. Explicitly compiled out under FDM_NO_METRICS: these sit on
+    // the admission hot path the micro_obs overhead gate measures.
+    static thread_local std::atomic<uint64_t>& scans =
+        obs::MetricsRegistry::Global()
+            .GetCounter("fdm_kernel_many_scans_total",
+                        "many-to-many admission scans (MinRawDistanceToMany)")
+            .ThreadLocalCell();
+    obs::BumpCell(scans);
+#endif
     const simd::KernelOps& ops = simd::ActiveKernelOps();
     const simd::PointBlockView view = BlockView();
     // Worklist scratch (and angular query norms), reused across calls;
@@ -284,6 +298,14 @@ class PointBuffer {
                          std::vector<double>& out) const {
     out.resize(simd::PointBlockCount(size()) * simd::kPointBlockLanes);
     if (empty()) return;
+#ifndef FDM_NO_METRICS
+    static thread_local std::atomic<uint64_t>& scans =
+        obs::MetricsRegistry::Global()
+            .GetCounter("fdm_kernel_dists_scans_total",
+                        "one-to-all full-distance scans (RawDistancesToAll)")
+            .ThreadLocalCell();
+    obs::BumpCell(scans);
+#endif
     const simd::KernelOps& ops = simd::ActiveKernelOps();
     const simd::PointBlockView view = BlockView();
     switch (metric.kind()) {
@@ -340,6 +362,14 @@ class PointBuffer {
   double RawScan(std::span<const double> x, const Metric& metric,
                  double stop_below) const {
     if (empty()) return std::numeric_limits<double>::infinity();
+#ifndef FDM_NO_METRICS
+    static thread_local std::atomic<uint64_t>& scans =
+        obs::MetricsRegistry::Global()
+            .GetCounter("fdm_kernel_min_scans_total",
+                        "one-to-many min-distance scans (RawScan)")
+            .ThreadLocalCell();
+    obs::BumpCell(scans);
+#endif
     const simd::KernelOps& ops = simd::ActiveKernelOps();
     const simd::PointBlockView view = BlockView();
     switch (metric.kind()) {

@@ -6,9 +6,18 @@
 #include <string>
 
 #include "geo/simd/kernel_targets.h"
+#include "obs/metrics.h"
 
 namespace fdm::simd {
 namespace {
+
+/// Publishes the live dispatch target as an info-style metric so every
+/// METRICS scrape is self-describing about which kernel produced the
+/// latency it reports.
+void PublishKernelTargetInfo(const KernelOps* ops) {
+  obs::MetricsRegistry::Global().SetInfo("fdm_kernel_target",
+                                         std::string(ops->name));
+}
 
 /// True iff the running CPU can execute the AVX2 target. Compiled-in and
 /// runnable are separate questions: a generic x86-64 build still carries
@@ -115,6 +124,7 @@ struct Dispatch {
       }
     }
     active.store(standard, std::memory_order_relaxed);
+    PublishKernelTargetInfo(standard);
   }
 };
 
@@ -145,11 +155,13 @@ bool ForceKernelTargetForTest(std::string_view name) {
   Dispatch& d = GetDispatch();
   if (name.empty()) {
     d.active.store(d.standard, std::memory_order_relaxed);
+    PublishKernelTargetInfo(d.standard);
     return true;
   }
   const KernelOps* target = FindByName(d.available, name);
   if (target == nullptr) return false;
   d.active.store(target, std::memory_order_relaxed);
+  PublishKernelTargetInfo(target);
   return true;
 }
 

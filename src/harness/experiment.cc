@@ -86,6 +86,8 @@ RunResult RunStreaming(const Dataset& dataset, const RunConfig& config,
       Timer solve_timer;
       (void)cache.GetOrCompute(sink.StateVersion(),
                                [&sink] { return sink.Solve(); });
+      r.trace_solve_hist.Record(
+          static_cast<uint64_t>(solve_timer.ElapsedNanos()));
       solve_sec += solve_timer.ElapsedSeconds();
       ++r.intermediate_solves;
     }

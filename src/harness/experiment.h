@@ -8,6 +8,7 @@
 
 #include "core/fairness.h"
 #include "data/dataset.h"
+#include "obs/histogram.h"
 #include "util/status.h"
 
 namespace fdm {
@@ -105,6 +106,11 @@ struct RunResult {
   /// Trace mode: total wall time spent in mid-stream solves (excluded from
   /// `stream_time_sec` so one-pass numbers stay comparable).
   double trace_solve_time_sec = 0.0;
+  /// Trace mode: per-solve latency distribution (cached and cold solves
+  /// pooled — `solve_cache_hits` separates the populations). Present in
+  /// every build configuration; the histogram type is plain arithmetic and
+  /// is not compiled out by `FDM_NO_METRICS`.
+  obs::HistogramSnapshot trace_solve_hist;
 
   /// Replica drill (`RunConfig::replica_drill`): whether the drill ran to
   /// the comparison (false also when the kind has no sink-spec mapping or

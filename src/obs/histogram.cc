@@ -1,0 +1,92 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/binary_io.h"
+
+namespace fdm::obs {
+
+uint64_t HistogramSnapshot::BucketLowerBound(size_t index) {
+  if (index < kSubBuckets) return static_cast<uint64_t>(index);
+  const uint32_t e = static_cast<uint32_t>(index / kSubBuckets) + kSubBits - 1;
+  const uint64_t sub = index % kSubBuckets;
+  return (static_cast<uint64_t>(kSubBuckets) + sub) << (e - kSubBits);
+}
+
+uint64_t HistogramSnapshot::BucketUpperBound(size_t index) {
+  if (index + 1 >= kBucketCount) return std::numeric_limits<uint64_t>::max();
+  return BucketLowerBound(index + 1) - 1;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  for (size_t i = 0; i < kBucketCount; ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th quantile, 1-based: the smallest bucket whose
+  // cumulative count reaches it. ceil() keeps p0 -> first value and
+  // p100 -> last value exact.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(q * static_cast<double>(count))));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) return BucketUpperBound(i);
+  }
+  return Max();
+}
+
+uint64_t HistogramSnapshot::Max() const {
+  for (size_t i = kBucketCount; i-- > 0;) {
+    if (counts[i] != 0) return BucketUpperBound(i);
+  }
+  return 0;
+}
+
+void HistogramSnapshot::WriteTo(SnapshotWriter& writer) const {
+  writer.WriteU64(count);
+  writer.WriteU64(sum);
+  uint32_t nonzero = 0;
+  for (uint64_t c : counts) nonzero += (c != 0);
+  writer.WriteU32(nonzero);
+  for (size_t i = 0; i < kBucketCount; ++i) {
+    if (counts[i] == 0) continue;
+    writer.WriteU32(static_cast<uint32_t>(i));
+    writer.WriteU64(counts[i]);
+  }
+}
+
+bool HistogramSnapshot::ReadFrom(SnapshotReader& reader) {
+  *this = HistogramSnapshot{};
+  const uint64_t count_in = reader.ReadU64();
+  const uint64_t sum_in = reader.ReadU64();
+  const uint32_t nonzero = reader.ReadU32();
+  if (!reader.ok() || nonzero > kBucketCount) return false;
+  uint64_t bucket_total = 0;
+  for (uint32_t i = 0; i < nonzero; ++i) {
+    const uint32_t index = reader.ReadU32();
+    const uint64_t c = reader.ReadU64();
+    if (!reader.ok() || index >= kBucketCount) {
+      *this = HistogramSnapshot{};
+      return false;
+    }
+    counts[index] = c;
+    bucket_total += c;
+  }
+  if (bucket_total != count_in) {
+    *this = HistogramSnapshot{};
+    return false;
+  }
+  count = count_in;
+  sum = sum_in;
+  return true;
+}
+
+}  // namespace fdm::obs

@@ -1,0 +1,353 @@
+#include "obs/metrics.h"
+
+#include <array>
+#include <cinttypes>
+#include <cstdio>
+#include <iterator>
+#include <utility>
+
+namespace fdm::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: metrics may be touched from static initializers
+  // and from threads still draining at process exit.
+  static MetricsRegistry* global = new MetricsRegistry();
+  return *global;
+}
+
+#ifndef FDM_NO_METRICS
+
+namespace {
+
+// Per-thread table of cell pointers, indexed by metric id. Slots are
+// raw pointers into cells owned (and never freed) by the metric objects,
+// which themselves live in the leaked registry — nothing here dangles,
+// even after this thread's table is destroyed at thread exit.
+thread_local std::vector<void*> t_cells;
+
+void*& CellSlot(uint32_t id) {
+  if (t_cells.size() <= id) t_cells.resize(id + 1, nullptr);
+  return t_cells[id];
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+constexpr double kQuantiles[] = {0.5, 0.9, 0.99, 0.999};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99", "0.999"};
+
+}  // namespace
+
+std::atomic<uint64_t>& Counter::ThreadLocalCell() {
+  void*& slot = CellSlot(id_);
+  if (slot == nullptr) {
+    auto cell = std::make_unique<Cell>();
+    slot = &cell->value;
+    std::lock_guard<std::mutex> lock(cells_mu_);
+    cells_.push_back(std::move(cell));
+  }
+  return *static_cast<std::atomic<uint64_t>*>(slot);
+}
+
+uint64_t Counter::Value() const {
+  std::lock_guard<std::mutex> lock(cells_mu_);
+  uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell->value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Cell& Histogram::ThreadLocalCell() {
+  void*& slot = CellSlot(id_);
+  if (slot == nullptr) {
+    auto cell = std::make_unique<Cell>();
+    slot = cell.get();
+    std::lock_guard<std::mutex> lock(cells_mu_);
+    cells_.push_back(std::move(cell));
+  }
+  return *static_cast<Cell*>(slot);
+}
+
+void Histogram::RecordWithContext(uint64_t v, std::string_view context,
+                                  uint64_t state_version) {
+  Cell& cell = ThreadLocalCell();
+  BumpCell(cell.counts[HistogramSnapshot::BucketIndex(v)]);
+  BumpCell(cell.sum, v);
+  if (slow_threshold_ns_ != 0 && v >= slow_threshold_ns_) {
+    registry_->JournalSlowOp(name_, context, v, state_version);
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  std::lock_guard<std::mutex> lock(cells_mu_);
+  for (const auto& cell : cells_) {
+    for (size_t i = 0; i < HistogramSnapshot::kBucketCount; ++i) {
+      out.counts[i] += cell->counts[i].load(std::memory_order_relaxed);
+    }
+    out.sum += cell->sum.load(std::memory_order_relaxed);
+  }
+  // Derive the total from the buckets so every quantile is consistent
+  // with its own count; `sum` is read separately and may trail in-flight
+  // records by a sample — monitoring-grade, documented as such.
+  for (uint64_t c : out.counts) out.count += c;
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(
+                          next_id_.fetch_add(1, std::memory_order_relaxed))))
+             .first;
+    helps_.emplace(std::string(name), std::string(help));
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+    helps_.emplace(std::string(name), std::string(help));
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         uint64_t slow_threshold_ns) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(new Histogram(
+                          next_id_.fetch_add(1, std::memory_order_relaxed),
+                          std::string(name), slow_threshold_ns, this)))
+             .first;
+    helps_.emplace(std::string(name), std::string(help));
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::SetInfo(std::string_view name, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  infos_[std::string(name)] = std::string(value);
+}
+
+void MetricsRegistry::JournalSlowOp(std::string_view metric,
+                                    std::string_view context,
+                                    uint64_t duration_ns,
+                                    uint64_t state_version) {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  SlowOp op;
+  op.seq = ++slow_seq_;
+  op.metric = std::string(metric);
+  op.context = std::string(context);
+  op.duration_ns = duration_ns;
+  op.state_version = state_version;
+  if (slow_ring_.size() < kSlowOpRingCapacity) {
+    slow_ring_.push_back(std::move(op));
+  } else {
+    slow_ring_[slow_next_] = std::move(op);
+    slow_next_ = (slow_next_ + 1) % kSlowOpRingCapacity;
+  }
+}
+
+std::vector<SlowOp> MetricsRegistry::SlowOps() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  std::vector<SlowOp> out;
+  out.reserve(slow_ring_.size());
+  // Oldest first: once the ring wraps, slow_next_ points at the oldest.
+  for (size_t i = 0; i < slow_ring_.size(); ++i) {
+    out.push_back(slow_ring_[(slow_next_ + i) % slow_ring_.size()]);
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(4096);
+  auto help_for = [&](const std::string& name) -> const std::string& {
+    static const std::string kEmpty;
+    auto it = helps_.find(name);
+    return it == helps_.end() ? kEmpty : it->second;
+  };
+  for (const auto& [name, counter] : counters_) {
+    out += "# HELP " + name + " " + help_for(name) + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " ";
+    AppendU64(out, counter->Value());
+    out += "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "# HELP " + name + " " + help_for(name) + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " ";
+    AppendDouble(out, gauge->Value());
+    out += "\n";
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    out += "# HELP " + name + " " + help_for(name) + "\n";
+    out += "# TYPE " + name + " summary\n";
+    for (size_t q = 0; q < std::size(kQuantiles); ++q) {
+      out += name + "{quantile=\"" + kQuantileLabels[q] + "\"} ";
+      AppendU64(out, snap.Percentile(kQuantiles[q]));
+      out += "\n";
+    }
+    out += name + "_sum ";
+    AppendU64(out, snap.sum);
+    out += "\n";
+    out += name + "_count ";
+    AppendU64(out, snap.count);
+    out += "\n";
+  }
+  for (const auto& [name, value] : infos_) {
+    out += "# TYPE " + name + " gauge\n";
+    out += name + "{value=\"" + value + "\"} 1\n";
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::string out = "{\"metrics_enabled\":true,\"counters\":{";
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":";
+    AppendU64(out, counter->Value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":";
+    AppendDouble(out, gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    const HistogramSnapshot snap = hist->Snapshot();
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":{\"count\":";
+    AppendU64(out, snap.count);
+    out += ",\"sum\":";
+    AppendU64(out, snap.sum);
+    out += ",\"mean\":";
+    AppendDouble(out, snap.Mean());
+    out += ",\"p50\":";
+    AppendU64(out, snap.Percentile(0.5));
+    out += ",\"p90\":";
+    AppendU64(out, snap.Percentile(0.9));
+    out += ",\"p99\":";
+    AppendU64(out, snap.Percentile(0.99));
+    out += ",\"max\":";
+    AppendU64(out, snap.Max());
+    out += "}";
+  }
+  out += "},\"info\":{";
+  first = true;
+  for (const auto& [name, value] : infos_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    AppendJsonEscaped(out, name);
+    out += "\":\"";
+    AppendJsonEscaped(out, value);
+    out += "\"";
+  }
+  out += "},\"slow_ops\":[";
+  {
+    const std::vector<SlowOp> ops = SlowOps();
+    first = true;
+    for (const SlowOp& op : ops) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"seq\":";
+      AppendU64(out, op.seq);
+      out += ",\"metric\":\"";
+      AppendJsonEscaped(out, op.metric);
+      out += "\",\"context\":\"";
+      AppendJsonEscaped(out, op.context);
+      out += "\",\"duration_ns\":";
+      AppendU64(out, op.duration_ns);
+      out += ",\"state_version\":";
+      AppendU64(out, op.state_version);
+      out += "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+#endif  // FDM_NO_METRICS
+
+}  // namespace fdm::obs

@@ -1,0 +1,309 @@
+#ifndef FDM_OBS_METRICS_H_
+#define FDM_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/timer.h"
+
+namespace fdm::obs {
+
+/// One slow-operation postmortem record. A histogram registered with a
+/// non-zero threshold journals every sample at or above it into a
+/// fixed-size ring (`MetricsRegistry::SlowOps`), so the last ~256 slow
+/// ops survive for inspection with the context a latency bucket alone
+/// cannot carry: which op, against which session, at what state version.
+struct SlowOp {
+  uint64_t seq = 0;            // monotone capture order, process-wide
+  std::string metric;          // histogram that crossed its threshold
+  std::string context;         // caller-supplied op / session tag
+  uint64_t duration_ns = 0;
+  uint64_t state_version = 0;  // sink state version at capture; 0 = n/a
+};
+
+/// Increment a sharded cell the caller already holds. Owner-only relaxed
+/// load+store rather than fetch_add: each cell is written by exactly one
+/// thread, so this compiles to a plain uncontended memory increment
+/// (~1-2ns) with no lock prefix.
+inline void BumpCell(std::atomic<uint64_t>& cell, uint64_t delta = 1) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+#ifndef FDM_NO_METRICS
+
+inline constexpr bool kMetricsEnabled = true;
+
+class MetricsRegistry;
+
+/// Monotone counter with per-thread sharded cells: `Add` touches only the
+/// calling thread's cell and `Value` folds all cells on scrape. Cells are
+/// owned by the counter and never freed — a thread that exits leaves its
+/// final partial sum behind for every later scrape, which keeps `Value`
+/// correct with no thread-exit hook and no fencing on the hot path. The
+/// leak is bounded by threads-ever × metrics-touched × one cache line.
+class Counter {
+ public:
+  void Add(uint64_t delta) { BumpCell(ThreadLocalCell(), delta); }
+  void Inc() { Add(1); }
+
+  /// Folds every cell ever created (relaxed reads; monitoring-grade —
+  /// concurrent writers may or may not be included).
+  uint64_t Value() const;
+
+  /// The calling thread's cell, created and registered on first use.
+  /// Ultra-hot call sites cache the returned reference in a
+  /// function-local `static thread_local` so the steady-state cost is
+  /// one init-guard branch plus the uncontended increment.
+  std::atomic<uint64_t>& ThreadLocalCell();
+
+ private:
+  friend class MetricsRegistry;
+  struct Cell {
+    // Own cache line per cell: each is written by exactly one thread.
+    alignas(64) std::atomic<uint64_t> value{0};
+  };
+  explicit Counter(uint32_t id) : id_(id) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  const uint32_t id_;  // slot in each thread's cell-pointer table
+  mutable std::mutex cells_mu_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// Last-write-wins scalar (queue depth, resident sessions, config
+/// values). Gauges are set at state transitions, not on hot paths, so a
+/// single shared atomic is enough.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed histogram over per-thread sharded bucket arrays; scrape
+/// merges the shards element-wise into a `HistogramSnapshot` (the merge
+/// is deterministic — any shard order yields identical buckets). The
+/// scraped `count` is derived from the bucket sum so each reported
+/// quantile is consistent with its own total; the value `sum` cell is
+/// read separately and may trail by in-flight records.
+class Histogram {
+ public:
+  void Record(uint64_t v) { RecordWithContext(v, {}, 0); }
+
+  /// As `Record`; additionally journals a SlowOp carrying `context` and
+  /// `state_version` when the histogram has a threshold and `v` meets it.
+  void RecordWithContext(uint64_t v, std::string_view context,
+                         uint64_t state_version);
+
+  HistogramSnapshot Snapshot() const;
+
+  uint64_t slow_threshold_ns() const { return slow_threshold_ns_; }
+
+ private:
+  friend class MetricsRegistry;
+  struct Cell {
+    std::array<std::atomic<uint64_t>, HistogramSnapshot::kBucketCount>
+        counts{};
+    std::atomic<uint64_t> sum{0};
+  };
+  Histogram(uint32_t id, std::string name, uint64_t slow_threshold_ns,
+            MetricsRegistry* registry)
+      : id_(id),
+        name_(std::move(name)),
+        slow_threshold_ns_(slow_threshold_ns),
+        registry_(registry) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  Cell& ThreadLocalCell();
+
+  const uint32_t id_;
+  const std::string name_;
+  const uint64_t slow_threshold_ns_;
+  MetricsRegistry* const registry_;
+  mutable std::mutex cells_mu_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+/// Times a scope and records elapsed nanoseconds into `hist` on
+/// destruction. `context`/`state_version` flow into the slow-op journal
+/// if the sample crosses the histogram's threshold; `context` must
+/// outlive the timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist, std::string_view context = {},
+                       uint64_t state_version = 0)
+      : hist_(hist), context_(context), state_version_(state_version) {}
+  ~ScopedTimer() {
+    hist_.RecordWithContext(static_cast<uint64_t>(timer_.ElapsedNanos()),
+                            context_, state_version_);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  std::string_view context_;
+  uint64_t state_version_;
+  Timer timer_;
+};
+
+/// Process-wide registry of named metrics. `Global()` is a leaked
+/// singleton so metrics registered from static initializers and touched
+/// by detached threads at exit are both safe. Metric objects live for
+/// the process lifetime — references returned by the getters never
+/// dangle and are safe to cache in function-local statics.
+///
+/// Naming scheme: `fdm_<layer>_<what>[_total|_ns|_bytes]` — `_total` for
+/// monotone counters, `_ns` for nanosecond histograms, `_bytes` for byte
+/// counters; e.g. `fdm_wal_fsync_ns`, `fdm_ingest_points_kept_total`.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  /// Find-or-create by name; `help` is recorded on first registration.
+  Counter& GetCounter(std::string_view name, std::string_view help);
+  Gauge& GetGauge(std::string_view name, std::string_view help);
+  /// `slow_threshold_ns` > 0 enables slow-op journaling for this
+  /// histogram (first registration wins).
+  Histogram& GetHistogram(std::string_view name, std::string_view help,
+                          uint64_t slow_threshold_ns = 0);
+
+  /// Key→value annotations (active kernel target, build flags) rendered
+  /// as `name{value="..."} 1` info-style series.
+  void SetInfo(std::string_view name, std::string_view value);
+
+  /// Prometheus text exposition: HELP/TYPE lines, counters and gauges as
+  /// scalars, histograms as summary-style quantile series plus _sum and
+  /// _count.
+  std::string RenderPrometheus() const;
+
+  /// The same scrape as a single-line JSON object (counters, gauges,
+  /// histogram quantiles, info, slow-op ring).
+  std::string RenderJson() const;
+
+  /// Snapshot of the slow-op ring, oldest first.
+  std::vector<SlowOp> SlowOps() const;
+
+  void JournalSlowOp(std::string_view metric, std::string_view context,
+                     uint64_t duration_ns, uint64_t state_version);
+
+ private:
+  MetricsRegistry() = default;
+
+  static constexpr size_t kSlowOpRingCapacity = 256;
+
+  mutable std::mutex mu_;  // metric maps + infos
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string, std::less<>> helps_;
+  std::map<std::string, std::string, std::less<>> infos_;
+  std::atomic<uint32_t> next_id_{0};
+
+  mutable std::mutex slow_mu_;
+  std::vector<SlowOp> slow_ring_;  // capped at kSlowOpRingCapacity
+  size_t slow_next_ = 0;           // ring cursor once at capacity
+  uint64_t slow_seq_ = 0;
+};
+
+#else  // FDM_NO_METRICS
+
+// Kill-switch build: the entire registry API collapses to no-op inline
+// stubs so instrumented call sites compile unchanged and the optimizer
+// deletes them. The stub ScopedTimer never reads the clock. Call sites
+// needing feature parity with real data (per-cache solve stats, bench
+// reports) use the plain HistogramSnapshot, which stays real.
+
+inline constexpr bool kMetricsEnabled = false;
+
+class Counter {
+ public:
+  void Add(uint64_t) {}
+  void Inc() {}
+  uint64_t Value() const { return 0; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  void Add(double) {}
+  double Value() const { return 0.0; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+};
+
+class Histogram {
+ public:
+  void Record(uint64_t) {}
+  void RecordWithContext(uint64_t, std::string_view, uint64_t) {}
+  HistogramSnapshot Snapshot() const { return {}; }
+  uint64_t slow_threshold_ns() const { return 0; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram() = default;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&, std::string_view = {}, uint64_t = 0) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  // All names alias one inert instance per metric kind; no state is kept.
+  Counter& GetCounter(std::string_view, std::string_view) { return counter_; }
+  Gauge& GetGauge(std::string_view, std::string_view) { return gauge_; }
+  Histogram& GetHistogram(std::string_view, std::string_view,
+                          uint64_t = 0) {
+    return histogram_;
+  }
+  void SetInfo(std::string_view, std::string_view) {}
+  std::string RenderPrometheus() const {
+    return "# metrics disabled (FDM_NO_METRICS build)\n";
+  }
+  std::string RenderJson() const { return "{\"metrics_enabled\":false}"; }
+  std::vector<SlowOp> SlowOps() const { return {}; }
+  void JournalSlowOp(std::string_view, std::string_view, uint64_t, uint64_t) {}
+
+ private:
+  MetricsRegistry() = default;
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // FDM_NO_METRICS
+
+}  // namespace fdm::obs
+
+#endif  // FDM_OBS_METRICS_H_

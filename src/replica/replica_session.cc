@@ -6,11 +6,82 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/durable_session.h"
 #include "service/sink_spec.h"
 #include "util/binary_io.h"
 
 namespace fdm {
+
+namespace {
+
+// Replication-plane metrics, mirrored from the per-session counters at
+// their increment sites so one METRICS scrape covers every follower in
+// the process.
+obs::Histogram& PollHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_replica_poll_ns", "latency of follower polls (SyncOnce)",
+      /*slow_threshold_ns=*/1'000'000'000);
+  return h;
+}
+obs::Histogram& LagHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_replica_lag", "records behind the primary after each poll");
+  return h;
+}
+obs::Counter& AppliedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_apply_records_total", "WAL records applied by followers");
+  return c;
+}
+obs::Counter& FetchBytesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_fetch_bytes_total",
+      "bytes fetched from replication sources (segments + snapshots)");
+  return c;
+}
+obs::Counter& DivergenceCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_divergence_rebuilds_total",
+      "follower rebuilds after an advert/version divergence");
+  return c;
+}
+obs::Counter& ResyncCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_resyncs_total",
+      "snapshot re-syncs after a pruned WAL gap");
+  return c;
+}
+obs::Counter& StaleManifestCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_stale_manifest_retries_total",
+      "polls retried after a stale manifest / bad ship");
+  return c;
+}
+obs::Counter& SegmentsFetchedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_segments_fetched_total", "WAL segments fetched");
+  return c;
+}
+obs::Counter& SnapshotsLoadedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_snapshots_loaded_total",
+      "snapshots restored by followers");
+  return c;
+}
+obs::Counter& TornTailCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_torn_tails_total",
+      "polls that stopped at the primary's in-flight record");
+  return c;
+}
+obs::Counter& BootstrapCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_replica_bootstraps_total", "follower bootstraps");
+  return c;
+}
+
+}  // namespace
 
 void ReplicaSession::NoteManifest(const ReplicaManifest& manifest) {
   last_primary_seq_ = std::max(manifest.primary_seq, applied_seq_);
@@ -23,6 +94,7 @@ Result<ReplicaSession> ReplicaSession::Bootstrap(
   if (options.apply_batch == 0) options.apply_batch = 1;
   if (options.max_sync_attempts < 1) options.max_sync_attempts = 1;
   ReplicaSession session(std::move(source), options);
+  BootstrapCounter().Inc();
 
   auto manifest = session.source_->GetManifest();
   if (!manifest.ok()) return manifest.status();
@@ -48,7 +120,17 @@ Result<ReplicaSession> ReplicaSession::Bootstrap(
   return session;
 }
 
-Result<int64_t> ReplicaSession::Poll() { return SyncOnce(); }
+Result<int64_t> ReplicaSession::Poll() {
+  obs::ScopedTimer poll_timer(PollHist(), spec_,
+                              sink_ != nullptr ? sink_->StateVersion() : 0);
+  auto applied = SyncOnce();
+  if (applied.ok()) {
+    AppliedCounter().Add(static_cast<uint64_t>(*applied));
+    LagHist().Record(static_cast<uint64_t>(
+        std::max<int64_t>(0, last_primary_seq_ - applied_seq_)));
+  }
+  return applied;
+}
 
 Status ReplicaSession::RefreshLag() {
   auto manifest = source_->GetManifest();
@@ -83,6 +165,7 @@ Result<int64_t> ReplicaSession::SyncOnce() {
         // than keep serving divergent answers as fresh.
         if (DivergedFromAdvert(*manifest)) {
           ++divergence_rebuilds_;
+          DivergenceCounter().Inc();
           // A rewritten log can reuse segment names and sizes, so any
           // transport cache may be serving the pre-rewrite bytes.
           source_->InvalidateCaches();
@@ -109,12 +192,14 @@ Result<int64_t> ReplicaSession::SyncOnce() {
         // manifest and fetch — the primary pruned/rotated mid-poll, or a
         // transport cache is stale. Drop caches, refetch, retry.
         ++stale_manifest_retries_;
+        StaleManifestCounter().Inc();
         source_->InvalidateCaches();
         continue;
       case ApplyOutcome::kNeedSnapshot: {
         // The tail right after our position was pruned: only a snapshot
         // strictly ahead of us can bridge the gap.
         ++resyncs_;
+        ResyncCounter().Inc();
         auto swapped = BootstrapFromSnapshot(*manifest, applied_seq_);
         if (!swapped.ok()) return swapped.status();
         // Even when no newer snapshot is listed yet, retry with a fresh
@@ -140,6 +225,7 @@ Result<bool> ReplicaSession::BootstrapFromSnapshot(
     if (it->seq <= min_seq) break;
     auto bytes = source_->FetchSnapshot(it->seq);
     if (!bytes.ok()) continue;  // pruned since the manifest; try older
+    FetchBytesCounter().Add(bytes->size());
     if (it->checksum != 0 &&
         (bytes->size() != it->bytes ||
          Fnv1a64(bytes->data(), bytes->size()) != it->checksum)) {
@@ -152,6 +238,7 @@ Result<bool> ReplicaSession::BootstrapFromSnapshot(
     sink_ = std::move(restored.value());
     applied_seq_ = it->seq;
     ++snapshots_loaded_;
+    SnapshotsLoadedCounter().Inc();
     return true;
   }
   return false;
@@ -190,6 +277,8 @@ Result<ReplicaSession::ApplyOutcome> ReplicaSession::ApplyFrom(
     auto bytes = source_->FetchWalSegment(seg.first_seq);
     if (!bytes.ok()) return ApplyOutcome::kStaleManifest;
     ++segments_fetched_;
+    SegmentsFetchedCounter().Inc();
+    FetchBytesCounter().Add(bytes->size());
     if (bytes->empty()) continue;  // zero-length crash artifact
     if (seg.checksum != 0 &&
         (bytes->size() != seg.bytes ||
@@ -234,6 +323,7 @@ Result<ReplicaSession::ApplyOutcome> ReplicaSession::ApplyFrom(
         // refetches a longer prefix.
         flush();
         ++torn_tails_seen_;
+        TornTailCounter().Inc();
         return ApplyOutcome::kTornActiveTail;
       }
       return ApplyOutcome::kStaleManifest;  // sealed segments never tear

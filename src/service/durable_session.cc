@@ -9,9 +9,11 @@
 #include <vector>
 
 #include "core/sink_snapshot.h"
+#include "obs/metrics.h"
 #include "service/session_layout.h"
 #include "service/sink_spec.h"
 #include "util/binary_io.h"
+#include "util/timer.h"
 
 namespace fdm {
 
@@ -19,6 +21,79 @@ namespace {
 
 constexpr std::string_view kSessionTag = "fdm.session";
 constexpr std::string_view kReplAdvertTag = "fdm.repl";
+constexpr std::string_view kSessionStatsTag = "fdm.session.stats";
+
+obs::Counter& ObservedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_ingest_points_observed_total",
+      "stream points offered to durable sessions");
+  return c;
+}
+obs::Counter& KeptCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_ingest_points_kept_total",
+      "sink mutations (points admitted by at least one rung)");
+  return c;
+}
+obs::Histogram& BatchSizeHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_ingest_batch_points", "points per ObserveBatch call");
+  return h;
+}
+obs::Histogram& SnapshotWriteHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_snapshot_write_ns", "latency of session snapshot writes",
+      /*slow_threshold_ns=*/1'000'000'000);
+  return h;
+}
+obs::Counter& SnapshotBytesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_snapshot_bytes_total", "session snapshot payload bytes written");
+  return c;
+}
+obs::Histogram& RestoreHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_session_restore_ns",
+      "latency of session Opens (snapshot restore + WAL tail replay)",
+      /*slow_threshold_ns=*/5'000'000'000);
+  return h;
+}
+obs::Counter& RestoresCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_session_restores_total", "sessions restored by Open");
+  return c;
+}
+
+void WriteStatsFooter(SnapshotWriter& writer,
+                      const SessionIngestCounters& counters) {
+  writer.WriteString(kSessionStatsTag);
+  writer.WriteI64(counters.kept_total);
+  writer.WriteI64(counters.ingest_batches);
+  writer.WriteI64(counters.snapshots_taken);
+  writer.WriteDouble(counters.snapshot_write_ms_total);
+  writer.WriteI64(counters.restores);
+  writer.WriteI64(counters.replayed_records);
+}
+
+// Lenient by design: a snapshot written before the footer existed simply
+// has no trailing bytes (counters stay zero), and any malformed tail —
+// impossible from corruption, since the file checksum covers the whole
+// payload, but possible from a foreign writer — must never fail the
+// restore over lost statistics. The reader is not used again afterwards,
+// so leaving it in a failed state is harmless.
+void ReadStatsFooter(SnapshotReader& reader, SessionIngestCounters& out) {
+  if (reader.Remaining() == 0) return;
+  SessionIngestCounters parsed;
+  const std::string tag = reader.ReadString();
+  parsed.kept_total = reader.ReadI64();
+  parsed.ingest_batches = reader.ReadI64();
+  parsed.snapshots_taken = reader.ReadI64();
+  parsed.snapshot_write_ms_total = reader.ReadDouble();
+  parsed.restores = reader.ReadI64();
+  parsed.replayed_records = reader.ReadI64();
+  if (!reader.ok() || tag != kSessionStatsTag) return;
+  out = parsed;
+}
 
 }  // namespace
 
@@ -126,8 +201,10 @@ Result<DurableSession> DurableSession::Open(std::string dir,
   // Newest loadable snapshot wins; a corrupt snapshot (torn write, bit
   // rot — checksums catch both) falls back to the previous one, and
   // ultimately to a fresh sink replaying the whole WAL.
+  Timer restore_timer;
   std::unique_ptr<StreamSink> sink;
   int64_t snapshot_seq = 0;
+  SessionIngestCounters counters;
   auto snapshots = ListSessionSnapshots(SessionSnapDir(dir));
   for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
     auto reader = SnapshotReader::FromFile(it->second);
@@ -136,6 +213,7 @@ Result<DurableSession> DurableSession::Open(std::string dir,
     if (!restored.ok()) continue;
     sink = std::move(restored.value());
     snapshot_seq = it->first;
+    ReadStatsFooter(*reader, counters);
     break;
   }
   if (sink == nullptr) {
@@ -147,14 +225,26 @@ Result<DurableSession> DurableSession::Open(std::string dir,
 
   auto wal = WriteAheadLog::Open(SessionWalDir(dir), options.wal);
   if (!wal.ok()) return wal.status();
-  auto replayed = wal->Replay(snapshot_seq, *sink);
+  // The WAL tail past the snapshot was counted into kept_total before the
+  // crash/spill but is not in the footer; replaying reports its mutations
+  // so the cumulative count comes back exact.
+  int64_t replay_mutations = 0;
+  auto replayed = wal->Replay(snapshot_seq, *sink, &replay_mutations);
   if (!replayed.ok()) return replayed.status();
+  counters.restores += 1;
+  counters.replayed_records += *replayed;
+  counters.kept_total += replay_mutations;
+  RestoresCounter().Inc();
+  RestoreHist().RecordWithContext(
+      static_cast<uint64_t>(restore_timer.ElapsedNanos()), dir,
+      sink->StateVersion());
 
   DurableSession session(std::move(dir), std::move(spec), options);
   session.sink_ = std::move(sink);
   session.wal_ = std::make_unique<WriteAheadLog>(std::move(wal.value()));
   session.dim_ = parsed->dim;
   session.snapshot_seq_ = snapshot_seq;
+  session.counters_ = counters;
   return session;
 }
 
@@ -182,7 +272,10 @@ Status DurableSession::Observe(const StreamPoint& point) {
                          s.message());
     return broken_;
   }
-  sink_->Observe(point);
+  const bool mutated = sink_->Observe(point);
+  counters_.kept_total += mutated ? 1 : 0;
+  ObservedCounter().Inc();
+  if (mutated) KeptCounter().Inc();
   return MaybeAutoSnapshot();
 }
 
@@ -195,7 +288,12 @@ Status DurableSession::ObserveBatch(std::span<const StreamPoint> batch) {
                          s.message());
     return broken_;
   }
-  sink_->ObserveBatch(batch);
+  const size_t mutations = sink_->ObserveBatch(batch);
+  counters_.kept_total += static_cast<int64_t>(mutations);
+  counters_.ingest_batches += 1;
+  ObservedCounter().Add(batch.size());
+  KeptCounter().Add(mutations);
+  BatchSizeHist().Record(batch.size());
   return MaybeAutoSnapshot();
 }
 
@@ -232,13 +330,29 @@ Status DurableSession::TakeSnapshot() {
   const int64_t seq = sink_->ObservedElements();
   if (seq == snapshot_seq_) return Status::Ok();  // up to date (or empty)
 
+  Timer snap_timer;
   SnapshotWriter writer;
   writer.WriteString(kSessionTag);
   writer.WriteString(spec_);
   writer.WriteI64(seq);
   if (Status s = sink_->Snapshot(writer); !s.ok()) return s;
+  // Stats footer: written after the sink state so `RestoreSessionSnapshot`
+  // (and the replica bootstrap, which shares it) can stop at the sink and
+  // ignore the tail. The footer counts this snapshot as taken — a restore
+  // from it must see the count that was true once it existed.
+  SessionIngestCounters footer = counters_;
+  footer.snapshots_taken += 1;
+  footer.snapshot_write_ms_total += snap_timer.ElapsedSeconds() * 1000.0;
+  WriteStatsFooter(writer, footer);
+  const size_t payload_bytes = writer.PayloadBytes();
   if (Status s = writer.WriteFile(SnapshotPath(seq)); !s.ok()) return s;
   snapshot_seq_ = seq;
+  counters_.snapshots_taken += 1;
+  counters_.snapshot_write_ms_total += snap_timer.ElapsedSeconds() * 1000.0;
+  SnapshotBytesCounter().Add(payload_bytes);
+  SnapshotWriteHist().RecordWithContext(
+      static_cast<uint64_t>(snap_timer.ElapsedNanos()), dir_,
+      sink_->StateVersion());
 
   // Prune snapshots beyond keep_snapshots first, then drop only the WAL
   // prefix below the OLDEST snapshot still retained: if the newest

@@ -44,6 +44,30 @@ struct ReplicationAdvert {
 /// treat both as "no advert available").
 Result<ReplicationAdvert> ReadReplicationAdvert(const std::string& dir);
 
+/// Cumulative ingest/durability counters of one session. Unlike the
+/// sink-derived numbers (`ObservedElements` lives in sink state and
+/// survives snapshots on its own), these exist only in the session layer —
+/// so `TakeSnapshot` persists them in a stats footer after the sink state
+/// and `Open` reloads them, adding back the WAL tail's replayed mutations.
+/// The result: counts survive LRU spill and crash recovery exactly.
+/// Snapshots that predate the footer load as zeros.
+struct SessionIngestCounters {
+  /// Sink mutations total (summed `Observe`/`ObserveBatch` returns; an
+  /// element admitted by several candidate rungs may count more than once).
+  int64_t kept_total = 0;
+  /// `ObserveBatch` calls (not elements).
+  int64_t ingest_batches = 0;
+  int64_t snapshots_taken = 0;
+  /// Wall time spent writing snapshots, milliseconds. The persisted value
+  /// excludes the final file write of the snapshot carrying it (the footer
+  /// is serialized before the write); the in-memory value includes it.
+  double snapshot_write_ms_total = 0.0;
+  /// Times this session was restored by `Open`.
+  int64_t restores = 0;
+  /// WAL records replayed across all restores.
+  int64_t replayed_records = 0;
+};
+
 /// Durability knobs of one session.
 struct DurableSessionOptions {
   WalOptions wal;
@@ -119,8 +143,8 @@ class DurableSession {
   /// excludes ingest while a query reads the sink.
   Result<Solution> Solve() const {
     const StreamSink& sink = *sink_;
-    return solve_cache_->GetOrCompute(sink.StateVersion(),
-                                      [&sink] { return sink.Solve(); });
+    return solve_cache_->GetOrCompute(
+        sink.StateVersion(), [&sink] { return sink.Solve(); }, dir_);
   }
 
   /// Replaces the session's solve cache (the manager hands every session
@@ -155,6 +179,8 @@ class DurableSession {
 
   const std::string& dir() const { return dir_; }
   const std::string& spec() const { return spec_; }
+  /// Cumulative counters, footer-persisted (see `SessionIngestCounters`).
+  const SessionIngestCounters& IngestCounters() const { return counters_; }
   int64_t ObservedElements() const { return sink_->ObservedElements(); }
   size_t StoredElements() const { return sink_->StoredElements(); }
   /// Stream position of the newest on-disk snapshot (0 = none).
@@ -189,6 +215,7 @@ class DurableSession {
   std::shared_ptr<SolveCache> solve_cache_;  // never null
   size_t dim_ = 0;  // from the spec; every ingested point must match
   int64_t snapshot_seq_ = 0;
+  SessionIngestCounters counters_;
   Status broken_;  // latched WAL-append failure; session needs a reopen
 };
 

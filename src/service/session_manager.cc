@@ -5,11 +5,18 @@
 #include <utility>
 
 #include "geo/simd/kernel_dispatch.h"
+#include "obs/metrics.h"
 #include "service/sink_spec.h"
 
 namespace fdm {
 
 namespace {
+
+obs::Gauge& ResidentGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::Global().GetGauge(
+      "fdm_sessions_resident", "sessions currently live in memory");
+  return g;
+}
 
 bool ValidSessionName(const std::string& name) {
   if (name.empty() || name.size() > 128) return false;
@@ -98,6 +105,8 @@ Status SessionManager::CreateSession(const std::string& name,
   entry->session->AttachSolveCache(entry->solve_cache);
   entry->resident.store(true, std::memory_order_release);
   resident_count_.fetch_add(1, std::memory_order_relaxed);
+  ResidentGauge().Set(static_cast<double>(
+      resident_count_.load(std::memory_order_relaxed)));
   {
     std::lock_guard<std::mutex> lock(mu_);
     entry->last_used = ++tick_;
@@ -105,6 +114,8 @@ Status SessionManager::CreateSession(const std::string& name,
       // Lost a pure in-memory race for the name after our directory won
       // (e.g. a concurrent rescan registered it); keep the existing entry.
       resident_count_.fetch_sub(1, std::memory_order_relaxed);
+      ResidentGauge().Set(static_cast<double>(
+          resident_count_.load(std::memory_order_relaxed)));
       return Status::InvalidArgument("session '" + name + "' already exists");
     }
   }
@@ -138,6 +149,8 @@ Result<std::shared_ptr<SessionManager::Entry>> SessionManager::Resident(
       entry->session->AttachSolveCache(entry->solve_cache);
       entry->resident.store(true, std::memory_order_release);
       resident_count_.fetch_add(1, std::memory_order_relaxed);
+      ResidentGauge().Set(static_cast<double>(
+          resident_count_.load(std::memory_order_relaxed)));
     }
   }
   EnforceResidencyLimit();
@@ -186,6 +199,8 @@ void SessionManager::EnforceResidencyLimit() {
     victim->session.reset();
     victim->resident.store(false, std::memory_order_release);
     resident_count_.fetch_sub(1, std::memory_order_relaxed);
+    ResidentGauge().Set(static_cast<double>(
+        resident_count_.load(std::memory_order_relaxed)));
   }
 }
 
@@ -268,6 +283,8 @@ Status SessionManager::DropResident(const std::string& name) {
     entry->session.reset();
     entry->resident.store(false, std::memory_order_release);
     resident_count_.fetch_sub(1, std::memory_order_relaxed);
+    ResidentGauge().Set(static_cast<double>(
+        resident_count_.load(std::memory_order_relaxed)));
   }
   return Status::Ok();
 }
@@ -305,7 +322,18 @@ Result<SessionManager::SessionStats> SessionManager::Stats(
         const SolveCache::Stats cache = session.SolveCacheStats();
         stats.solve_hits = cache.hits;
         stats.solve_misses = cache.misses;
-        stats.last_solve_ms = cache.last_solve_ms;
+        constexpr double kNsToMs = 1e-6;
+        stats.solve_p50_cached_ms = cache.hit_ns.Percentile(0.5) * kNsToMs;
+        stats.solve_p99_cached_ms = cache.hit_ns.Percentile(0.99) * kNsToMs;
+        stats.solve_p50_cold_ms = cache.miss_ns.Percentile(0.5) * kNsToMs;
+        stats.solve_p99_cold_ms = cache.miss_ns.Percentile(0.99) * kNsToMs;
+        const SessionIngestCounters& counters = session.IngestCounters();
+        stats.kept = counters.kept_total;
+        stats.ingest_batches = counters.ingest_batches;
+        stats.snapshots_taken = counters.snapshots_taken;
+        stats.snapshot_write_ms_total = counters.snapshot_write_ms_total;
+        stats.restores = counters.restores;
+        stats.replayed_records = counters.replayed_records;
         stats.kernel = std::string(simd::ActiveKernelName());
         return stats;
       });

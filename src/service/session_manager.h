@@ -104,11 +104,24 @@ class SessionManager {
     int64_t snapshot_seq = 0;
     /// Monotone sink state version (see `StreamSink::StateVersion`).
     uint64_t state_version = 0;
-    /// Query-path counters: solve-cache hits/misses and the wall time of
-    /// the most recent cache-miss post-processing run.
+    /// Query-path counters: solve-cache hits/misses plus latency
+    /// percentiles of this session's cached serves and cold computes
+    /// (from the per-cache histograms — real in both metric configs).
+    /// 0 until at least one sample exists in the respective series.
     uint64_t solve_hits = 0;
     uint64_t solve_misses = 0;
-    double last_solve_ms = 0.0;
+    double solve_p50_cached_ms = 0.0;
+    double solve_p99_cached_ms = 0.0;
+    double solve_p50_cold_ms = 0.0;
+    double solve_p99_cold_ms = 0.0;
+    /// Cumulative ingest/durability counters, footer-persisted so they
+    /// survive LRU spill and crash recovery (see `SessionIngestCounters`).
+    int64_t kept = 0;
+    int64_t ingest_batches = 0;
+    int64_t snapshots_taken = 0;
+    double snapshot_write_ms_total = 0.0;
+    int64_t restores = 0;
+    int64_t replayed_records = 0;
     /// Distance-kernel dispatch target serving this process ("scalar" |
     /// "avx2" | "neon") — process-wide, surfaced per STATS reply so bench
     /// recordings against the server are self-describing.

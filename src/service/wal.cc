@@ -14,12 +14,58 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/binary_io.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace fdm {
 
 namespace {
+
+// Durability-plane metrics. Cached references: the registry getters take a
+// lock, so resolve each metric once and reuse the (never-dangling)
+// reference. Single-record `Append` gets counters only — a clock read per
+// record would be measurable on the per-element ingest path; the batched
+// paths carry the latency histograms.
+obs::Counter& WalRecordsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_wal_append_records_total", "records appended to the WAL");
+  return c;
+}
+obs::Counter& WalBytesCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_wal_append_bytes_total", "framed record bytes appended to the WAL");
+  return c;
+}
+obs::Histogram& WalAppendBatchHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_wal_append_batch_ns", "latency of WAL AppendBatch calls",
+      /*slow_threshold_ns=*/50'000'000);
+  return h;
+}
+obs::Histogram& WalFsyncHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_wal_fsync_ns", "latency of WAL fsyncs (flush included)",
+      /*slow_threshold_ns=*/250'000'000);
+  return h;
+}
+obs::Counter& WalRotateCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_wal_rotate_total", "WAL segment files opened (first one included)");
+  return c;
+}
+obs::Histogram& WalReplayHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_wal_replay_ns", "latency of whole WAL replays",
+      /*slow_threshold_ns=*/2'000'000'000);
+  return h;
+}
+obs::Counter& WalReplayRecordsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_wal_replay_records_total", "records replayed from the WAL");
+  return c;
+}
 
 constexpr char kSegmentMagic[8] = {'F', 'D', 'M', 'W', 'A', 'L', '0', '1'};
 constexpr size_t kRecordHeaderBytes = sizeof(uint32_t);
@@ -313,6 +359,7 @@ Status WriteAheadLog::OpenSegment(int64_t first_seq) {
   buffer_.assign(kSegmentMagic, sizeof(kSegmentMagic));
   active_segment_bytes_ = 0;
   segment_first_seqs_.push_back(first_seq);
+  WalRotateCounter().Inc();
   return Status::Ok();
 }
 
@@ -355,6 +402,9 @@ Status WriteAheadLog::AppendLocked(const StreamPoint& point) {
 
   last_seq_ = seq;
   ++unsynced_records_;
+  WalRecordsCounter().Inc();
+  WalBytesCounter().Add(kRecordHeaderBytes + payload_len +
+                        kRecordChecksumBytes);
 
   if (buffer_.size() >= kFlushThresholdBytes) {
     if (Status s = FlushBuffer(); !s.ok()) return s;
@@ -375,6 +425,8 @@ Status WriteAheadLog::Append(const StreamPoint& point) {
 }
 
 Status WriteAheadLog::AppendBatch(std::span<const StreamPoint> batch) {
+  obs::ScopedTimer timer(WalAppendBatchHist(), dir_,
+                         static_cast<uint64_t>(last_seq_));
   for (const StreamPoint& point : batch) {
     if (Status s = AppendLocked(point); !s.ok()) return s;
   }
@@ -383,6 +435,7 @@ Status WriteAheadLog::AppendBatch(std::span<const StreamPoint> batch) {
 }
 
 Status WriteAheadLog::Sync() {
+  Timer timer;
   if (Status s = FlushBuffer(); !s.ok()) return s;
   if (unsynced_records_ == 0) return Status::Ok();
   FDM_CHECK(fd_ >= 0);
@@ -391,6 +444,9 @@ Status WriteAheadLog::Sync() {
                            std::strerror(errno));
   }
   unsynced_records_ = 0;
+  WalFsyncHist().RecordWithContext(
+      static_cast<uint64_t>(timer.ElapsedNanos()), dir_,
+      static_cast<uint64_t>(last_seq_));
   return Status::Ok();
 }
 
@@ -403,10 +459,12 @@ std::vector<std::string> WriteAheadLog::SegmentPaths() const {
   return paths;
 }
 
-Result<int64_t> WriteAheadLog::Replay(int64_t after_seq,
-                                      StreamSink& sink) const {
+Result<int64_t> WriteAheadLog::Replay(int64_t after_seq, StreamSink& sink,
+                                      int64_t* mutations) const {
   FDM_CHECK_MSG(buffer_.empty() || buffer_.size() == sizeof(kSegmentMagic),
                 "Sync() the WAL before Replay()");
+  obs::ScopedTimer replay_timer(WalReplayHist(), dir_,
+                                static_cast<uint64_t>(after_seq));
   int64_t replayed = 0;
   int64_t prev_seq = after_seq;
 
@@ -467,6 +525,10 @@ Result<int64_t> WriteAheadLog::Replay(int64_t after_seq,
     }
   }
   applier.Flush();
+  if (mutations != nullptr) {
+    *mutations = static_cast<int64_t>(applier.mutations());
+  }
+  WalReplayRecordsCounter().Add(static_cast<uint64_t>(replayed));
   return replayed;
 }
 

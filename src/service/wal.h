@@ -107,7 +107,7 @@ class WalBatchApplier {
           ids_[i], groups_[i],
           std::span<const double>(coords_.data() + i * dim_, dim_)});
     }
-    sink_.ObserveBatch(points);
+    mutations_ += sink_.ObserveBatch(points);
     const size_t applied = ids_.size();
     coords_.clear();
     ids_.clear();
@@ -115,9 +115,16 @@ class WalBatchApplier {
     return applied;
   }
 
+  /// Total sink mutations across every `Flush` so far (the sum of
+  /// `ObserveBatch` returns) — lets replay report how many applied records
+  /// actually changed sink state, which the session's cumulative "kept"
+  /// counter needs to survive crash recovery exactly.
+  size_t mutations() const { return mutations_; }
+
  private:
   StreamSink& sink_;
   size_t batch_records_;
+  size_t mutations_ = 0;
   size_t dim_ = 0;
   std::vector<double> coords_;
   std::vector<int64_t> ids_;
@@ -195,9 +202,12 @@ class WriteAheadLog {
 
   /// Replays every record with `seq > after_seq` into `sink` through
   /// `ObserveBatch`, in sequence order. Returns the number of records
-  /// replayed. The newest segment may end in a torn record (crash tail) —
-  /// replay stops cleanly there.
-  Result<int64_t> Replay(int64_t after_seq, StreamSink& sink) const;
+  /// replayed; when `mutations` is non-null it receives how many of them
+  /// changed sink state (summed `ObserveBatch` returns). The newest
+  /// segment may end in a torn record (crash tail) — replay stops cleanly
+  /// there.
+  Result<int64_t> Replay(int64_t after_seq, StreamSink& sink,
+                         int64_t* mutations = nullptr) const;
 
   /// Deletes whole segments whose records all have `seq < before_seq`
   /// (call after a snapshot at `before_seq - 1` has been written). The

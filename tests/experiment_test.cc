@@ -130,6 +130,13 @@ TEST(RunAlgorithmTest, SolveEveryTraceMatchesPlainRun) {
   EXPECT_EQ(traced.intermediate_solves, (ds.size() + 6) / 7);
   EXPECT_LE(traced.solve_cache_hits, traced.intermediate_solves);
   EXPECT_EQ(plain.intermediate_solves, 0u);
+  // The pooled latency histogram holds one sample per trace solve (real
+  // in every build configuration — it rides the shared histogram type,
+  // not the registry).
+  EXPECT_EQ(traced.trace_solve_hist.count, traced.intermediate_solves);
+  EXPECT_GE(traced.trace_solve_hist.Percentile(0.99),
+            traced.trace_solve_hist.Percentile(0.5));
+  EXPECT_EQ(plain.trace_solve_hist.count, 0u);
 }
 
 TEST(RunAlgorithmTest, ReplicaDrillVerifiesBitIdenticalFollower) {

@@ -1,0 +1,195 @@
+// The sharded metrics registry: counters folded across threads are exact,
+// histogram scrapes merge shards deterministically, the slow-op journal
+// captures context above the threshold and wraps its ring, and both
+// renderers produce well-formed output. Registry state is process-global
+// with no reset, so every test uses its own metric names and delta
+// assertions. The whole suite also builds (and the registry asserts are
+// skipped) under FDM_NO_METRICS, where the API is stubbed out.
+
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace fdm::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterFoldsThreadShardsExactly) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "FDM_NO_METRICS build";
+  Counter& counter = MetricsRegistry::Global().GetCounter(
+      "fdm_test_counter_fold_total", "test");
+  const uint64_t before = counter.Value();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Inc();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // After the joins every shard's final store is visible; the fold must be
+  // exact, not approximate.
+  EXPECT_EQ(before + kThreads * kPerThread, counter.Value());
+}
+
+// `ThreadLocalCell` exists only in the real configuration (hot sites that
+// use it sit behind the same guard), so this whole test is compiled out
+// with the kill switch on.
+#ifndef FDM_NO_METRICS
+TEST(ObsMetricsTest, CachedCellBumpMatchesAdd) {
+  Counter& counter = MetricsRegistry::Global().GetCounter(
+      "fdm_test_counter_cell_total", "test");
+  const uint64_t before = counter.Value();
+  // The ultra-hot-site idiom: resolve the cell once, bump it directly.
+  std::atomic<uint64_t>& cell = counter.ThreadLocalCell();
+  for (int i = 0; i < 1000; ++i) BumpCell(cell);
+  BumpCell(cell, 500);
+  counter.Add(1);  // the convenience path lands in the same cell
+  EXPECT_EQ(before + 1501, counter.Value());
+}
+#endif  // FDM_NO_METRICS
+
+TEST(ObsMetricsTest, GetReturnsSameInstanceByName) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "FDM_NO_METRICS build";
+  Counter& a = MetricsRegistry::Global().GetCounter(
+      "fdm_test_counter_identity_total", "test");
+  Counter& b = MetricsRegistry::Global().GetCounter(
+      "fdm_test_counter_identity_total", "different help, same metric");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = MetricsRegistry::Global().GetHistogram(
+      "fdm_test_hist_identity_ns", "test", 1000);
+  Histogram& h2 = MetricsRegistry::Global().GetHistogram(
+      "fdm_test_hist_identity_ns", "test");
+  EXPECT_EQ(&h1, &h2);
+  // First registration wins for the slow threshold.
+  EXPECT_EQ(1000u, h2.slow_threshold_ns());
+}
+
+TEST(ObsMetricsTest, GaugeLastWriteWins) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "FDM_NO_METRICS build";
+  Gauge& gauge =
+      MetricsRegistry::Global().GetGauge("fdm_test_gauge", "test");
+  gauge.Set(3.5);
+  EXPECT_DOUBLE_EQ(3.5, gauge.Value());
+  gauge.Add(1.5);
+  EXPECT_DOUBLE_EQ(5.0, gauge.Value());
+  gauge.Set(-2.0);
+  EXPECT_DOUBLE_EQ(-2.0, gauge.Value());
+}
+
+TEST(ObsMetricsTest, HistogramScrapeMergesConcurrentShards) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "FDM_NO_METRICS build";
+  Histogram& hist = MetricsRegistry::Global().GetHistogram(
+      "fdm_test_hist_merge_ns", "test");
+  constexpr int kThreads = 6;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        hist.Record(static_cast<uint64_t>(t) * 1000 + (i % 100));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot merged = hist.Snapshot();
+  // Every thread recorded into its own shard; the scrape folds them all.
+  EXPECT_EQ(kThreads * kPerThread, merged.count);
+  // The merge is element-wise addition, so two scrapes of quiescent shards
+  // are identical — determinism the percentile reports rely on.
+  const HistogramSnapshot again = hist.Snapshot();
+  EXPECT_EQ(merged.counts, again.counts);
+  EXPECT_EQ(merged.sum, again.sum);
+}
+
+TEST(ObsMetricsTest, SlowOpJournalCapturesContextAboveThreshold) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "FDM_NO_METRICS build";
+  Histogram& hist = MetricsRegistry::Global().GetHistogram(
+      "fdm_test_hist_slow_ns", "test", /*slow_threshold_ns=*/1000);
+  hist.RecordWithContext(999, "below", 1);  // under: not journaled
+  hist.RecordWithContext(5000, "session-x", 42);
+  const std::vector<SlowOp> ops = MetricsRegistry::Global().SlowOps();
+  bool found = false;
+  bool found_below = false;
+  for (const SlowOp& op : ops) {
+    if (op.metric == "fdm_test_hist_slow_ns" && op.context == "session-x") {
+      found = true;
+      EXPECT_EQ(5000u, op.duration_ns);
+      EXPECT_EQ(42u, op.state_version);
+    }
+    if (op.context == "below") found_below = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(found_below);
+}
+
+TEST(ObsMetricsTest, SlowOpRingWrapsOldestFirst) {
+  if (!kMetricsEnabled) GTEST_SKIP() << "FDM_NO_METRICS build";
+  // Overfill the ring directly; the journal must keep the newest entries
+  // and report them oldest-first with monotone sequence numbers.
+  for (uint64_t i = 0; i < 300; ++i) {
+    MetricsRegistry::Global().JournalSlowOp("fdm_test_ring", "wrap", 1000 + i,
+                                            i);
+  }
+  const std::vector<SlowOp> ops = MetricsRegistry::Global().SlowOps();
+  ASSERT_LE(ops.size(), 256u);
+  ASSERT_GE(ops.size(), 2u);
+  for (size_t i = 1; i < ops.size(); ++i) {
+    EXPECT_LT(ops[i - 1].seq, ops[i].seq);
+  }
+  // The newest journaled op survived the wrap.
+  EXPECT_EQ(1000u + 299u, ops.back().duration_ns);
+}
+
+TEST(ObsMetricsTest, RenderersIncludeRegisteredMetrics) {
+  MetricsRegistry::Global()
+      .GetCounter("fdm_test_render_total", "render smoke counter")
+      .Add(7);
+  MetricsRegistry::Global()
+      .GetHistogram("fdm_test_render_ns", "render smoke histogram")
+      .Record(12345);
+  MetricsRegistry::Global().SetInfo("fdm_test_render_info", "value-1");
+  const std::string prom = MetricsRegistry::Global().RenderPrometheus();
+  const std::string json = MetricsRegistry::Global().RenderJson();
+  if (kMetricsEnabled) {
+    EXPECT_NE(std::string::npos, prom.find("fdm_test_render_total"));
+    EXPECT_NE(std::string::npos, prom.find("# HELP"));
+    EXPECT_NE(std::string::npos,
+              prom.find("fdm_test_render_ns{quantile=\"0.99\"}"));
+    EXPECT_NE(std::string::npos,
+              prom.find("fdm_test_render_info{value=\"value-1\"} 1"));
+    EXPECT_NE(std::string::npos, json.find("\"fdm_test_render_total\""));
+  } else {
+    EXPECT_NE(std::string::npos, prom.find("metrics disabled"));
+    EXPECT_NE(std::string::npos, json.find("\"metrics_enabled\":false"));
+  }
+  // Both renderers are single self-contained documents in either config.
+  EXPECT_FALSE(prom.empty());
+  EXPECT_EQ('{', json.front());
+  EXPECT_EQ('}', json.back());
+  // The JSON reply travels on one protocol line — it must never embed a
+  // newline.
+  EXPECT_EQ(std::string::npos, json.find('\n'));
+}
+
+TEST(ObsMetricsTest, StubApiIsInertWhenDisabled) {
+  if (kMetricsEnabled) GTEST_SKIP() << "metrics enabled build";
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("fdm_test_stub_total", "test");
+  counter.Add(100);
+  EXPECT_EQ(0u, counter.Value());
+  Histogram& hist =
+      MetricsRegistry::Global().GetHistogram("fdm_test_stub_ns", "test");
+  hist.Record(1);
+  EXPECT_EQ(0u, hist.Snapshot().count);
+  EXPECT_TRUE(MetricsRegistry::Global().SlowOps().empty());
+}
+
+}  // namespace
+}  // namespace fdm::obs

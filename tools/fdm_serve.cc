@@ -3,7 +3,8 @@
 //
 //   ./fdm_serve [--root=DIR] [--snapshot_every=N] [--max_resident=N]
 //               [--background_ms=N] [--threads=N]
-//   ./fdm_serve --follow=DIR [--poll_ms=N]        read-only follower mode
+//               [--metrics-dump=PATH[,PERIOD_MS]]
+//   ./fdm_serve --follow=DIR [--poll_ms=N] [--metrics-dump=...]
 //
 // Reads commands from stdin, one per line; writes one `OK ...` or
 // `ERR <message>` line per command to stdout:
@@ -15,12 +16,22 @@
 //                                   a shared lock when state is unchanged
 //   SNAPSHOT <name>                 force a durable snapshot
 //   RESTORE <name>                  drop in-memory state, recover from disk
-//   STATS <name>                    observed/stored/snapshot position, sink
-//                                   state version, solve-cache hits/misses,
-//                                   last-solve latency, active distance-
-//                                   kernel dispatch target
+//   STATS <name>                    observed/kept/stored/snapshot position,
+//                                   sink state version, solve-cache
+//                                   hits/misses, cached & cold solve-latency
+//                                   percentiles, snapshot/restore/replay
+//                                   counters, active distance-kernel target
+//   METRICS [json]                  process-wide metrics registry: the bare
+//                                   verb prints the Prometheus text
+//                                   exposition followed by `OK`; `METRICS
+//                                   json` replies `OK {...}` on one line
 //   LIST                            all known sessions
 //   QUIT                            snapshot everything and exit
+//
+// `--metrics-dump=PATH[,PERIOD_MS]` writes the Prometheus rendering to
+// PATH atomically (tmp + rename): every PERIOD_MS milliseconds when a
+// period is given, and always once more at clean exit. With no period the
+// file is written only at exit.
 //
 // Follower mode (`--follow=<primary root>`) serves the same SOLVE / STATS
 // / LIST read path from replicas that bootstrap off the primary's
@@ -43,12 +54,20 @@
 //   ...
 //   SOLVE demo
 
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "replica/replica_manager.h"
 #include "service/session_manager.h"
 #include "util/argparse.h"
@@ -56,6 +75,105 @@
 
 namespace fdm {
 namespace {
+
+/// Writes the Prometheus rendering of the global registry to a stable
+/// path, atomically (write tmp, rename over) so an external scraper never
+/// reads a half-written file. With a period, a background thread refreshes
+/// the file; in every mode the destructor writes one final dump, so even
+/// `--metrics-dump=PATH` alone leaves a complete end-of-run snapshot.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string path, int period_ms) : path_(std::move(path)) {
+    if (period_ms > 0) {
+      thread_ = std::thread([this, period_ms] {
+        std::unique_lock<std::mutex> lock(mu_);
+        while (!cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
+                             [this] { return stopping_; })) {
+          DumpOnce();
+        }
+      });
+    }
+  }
+
+  ~MetricsDumper() {
+    if (thread_.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+      }
+      cv_.notify_all();
+      thread_.join();
+    }
+    DumpOnce();
+  }
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+ private:
+  void DumpOnce() const {
+    const std::string text =
+        obs::MetricsRegistry::Global().RenderPrometheus();
+    const std::string tmp = path_ + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) return;
+      out << text;
+      if (!out.flush()) return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path_, ec);
+  }
+
+  const std::string path_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+/// Parses `--metrics-dump=PATH[,PERIOD_MS]`; null when the flag is absent.
+/// The period is split on the last comma only when everything after it is
+/// digits, so paths containing commas still work un-escaped.
+std::unique_ptr<MetricsDumper> MakeMetricsDumper(const ArgParser& args) {
+  const std::string spec = args.GetString("metrics-dump", "");
+  if (spec.empty()) return nullptr;
+  std::string path = spec;
+  int period_ms = 0;
+  const size_t comma = spec.rfind(',');
+  if (comma != std::string::npos && comma + 1 < spec.size()) {
+    bool digits = true;
+    for (size_t i = comma + 1; i < spec.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(spec[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (digits) {
+      path = spec.substr(0, comma);
+      period_ms = std::stoi(spec.substr(comma + 1));
+    }
+  }
+  return std::make_unique<MetricsDumper>(path, period_ms);
+}
+
+/// Handles the METRICS verb shared by primary and follower mode. Returns
+/// false when `command` is not METRICS.
+bool HandleMetricsVerb(const std::string& command, std::istream& in) {
+  if (command != "METRICS") return false;
+  std::string mode;
+  in >> mode;
+  if (mode == "json") {
+    std::cout << "OK " << obs::MetricsRegistry::Global().RenderJson()
+              << "\n";
+  } else if (mode.empty()) {
+    std::cout << obs::MetricsRegistry::Global().RenderPrometheus();
+    std::cout << "OK\n";
+  } else {
+    std::cout << "ERR METRICS takes no argument or 'json'\n";
+  }
+  return true;
+}
 
 void Reply(const Status& status) {
   if (status.ok()) {
@@ -85,6 +203,7 @@ int FollowerMain(const ArgParser& args) {
     return 1;
   }
   ReplicaManager& replicas = **manager;
+  const std::unique_ptr<MetricsDumper> dumper = MakeMetricsDumper(args);
   std::cout << "READY follow=" << options.primary_root
             << " poll_ms=" << options.poll_ms << "\n";
 
@@ -98,6 +217,7 @@ int FollowerMain(const ArgParser& args) {
       std::cout << "OK\n";
       break;
     }
+    if (HandleMetricsVerb(command, in)) continue;
     if (command == "LIST") {
       std::cout << "OK";
       for (const std::string& name : replicas.SessionNames()) {
@@ -186,6 +306,7 @@ int Main(int argc, char** argv) {
     return 1;
   }
   SessionManager& sessions = **manager;
+  const std::unique_ptr<MetricsDumper> dumper = MakeMetricsDumper(args);
   std::cout << "READY root=" << options.root_dir << "\n";
 
   std::string line;
@@ -198,6 +319,7 @@ int Main(int argc, char** argv) {
       Reply(sessions.SnapshotAll());
       break;
     }
+    if (HandleMetricsVerb(command, in)) continue;
     if (command == "LIST") {
       std::cout << "OK";
       for (const std::string& name : sessions.SessionNames()) {
@@ -269,12 +391,19 @@ int Main(int argc, char** argv) {
         std::cout << "ERR " << stats.status().ToString() << "\n";
       } else {
         std::cout << "OK observed=" << stats->observed
+                  << " kept=" << stats->kept
                   << " stored=" << stats->stored
                   << " snapshot_seq=" << stats->snapshot_seq
                   << " version=" << stats->state_version
                   << " solve_hits=" << stats->solve_hits
                   << " solve_misses=" << stats->solve_misses
-                  << " last_solve_ms=" << stats->last_solve_ms
+                  << " solve_p50_cached_ms=" << stats->solve_p50_cached_ms
+                  << " solve_p99_cached_ms=" << stats->solve_p99_cached_ms
+                  << " solve_p50_cold_ms=" << stats->solve_p50_cold_ms
+                  << " solve_p99_cold_ms=" << stats->solve_p99_cold_ms
+                  << " snapshots=" << stats->snapshots_taken
+                  << " restores=" << stats->restores
+                  << " replayed=" << stats->replayed_records
                   << " kernel=" << stats->kernel
                   << " spec=\"" << stats->spec << "\"\n";
       }
