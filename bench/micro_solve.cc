@@ -5,6 +5,7 @@
 //
 //   ./micro_solve [--n=20000] [--dim=8] [--reps=25] [--cold_reps=3]
 //                 [--out=results] [--min-cold-speedup=0]
+//                 [--min-parallel-cold-speedup=0]
 //
 // Sections:
 //   solve_cold       full SFDM-2 post-processing from scratch (the memo is
@@ -15,17 +16,24 @@
 //                    the serving hot path (a memoized copy per query)
 //   cold_grid        cache-miss Solve() per registered streaming kind ×
 //                    n {4096, 16384} × k {10, 20} at dim 25 (Euclidean),
-//                    under every reachable kernel target — the offline
-//                    Solve-path routing's speedup surface
+//                    under every reachable kernel target × solve_threads
+//                    {1, 2, 4} — the offline Solve-path routing's SIMD ×
+//                    rung-parallel speedup surface
 //   under_ingest     SOLVE latency against a live SessionManager session
 //                    while a writer floods OBSERVE into another session
 //
 // --min-cold-speedup=X (release gate): exit non-zero unless, at the
-// sfdm2 / n=16384 / k=20 cold_grid cell, the best non-scalar target's
-// cold Solve is at least X× faster than the scalar target's. Before this
-// PR the offline Solve loops *were* scalar regardless of target, so the
-// scalar column doubles as the prior-release baseline. Vacuously passes
-// (with a warning) when only the scalar target is available.
+// sfdm2 / n=16384 / k=20 / threads=1 cold_grid cell, the best non-scalar
+// target's cold Solve is at least X× faster than the scalar target's.
+// Before the kernel-routing PR the offline Solve loops *were* scalar
+// regardless of target, so the scalar column doubles as the prior-release
+// baseline. Vacuously passes (with a warning) when only the scalar target
+// is available.
+//
+// --min-parallel-cold-speedup=X (release gate): exit non-zero unless, at
+// the same sfdm2 / n=16384 / k=20 cell, some target's threads=4 cold
+// Solve is at least X× faster than that target's own threads=1 run (the
+// rung-parallel scaling gate; solutions are bit-identical either way).
 
 #include <algorithm>
 #include <atomic>
@@ -58,8 +66,12 @@ struct ColdCell {
   size_t n = 0;
   int k = 0;
   std::string target;
+  int threads = 1;
   double cold_ms = 0.0;
-  double speedup_vs_scalar = 0.0;  // filled after the sweep
+  // Both filled after the sweep: vs the scalar target at the same thread
+  // count, and vs this target's own threads=1 run.
+  double speedup_vs_scalar = 0.0;
+  double parallel_speedup = 0.0;
 };
 
 /// Cache-miss Solve() cost per kernel target for one (kind, n, k) cell:
@@ -98,23 +110,27 @@ bool TimeColdCell(AlgorithmKind kind, size_t n, const std::vector<int>& quotas,
   const int k = config.constraint.TotalK();
   for (const std::string_view target : simd::AvailableKernelTargets()) {
     FDM_CHECK(simd::internal::ForceKernelTargetForTest(target));
-    double total = 0.0;
-    for (int r = 0; r < cold_reps; ++r) {
-      auto reader = SnapshotReader::FromBytes(bytes);
-      if (!reader.ok()) return false;
-      auto fresh = RestoreSink(*reader);
-      if (!fresh.ok()) return false;
-      Timer timer;
-      if (!(*fresh)->Solve().ok()) return false;
-      total += timer.ElapsedSeconds();
+    for (const int threads : {1, 2, 4}) {
+      double total = 0.0;
+      for (int r = 0; r < cold_reps; ++r) {
+        auto reader = SnapshotReader::FromBytes(bytes);
+        if (!reader.ok()) return false;
+        auto fresh = RestoreSink(*reader);
+        if (!fresh.ok()) return false;
+        (*fresh)->SetSolveThreads(threads);
+        Timer timer;
+        if (!(*fresh)->Solve().ok()) return false;
+        total += timer.ElapsedSeconds();
+      }
+      ColdCell cell;
+      cell.kind = std::string(AlgorithmName(kind));
+      cell.n = n;
+      cell.k = k;
+      cell.target = std::string(target);
+      cell.threads = threads;
+      cell.cold_ms = total * 1000.0 / cold_reps;
+      cells.push_back(cell);
     }
-    ColdCell cell;
-    cell.kind = std::string(AlgorithmName(kind));
-    cell.n = n;
-    cell.k = k;
-    cell.target = std::string(target);
-    cell.cold_ms = total * 1000.0 / cold_reps;
-    cells.push_back(cell);
   }
   simd::internal::ForceKernelTargetForTest("");
   return true;
@@ -146,6 +162,8 @@ int Main(int argc, char** argv) {
   result.reps = static_cast<int>(args.GetInt("reps", 25));
   const int cold_reps = static_cast<int>(args.GetInt("cold_reps", 3));
   const double min_cold_speedup = args.GetDouble("min-cold-speedup", 0.0);
+  const double min_parallel_cold_speedup =
+      args.GetDouble("min-parallel-cold-speedup", 0.0);
   const std::string out_dir = args.GetString("out", "results");
 
   BlobsOptions data_options;
@@ -244,20 +262,25 @@ int Main(int argc, char** argv) {
         }
       }
     }
-    // Speedups vs the scalar column of the same (kind, n, k) cell.
+    // Speedups: vs the scalar column of the same (kind, n, k, threads)
+    // cell, and vs the same target's threads=1 column.
     for (ColdCell& c : cold_cells) {
       for (const ColdCell& s : cold_cells) {
-        if (s.target == "scalar" && s.kind == c.kind && s.n == c.n &&
-            s.k == c.k) {
+        if (s.kind != c.kind || s.n != c.n || s.k != c.k) continue;
+        if (s.target == "scalar" && s.threads == c.threads) {
           c.speedup_vs_scalar = c.cold_ms > 0.0 ? s.cold_ms / c.cold_ms : 0.0;
+        }
+        if (s.target == c.target && s.threads == 1) {
+          c.parallel_speedup = c.cold_ms > 0.0 ? s.cold_ms / c.cold_ms : 0.0;
         }
       }
     }
-    std::printf("%-14s %6s %3s %-7s %12s %9s\n", "kind", "n", "k", "target",
-                "cold ms", "vs scal");
+    std::printf("%-14s %6s %3s %-7s %3s %12s %9s %9s\n", "kind", "n", "k",
+                "target", "thr", "cold ms", "vs scal", "vs 1thr");
     for (const ColdCell& c : cold_cells) {
-      std::printf("%-14s %6zu %3d %-7s %12.3f %8.2fx\n", c.kind.c_str(), c.n,
-                  c.k, c.target.c_str(), c.cold_ms, c.speedup_vs_scalar);
+      std::printf("%-14s %6zu %3d %-7s %3d %12.3f %8.2fx %8.2fx\n",
+                  c.kind.c_str(), c.n, c.k, c.target.c_str(), c.threads,
+                  c.cold_ms, c.speedup_vs_scalar, c.parallel_speedup);
     }
   }
 
@@ -345,8 +368,10 @@ int Main(int argc, char** argv) {
     const ColdCell& c = cold_cells[i];
     json << "    {\"kind\": \"" << c.kind << "\", \"n\": " << c.n
          << ", \"k\": " << c.k << ", \"target\": \"" << c.target
-         << "\", \"cold_ms\": " << c.cold_ms
-         << ", \"speedup_vs_scalar\": " << c.speedup_vs_scalar << "}"
+         << "\", \"threads\": " << c.threads
+         << ", \"cold_ms\": " << c.cold_ms
+         << ", \"speedup_vs_scalar\": " << c.speedup_vs_scalar
+         << ", \"parallel_speedup\": " << c.parallel_speedup << "}"
          << (i + 1 < cold_cells.size() ? ",\n" : "\n");
   }
   json << "  ],\n"
@@ -384,7 +409,8 @@ int Main(int argc, char** argv) {
     std::string best_target;
     for (const ColdCell& c : cold_cells) {
       if (c.kind == "SFDM2" && c.n == 16384 && c.k == 20 &&
-          c.target != "scalar" && c.speedup_vs_scalar > best) {
+          c.threads == 1 && c.target != "scalar" &&
+          c.speedup_vs_scalar > best) {
         best = c.speedup_vs_scalar;
         best_target = c.target;
       }
@@ -399,6 +425,37 @@ int Main(int argc, char** argv) {
     std::printf("cold-solve gate passed: %s is %.2fx scalar at sfdm2 / "
                 "n 16384 / k 20 (>= %.2fx)\n",
                 best_target.c_str(), best, min_cold_speedup);
+  }
+  // The acceptance gate of the rung-parallel query path: 4 solve threads
+  // must beat the same target's sequential cold SOLVE by the requested
+  // factor at the paper-scale cell.
+  if (min_parallel_cold_speedup > 0.0) {
+    if (std::thread::hardware_concurrency() < 4) {
+      std::fprintf(stderr,
+                   "WARN: fewer than 4 hardware threads; "
+                   "--min-parallel-cold-speedup check skipped\n");
+      return 0;
+    }
+    double best = 0.0;
+    std::string best_target;
+    for (const ColdCell& c : cold_cells) {
+      if (c.kind == "SFDM2" && c.n == 16384 && c.k == 20 &&
+          c.threads == 4 && c.parallel_speedup > best) {
+        best = c.parallel_speedup;
+        best_target = c.target;
+      }
+    }
+    if (best < min_parallel_cold_speedup) {
+      std::fprintf(stderr,
+                   "FAIL: best 4-thread cold-SOLVE speedup (%s) is %.2fx "
+                   "its 1-thread run at sfdm2 / n 16384 / k 20, below the "
+                   "%.2fx gate\n",
+                   best_target.c_str(), best, min_parallel_cold_speedup);
+      return 1;
+    }
+    std::printf("parallel cold-solve gate passed: %s at 4 threads is %.2fx "
+                "its 1-thread run at sfdm2 / n 16384 / k 20 (>= %.2fx)\n",
+                best_target.c_str(), best, min_parallel_cold_speedup);
   }
   return 0;
 }

@@ -15,7 +15,8 @@ namespace fdm {
 Result<AdaptiveStreamingDm> AdaptiveStreamingDm::Create(int k, size_t dim,
                                                         MetricKind metric,
                                                         double epsilon,
-                                                        size_t max_rungs) {
+                                                        size_t max_rungs,
+                                                        int solve_threads) {
   if (k < 1) {
     return Status::InvalidArgument("k must be >= 1, got " + std::to_string(k));
   }
@@ -26,7 +27,7 @@ Result<AdaptiveStreamingDm> AdaptiveStreamingDm::Create(int k, size_t dim,
   if (max_rungs < 1) {
     return Status::InvalidArgument("max_rungs must be >= 1");
   }
-  AdaptiveStreamingDm algo(k, dim, metric, epsilon, max_rungs);
+  AdaptiveStreamingDm algo(k, dim, metric, epsilon, max_rungs, solve_threads);
   algo.pending_ = PointBuffer(dim, 1);
   return algo;
 }
@@ -112,15 +113,26 @@ bool AdaptiveStreamingDm::Observe(const StreamPoint& point) {
 }
 
 Result<Solution> AdaptiveStreamingDm::Solve() const {
+  // Per-rung diversity over `solve_threads` (each task writes only its own
+  // slot), then a sequential ascending-µ winner scan with strict `>` — the
+  // same split as the fixed-ladder sinks, so output is bit-identical to
+  // the sequential path at any thread count.
+  std::vector<double> diversity(rungs_.size(), -1.0);
+  std::vector<uint8_t> full(rungs_.size(), 0);
+  solve_parallelism_.Run(rungs_.size(), [&](size_t j) {
+    const StreamingCandidate& rung = rungs_[j];
+    if (!rung.Full()) return;
+    full[j] = 1;
+    diversity[j] =
+        k_ >= 2 ? MinPairwiseDistance(rung.points(), metric_) : rung.mu();
+  });
   const StreamingCandidate* best = nullptr;
   double best_div = -1.0;
-  for (const auto& rung : rungs_) {
-    if (!rung.Full()) continue;
-    const double div =
-        k_ >= 2 ? MinPairwiseDistance(rung.points(), metric_) : rung.mu();
-    if (div > best_div) {
-      best_div = div;
-      best = &rung;
+  for (size_t j = 0; j < rungs_.size(); ++j) {
+    if (!full[j]) continue;
+    if (diversity[j] > best_div) {
+      best_div = diversity[j];
+      best = &rungs_[j];
     }
   }
   if (best == nullptr) {
@@ -144,6 +156,7 @@ Status AdaptiveStreamingDm::Snapshot(SnapshotWriter& writer) const {
   writer.WriteU8(static_cast<uint8_t>(metric_.kind()));
   writer.WriteDouble(epsilon_);
   writer.WriteU64(max_rungs_);
+  writer.WriteI32(solve_parallelism_.solve_threads());
   writer.WriteI64(observed_);
   writer.WriteU64(state_version_);
   writer.WriteBool(pending_valid_);
@@ -164,11 +177,12 @@ Result<AdaptiveStreamingDm> AdaptiveStreamingDm::Restore(
   const MetricKind metric = internal::ReadMetricKind(reader);
   const double epsilon = reader.ReadDouble();
   const size_t max_rungs = reader.ReadU64();
+  const int solve_threads = reader.ReadI32();
   const int64_t observed = reader.ReadI64();
   const uint64_t state_version = reader.ReadU64();
   const bool pending_valid = reader.ReadBool();
   if (!reader.ok()) return reader.status();
-  auto created = Create(k, dim, metric, epsilon, max_rungs);
+  auto created = Create(k, dim, metric, epsilon, max_rungs, solve_threads);
   if (!created.ok()) return created.status();
   AdaptiveStreamingDm algo = std::move(created.value());
   DeserializePointBuffer(reader, algo.pending_);

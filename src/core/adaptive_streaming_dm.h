@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "core/solution.h"
+#include "core/solve_pool.h"
 #include "core/stream_sink.h"
 #include "core/streaming_candidate.h"
 #include "geo/metric.h"
@@ -46,9 +47,12 @@ class AdaptiveStreamingDm : public StreamSink {
  public:
   /// `k >= 1`, `0 < epsilon < 1`, `max_rungs` bounds the lazily grown
   /// ladder (a spread of 10^9 at ε = 0.1 needs ~200 rungs).
+  /// `solve_threads` follows the shared knob encoding (`1` = sequential,
+  /// `0` = all hardware threads, `n` = at most n).
   static Result<AdaptiveStreamingDm> Create(int k, size_t dim,
                                             MetricKind metric, double epsilon,
-                                            size_t max_rungs = 4096);
+                                            size_t max_rungs = 4096,
+                                            int solve_threads = 1);
 
   /// Processes one element, growing the ladder as needed. Returns true iff
   /// the element mutated state: it was held as the pending seed, seeded or
@@ -67,7 +71,15 @@ class AdaptiveStreamingDm : public StreamSink {
   /// equivalent here.
 
   /// Best full candidate, as in Algorithm 1. Fails if no candidate filled.
+  /// Per-rung diversity fans out over `solve_threads`; the winner scan
+  /// stays a sequential ascending-µ pass, so output is bit-identical to
+  /// the sequential path at any thread count.
   Result<Solution> Solve() const override;
+
+  /// Adjusts `solve_threads` on the live sink; see `StreamSink`.
+  void SetSolveThreads(int solve_threads) override {
+    solve_parallelism_.set_solve_threads(solve_threads);
+  }
 
   /// Distinct stored elements across rungs.
   size_t StoredElements() const override;
@@ -90,9 +102,9 @@ class AdaptiveStreamingDm : public StreamSink {
 
  private:
   AdaptiveStreamingDm(int k, size_t dim, MetricKind metric, double epsilon,
-                      size_t max_rungs)
+                      size_t max_rungs, int solve_threads)
       : k_(k), dim_(dim), metric_(metric), epsilon_(epsilon),
-        max_rungs_(max_rungs) {}
+        max_rungs_(max_rungs), solve_parallelism_(solve_threads) {}
 
   /// Appends a rung with `µ = top·growth`, seeding its candidate by
   /// greedily filtering the current top candidate.
@@ -107,6 +119,7 @@ class AdaptiveStreamingDm : public StreamSink {
   Metric metric_;
   double epsilon_;
   size_t max_rungs_;
+  SolveParallelism solve_parallelism_;
   std::deque<StreamingCandidate> rungs_;  // ascending µ
   /// First point seen before the ladder exists (needed to seed d_min from
   /// the first nonzero pairwise distance).

@@ -42,6 +42,17 @@ namespace fdm {
 /// per-candidate `TryAdd` sequence is identical to per-element `Observe`,
 /// the counts are chunking-invariant — they feed the rung-level and
 /// sink-level state versions that key the incremental query path.
+///
+/// The query path mirrors this determinism contract exactly
+/// (`SolveParallelism`, core/solve_pool.h): a parallel `Solve()` fans its
+/// per-rung (or per-shard) post-processing out with task `j` owning rung
+/// `j`'s inputs and writing only slot `j` of the result array — each task
+/// builds its own scratch (`KernelWorkspace` mirrors included) — while
+/// the final best-rung selection stays a sequential ascending-index scan
+/// with strict `>`. Ingest-side rung parallelism is thus bit-identical to
+/// per-element processing, and solve-side rung parallelism bit-identical
+/// to the sequential solve, for the same structural reason: rungs share
+/// no state, and every cross-rung decision happens in one fixed order.
 template <typename BlindAt, typename SpecificAt>
 void ReplayBatchRungMajor(BatchParallelism& parallelism, size_t rungs,
                           int num_groups, std::span<const StreamPoint> batch,

@@ -1,6 +1,7 @@
 #include "core/sfdm1.h"
 
 #include <limits>
+#include <optional>
 #include <set>
 #include <string>
 
@@ -8,19 +9,35 @@
 #include "core/diversity.h"
 #include "core/snapshot_util.h"
 #include "geo/point_buffer_io.h"
+#include "obs/metrics.h"
 #include "util/binary_io.h"
 #include "util/check.h"
 
 namespace fdm {
 
+namespace {
+
+// Per-rung post-processing latency inside a cold Solve(), for both ladder
+// algorithms (SFDM-1 balancing, SFDM-2 matroid intersection). Rung solves
+// are µs–ms scale, so every sample is recorded (no 1/N sampling like the
+// ingest-side rung-scan histogram needs).
+obs::Histogram& RungSolveHist() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_solve_rung_ns", "per-rung post-processing latency in cold Solve()");
+  return hist;
+}
+
+}  // namespace
+
 Sfdm1::Sfdm1(FairnessConstraint constraint, size_t dim, MetricKind metric,
-             GuessLadder ladder, int batch_threads)
+             GuessLadder ladder, int batch_threads, int solve_threads)
     : constraint_(std::move(constraint)),
       k_(constraint_.TotalK()),
       dim_(dim),
       metric_(metric),
       ladder_(std::move(ladder)),
-      parallelism_(batch_threads) {
+      parallelism_(batch_threads),
+      solve_parallelism_(solve_threads) {
   blind_.reserve(ladder_.size());
   for (int i = 0; i < 2; ++i) specific_[i].reserve(ladder_.size());
   for (size_t j = 0; j < ladder_.size(); ++j) {
@@ -48,7 +65,7 @@ Result<Sfdm1> Sfdm1::Create(const FairnessConstraint& constraint, size_t dim,
       GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
   if (!ladder.ok()) return ladder.status();
   return Sfdm1(constraint, dim, metric, std::move(ladder.value()),
-               options.batch_threads);
+               options.batch_threads, options.solve_threads);
 }
 
 bool Sfdm1::Observe(const StreamPoint& point) {
@@ -167,21 +184,34 @@ PointBuffer Sfdm1::BalancedCandidate(size_t j) const {
 }
 
 Result<Solution> Sfdm1::Solve() const {
-  Solution best(dim_);
-  best.diversity = -1.0;
-  bool found = false;
-  for (size_t j = 0; j < ladder_.size(); ++j) {
+  const size_t rungs = ladder_.size();
+  // Phase 1 — balance every eligible rung, fanned out over `solve_threads`:
+  // task j reads only rung j's candidates and writes only slot j
+  // (`BalancedCandidate` works on copies, so concurrent tasks share nothing
+  // mutable). Phase 2 — the best-rung selection — stays a sequential
+  // ascending-µ scan with strict `>`, so the winner (and hence the output)
+  // is bit-identical to the sequential path at any thread count.
+  std::vector<std::optional<PointBuffer>> balanced(rungs);
+  std::vector<double> diversity(rungs, -1.0);
+  solve_parallelism_.Run(rungs, [&](size_t j) {
     // U' = {µ : |S_µ| = k ∧ |S_µ,i| = k_i for both i} (line 9).
     if (!blind_[j].Full() || !specific_[0][j].Full() ||
         !specific_[1][j].Full()) {
-      continue;
+      return;
     }
-    PointBuffer balanced = BalancedCandidate(j);
-    FDM_DCHECK(SatisfiesQuotas(balanced, constraint_.quotas));
-    const double div = MinPairwiseDistance(balanced, metric_);
-    if (div > best.diversity) {
-      best.points = std::move(balanced);
-      best.diversity = div;
+    obs::ScopedTimer timer(RungSolveHist());
+    balanced[j] = BalancedCandidate(j);
+    FDM_DCHECK(SatisfiesQuotas(*balanced[j], constraint_.quotas));
+    diversity[j] = MinPairwiseDistance(*balanced[j], metric_);
+  });
+  Solution best(dim_);
+  best.diversity = -1.0;
+  bool found = false;
+  for (size_t j = 0; j < rungs; ++j) {
+    if (!balanced[j].has_value()) continue;
+    if (diversity[j] > best.diversity) {
+      best.points = std::move(*balanced[j]);
+      best.diversity = diversity[j];
       best.mu = ladder_.At(j);
       found = true;
     }
@@ -214,7 +244,8 @@ Status Sfdm1::Snapshot(SnapshotWriter& writer) const {
   writer.WriteU64(constraint_.quotas.size());
   for (const int quota : constraint_.quotas) writer.WriteI32(quota);
   internal::WriteStreamingHeader(writer, dim_, metric_, ladder_,
-                                 parallelism_.batch_threads());
+                                 parallelism_.batch_threads(),
+                                 solve_parallelism_.solve_threads());
   writer.WriteI64(observed_);
   writer.WriteU64(state_version_);
   writer.WriteU64(ladder_.size());

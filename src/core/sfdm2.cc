@@ -14,12 +14,26 @@
 #include "util/binary_io.h"
 #include "core/matroid.h"
 #include "core/matroid_intersection.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace fdm {
 
+namespace {
+
+// Per-rung post-processing latency inside a cold Solve(); shared with the
+// SFDM-1 balancing path under the same metric name. Only dirty rungs are
+// timed — a warm memo hit records nothing.
+obs::Histogram& RungSolveHist() {
+  static obs::Histogram& hist = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_solve_rung_ns", "per-rung post-processing latency in cold Solve()");
+  return hist;
+}
+
+}  // namespace
+
 Sfdm2::Sfdm2(FairnessConstraint constraint, size_t dim, MetricKind metric,
-             GuessLadder ladder, int batch_threads)
+             GuessLadder ladder, int batch_threads, int solve_threads)
     : constraint_(std::move(constraint)),
       k_(constraint_.TotalK()),
       m_(constraint_.num_groups()),
@@ -27,6 +41,7 @@ Sfdm2::Sfdm2(FairnessConstraint constraint, size_t dim, MetricKind metric,
       metric_(metric),
       ladder_(std::move(ladder)),
       parallelism_(batch_threads),
+      solve_parallelism_(solve_threads),
       rung_version_(ladder_.size(), 0),
       rung_solve_(ladder_.size()) {
   blind_.reserve(ladder_.size());
@@ -52,7 +67,7 @@ Result<Sfdm2> Sfdm2::Create(const FairnessConstraint& constraint, size_t dim,
       GuessLadder::Create(options.d_min, options.d_max, options.epsilon);
   if (!ladder.ok()) return ladder.status();
   return Sfdm2(constraint, dim, metric, std::move(ladder.value()),
-               options.batch_threads);
+               options.batch_threads, options.solve_threads);
 }
 
 bool Sfdm2::Observe(const StreamPoint& point) {
@@ -219,26 +234,32 @@ std::optional<Solution> Sfdm2::SolveRung(size_t j) const {
 
 Result<Solution> Sfdm2::Solve() const {
   const size_t rungs = ladder_.size();
-  const RungSolve* best = nullptr;
 
-  for (size_t j = 0; j < rungs; ++j) {
-    // Incremental query path: re-run the post-processing only for rungs
-    // whose candidates changed since the memoized run. A rung's outcome is
-    // a pure function of its own candidates (and the ablation knobs, which
-    // invalidate the memo when flipped), so reusing it is exact — the
-    // final selection below sees the same per-rung values a from-scratch
-    // pass would produce.
+  // Phase 1 — memo fill, fanned out over `solve_threads`: re-run the
+  // post-processing only for rungs whose candidates changed since the
+  // memoized run. A rung's outcome is a pure function of its own
+  // candidates (and the ablation knobs, which invalidate the memo when
+  // flipped), so reusing it is exact, and task j touches only rung j's
+  // candidates and its own `rung_solve_[j]` slot — `SolveRung` builds all
+  // of its scratch (ground set, cluster labels, kernel mirrors) locally,
+  // so concurrent tasks share nothing mutable.
+  solve_parallelism_.Run(rungs, [this](size_t j) {
     RungSolve& memo = rung_solve_[j];
-    if (!memo.computed || memo.version != rung_version_[j]) {
-      memo.solution = SolveRung(j);
-      memo.version = rung_version_[j];
-      memo.computed = true;
-    }
-    if (!memo.solution.has_value()) continue;
+    if (memo.computed && memo.version == rung_version_[j]) return;
+    obs::ScopedTimer timer(RungSolveHist());
+    memo.solution = SolveRung(j);
+    memo.version = rung_version_[j];
+    memo.computed = true;
+  });
 
-    // Final selection (line 19), identical to the historical single-pass
-    // scan: ascending µ, strictly-greater diversity wins. Only the winner
-    // is copied out of the memo, after the scan.
+  // Phase 2 — final selection (line 19), identical to the historical
+  // single-pass scan: ascending µ, strictly-greater diversity wins, so
+  // the winner is bit-identical to the sequential path at any thread
+  // count. Only the winner is copied out of the memo, after the scan.
+  const RungSolve* best = nullptr;
+  for (size_t j = 0; j < rungs; ++j) {
+    const RungSolve& memo = rung_solve_[j];
+    if (!memo.solution.has_value()) continue;
     if (best == nullptr ||
         memo.solution->diversity > best->solution->diversity) {
       best = &memo;
@@ -270,7 +291,8 @@ Status Sfdm2::Snapshot(SnapshotWriter& writer) const {
   writer.WriteU64(constraint_.quotas.size());
   for (const int quota : constraint_.quotas) writer.WriteI32(quota);
   internal::WriteStreamingHeader(writer, dim_, metric_, ladder_,
-                                 parallelism_.batch_threads());
+                                 parallelism_.batch_threads(),
+                                 solve_parallelism_.solve_threads());
   writer.WriteBool(warm_start_);
   writer.WriteBool(greedy_augmentation_);
   writer.WriteI64(observed_);

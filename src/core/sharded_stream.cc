@@ -1,6 +1,7 @@
 #include "core/sharded_stream.h"
 
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -14,12 +15,13 @@ namespace fdm {
 
 ShardedStreamingDm::ShardedStreamingDm(int k, size_t dim, MetricKind metric,
                                        std::vector<StreamingDm> shards,
-                                       int batch_threads)
+                                       int batch_threads, int solve_threads)
     : k_(k),
       dim_(dim),
       metric_(metric),
       shards_(std::move(shards)),
-      parallelism_(batch_threads) {}
+      parallelism_(batch_threads),
+      solve_parallelism_(solve_threads) {}
 
 Result<ShardedStreamingDm> ShardedStreamingDm::Create(
     int k, size_t dim, MetricKind metric, const StreamingOptions& options,
@@ -27,10 +29,11 @@ Result<ShardedStreamingDm> ShardedStreamingDm::Create(
   if (sharding.num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
-  // Shards ingest sequentially within a batch partition; parallelism lives
-  // at the shard level, so nested rung-parallelism is disabled.
+  // Shards ingest (and solve) sequentially within a partition; parallelism
+  // lives at the shard level, so nested rung-parallelism is disabled.
   StreamingOptions shard_options = options;
   shard_options.batch_threads = 1;
+  shard_options.solve_threads = 1;
   std::vector<StreamingDm> shards;
   shards.reserve(sharding.num_shards);
   for (size_t s = 0; s < sharding.num_shards; ++s) {
@@ -39,7 +42,7 @@ Result<ShardedStreamingDm> ShardedStreamingDm::Create(
     shards.push_back(std::move(shard.value()));
   }
   return ShardedStreamingDm(k, dim, metric, std::move(shards),
-                            sharding.batch_threads);
+                            sharding.batch_threads, sharding.solve_threads);
 }
 
 bool ShardedStreamingDm::Observe(const StreamPoint& point) {
@@ -75,13 +78,23 @@ uint64_t ShardedStreamingDm::StateVersion() const {
 }
 
 Result<Solution> ShardedStreamingDm::Solve() const {
-  // Merge: the union of the per-shard solutions is the composed coreset.
-  // Substreams are disjoint, so ids never collide across shards.
+  // Per-shard solves fan out over `solve_threads` — shards share no
+  // mutable state and each task writes only its own slot. The inner
+  // shards solve sequentially (forced at Create), so no task re-enters
+  // the shared solve pool.
+  std::vector<std::optional<Solution>> locals(shards_.size());
+  solve_parallelism_.Run(shards_.size(), [&](size_t s) {
+    auto local = shards_[s].Solve();
+    if (local.ok()) locals[s] = std::move(local.value());
+  });
+  // Merge: the union of the per-shard solutions is the composed coreset,
+  // concatenated in shard order — the same order the sequential loop
+  // produced, so the GMM reduce below sees an identical input. Substreams
+  // are disjoint, so ids never collide across shards.
   PointBuffer merged(dim_, shards_.size() * static_cast<size_t>(k_));
-  for (const StreamingDm& shard : shards_) {
-    auto local = shard.Solve();
-    if (!local.ok()) continue;  // under-filled shard contributes nothing
-    const PointBuffer& points = local.value().points;
+  for (const std::optional<Solution>& local : locals) {
+    if (!local.has_value()) continue;  // under-filled shard contributes nothing
+    const PointBuffer& points = local->points;
     for (size_t i = 0; i < points.size(); ++i) merged.Add(points.ViewAt(i));
   }
   if (merged.size() < static_cast<size_t>(k_)) {
@@ -119,6 +132,7 @@ Status ShardedStreamingDm::Snapshot(SnapshotWriter& writer) const {
   writer.WriteU64(dim_);
   writer.WriteU8(static_cast<uint8_t>(metric_.kind()));
   writer.WriteI32(parallelism_.batch_threads());
+  writer.WriteI32(solve_parallelism_.solve_threads());
   writer.WriteI64(observed_);
   writer.WriteU64(shards_.size());
   for (const StreamingDm& shard : shards_) {
@@ -133,6 +147,7 @@ Result<ShardedStreamingDm> ShardedStreamingDm::Restore(SnapshotReader& reader) {
   const size_t dim = reader.ReadU64();
   const MetricKind metric = internal::ReadMetricKind(reader);
   const int batch_threads = reader.ReadI32();
+  const int solve_threads = reader.ReadI32();
   const int64_t observed = reader.ReadI64();
   const size_t num_shards = reader.ReadU64();
   if (!reader.ok()) return reader.status();
@@ -147,7 +162,8 @@ Result<ShardedStreamingDm> ShardedStreamingDm::Restore(SnapshotReader& reader) {
     if (!shard.ok()) return shard.status();
     shards.push_back(std::move(shard.value()));
   }
-  ShardedStreamingDm driver(k, dim, metric, std::move(shards), batch_threads);
+  ShardedStreamingDm driver(k, dim, metric, std::move(shards), batch_threads,
+                            solve_threads);
   driver.observed_ = observed;
   return driver;
 }

@@ -32,25 +32,27 @@ inline MetricKind ReadMetricKind(SnapshotReader& reader) {
   return static_cast<MetricKind>(byte);
 }
 
-/// The `(dim, metric, d_min, d_max, ε, batch_threads)` block shared by the
-/// fixed-ladder algorithms' snapshots — one writer/reader pair so the
-/// field order can never drift between StreamingDm, Sfdm1, and Sfdm2.
+/// The `(dim, metric, d_min, d_max, ε, batch_threads, solve_threads)`
+/// block shared by the fixed-ladder algorithms' snapshots — one
+/// writer/reader pair so the field order can never drift between
+/// StreamingDm, Sfdm1, and Sfdm2.
 inline void WriteStreamingHeader(SnapshotWriter& writer, size_t dim,
                                  const Metric& metric,
                                  const GuessLadder& ladder,
-                                 int batch_threads) {
+                                 int batch_threads, int solve_threads) {
   writer.WriteU64(dim);
   writer.WriteU8(static_cast<uint8_t>(metric.kind()));
   writer.WriteDouble(ladder.d_min());
   writer.WriteDouble(ladder.d_max());
   writer.WriteDouble(ladder.epsilon());
   writer.WriteI32(batch_threads);
+  writer.WriteI32(solve_threads);
 }
 
 struct StreamingHeader {
   size_t dim = 0;
   MetricKind metric = MetricKind::kEuclidean;
-  StreamingOptions options;  // d_min, d_max, epsilon, batch_threads
+  StreamingOptions options;  // d_min, d_max, ε, batch/solve threads
 };
 
 inline StreamingHeader ReadStreamingHeader(SnapshotReader& reader) {
@@ -61,6 +63,7 @@ inline StreamingHeader ReadStreamingHeader(SnapshotReader& reader) {
   header.options.d_max = reader.ReadDouble();
   header.options.epsilon = reader.ReadDouble();
   header.options.batch_threads = reader.ReadI32();
+  header.options.solve_threads = reader.ReadI32();
   return header;
 }
 

@@ -1,0 +1,89 @@
+#ifndef FDM_CORE_SOLVE_POOL_H_
+#define FDM_CORE_SOLVE_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace fdm {
+
+/// The `solve_threads` knob shared by every sink's query path: `1` =
+/// sequential (the default), `0` = all hardware threads, `n > 1` = at most
+/// `n` threads.
+///
+/// Unlike `BatchParallelism` (one lazily-created pool per sink family,
+/// sized by the knob), every parallel solve in the process runs on ONE
+/// shared machine-sized pool and passes its knob as a per-call
+/// `max_parallelism` cap. That sharing is the oversubscription guard the
+/// serving plane needs: the pool is fork-join (one `ParallelFor` at a
+/// time), so concurrent cold solves on different sessions queue for the
+/// pool instead of multiplying threads — total solve parallelism never
+/// exceeds the machine no matter how many sessions go cold at once.
+///
+/// `Run` is const and callable from logically-const `Solve()` paths; the
+/// shared pool is internally synchronized. Tasks must touch disjoint
+/// state, and each task needing kernel scratch builds its own
+/// `KernelWorkspace` (per-worker instances — the mirrors are mutable and
+/// would race if shared).
+class SolveParallelism {
+ public:
+  explicit SolveParallelism(int solve_threads = 1)
+      : solve_threads_(solve_threads) {}
+
+  /// Runs `fn(0) … fn(n-1)` — on the shared pool when the knob asks for
+  /// parallelism, inline otherwise. `fn` must not throw. A nested call (a
+  /// task that itself calls `Run`, e.g. a sharded driver whose shards were
+  /// handed `solve_threads != 1`) degrades to sequential instead of
+  /// deadlocking on the pool's fork-join mutex.
+  void Run(size_t n, const std::function<void(size_t)>& fn) const {
+    if (solve_threads_ == 1 || n <= 1 || InSolveTask()) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.SetInfo("fdm_solve_threads", std::to_string(solve_threads_));
+    static obs::Counter& runs = registry.GetCounter(
+        "fdm_solve_parallel_runs_total",
+        "rung/shard fan-outs dispatched to the shared solve pool");
+    static obs::Gauge& depth = registry.GetGauge(
+        "fdm_solve_pool_queue_depth",
+        "solve tasks outstanding on the shared solve pool");
+    runs.Inc();
+    depth.Add(static_cast<double>(n));
+    SharedPool().ParallelFor(
+        n,
+        [&fn](size_t i) {
+          InSolveTask() = true;
+          fn(i);
+          InSolveTask() = false;
+        },
+        solve_threads_ <= 0 ? 0 : static_cast<size_t>(solve_threads_));
+    depth.Add(-static_cast<double>(n));
+  }
+
+  int solve_threads() const { return solve_threads_; }
+  void set_solve_threads(int solve_threads) { solve_threads_ = solve_threads; }
+
+  /// The process-wide pool every parallel solve shares, sized to the
+  /// hardware on first use and leaked so solves reached from static
+  /// sinks or detached serving threads stay safe at exit.
+  static ThreadPool& SharedPool() {
+    static ThreadPool* pool = new ThreadPool(0);
+    return *pool;
+  }
+
+ private:
+  static bool& InSolveTask() {
+    static thread_local bool in_task = false;
+    return in_task;
+  }
+
+  int solve_threads_ = 1;
+};
+
+}  // namespace fdm
+
+#endif  // FDM_CORE_SOLVE_POOL_H_

@@ -3,24 +3,49 @@
 #include <algorithm>
 #include <limits>
 #include <numeric>
+#include <span>
 
+#include "core/kernel_workspace.h"
 #include "util/rng.h"
 
 namespace fdm {
 
-DistanceBounds ComputeDistanceBoundsExact(const Dataset& dataset) {
-  const size_t n = dataset.size();
+namespace {
+
+/// The shared O(|rows|²) min/max scan behind both bounds functions, routed
+/// through a `KernelWorkspace` mirror so the distances come out of the
+/// dispatched SIMD kernels instead of the scalar `Metric`. Row `i`'s scan
+/// consults only the upper triangle (`j > i`) in the scalar loop's exact
+/// `(i, j)` order, and each finished entry is bit-identical to
+/// `metric(Point(rows[i]), Point(rows[j]))` — so the returned extrema (and
+/// therefore every guess ladder derived from them) match the scalar double
+/// loop bit for bit.
+DistanceBounds PairwiseExtrema(const Dataset& dataset,
+                               std::span<const size_t> rows) {
   const Metric metric = dataset.metric();
   DistanceBounds bounds;
   bounds.min = std::numeric_limits<double>::infinity();
   bounds.max = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const double d = metric(dataset.Point(i), dataset.Point(j));
+  KernelWorkspace workspace(dataset.dim(), rows.size());
+  workspace.AssignRows(dataset, rows);
+  std::vector<double> raw;
+  for (size_t i = 0; i + 1 < rows.size(); ++i) {
+    workspace.RawDistancesTo(dataset.Point(rows[i]), metric, raw);
+    for (size_t j = i + 1; j < rows.size(); ++j) {
+      const double d = metric.FinishDistance(raw[j]);
       if (d > 0.0 && d < bounds.min) bounds.min = d;
       if (d > bounds.max) bounds.max = d;
     }
   }
+  return bounds;
+}
+
+}  // namespace
+
+DistanceBounds ComputeDistanceBoundsExact(const Dataset& dataset) {
+  std::vector<size_t> rows(dataset.size());
+  std::iota(rows.begin(), rows.end(), size_t{0});
+  DistanceBounds bounds = PairwiseExtrema(dataset, rows);
   if (!std::isfinite(bounds.min)) bounds.min = bounds.max;
   return bounds;
 }
@@ -40,17 +65,9 @@ DistanceBounds EstimateDistanceBounds(const Dataset& dataset,
   std::sort(sample.begin(), sample.end());
   sample.erase(std::unique(sample.begin(), sample.end()), sample.end());
 
-  const Metric metric = dataset.metric();
-  double min_d = std::numeric_limits<double>::infinity();
-  double max_d = 0.0;
-  for (size_t i = 0; i < sample.size(); ++i) {
-    for (size_t j = i + 1; j < sample.size(); ++j) {
-      const double d =
-          metric(dataset.Point(sample[i]), dataset.Point(sample[j]));
-      if (d > 0.0 && d < min_d) min_d = d;
-      if (d > max_d) max_d = d;
-    }
-  }
+  const DistanceBounds extrema = PairwiseExtrema(dataset, sample);
+  double min_d = extrema.min;
+  double max_d = extrema.max;
   if (!std::isfinite(min_d)) min_d = max_d > 0 ? max_d : 1.0;
   if (max_d == 0.0) max_d = 1.0;
   // Widen: sampling overestimates the closest-pair distance and slightly

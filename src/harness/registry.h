@@ -62,7 +62,8 @@ class AlgorithmRegistry {
   std::map<AlgorithmKind, AlgorithmEntry> entries_;
 };
 
-/// The streaming options a config implies (ε, bounds, batch threads).
+/// The streaming options a config implies (ε, bounds, batch + solve
+/// threads).
 StreamingOptions StreamingOptionsFrom(const RunConfig& config);
 
 }  // namespace fdm

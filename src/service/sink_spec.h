@@ -35,6 +35,9 @@ namespace fdm {
 ///   dmin     lower distance bound (required unless algo=adaptive)
 ///   dmax     upper distance bound (required unless algo=adaptive)
 ///   threads  ObserveBatch parallelism              (default 1)
+///   solve_threads  Solve() parallelism over the shared solve pool
+///            (1 = sequential, 0 = all hardware threads; bit-identity
+///            preserving — see core/solve_pool.h)     (default 1)
 ///   shards   shard count (algo=sharded)            (default 4)
 ///   window   window length (algo=sliding_window; required for it)
 ///   checkpoints  window replicas (algo=sliding_window, default 4)
@@ -49,6 +52,7 @@ struct SinkSpec {
   double d_min = 0.0;
   double d_max = 0.0;
   int threads = 1;
+  int solve_threads = 1;
   size_t shards = 4;
   int64_t window = 0;
   int64_t checkpoints = 4;

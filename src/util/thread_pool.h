@@ -62,9 +62,20 @@ class ThreadPool {
   /// Completion is counted per *task*, not per worker, so only as many
   /// workers as there are tasks are woken — a pool sized for the machine
   /// stays cheap when a batch has few rungs/shards to hand out.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  ///
+  /// `max_parallelism` caps total concurrency for this call (caller
+  /// included) below the pool size; `0` means the whole pool. The cap is
+  /// hard: each job carries a worker-slot budget, so a stale worker that
+  /// wakes late cannot push the join count past it. This lets many owners
+  /// share one machine-sized pool while each runs at its own knob.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   size_t max_parallelism = 0) {
     if (n == 0) return;
-    if (workers_.empty() || n == 1) {
+    const size_t width =
+        max_parallelism == 0
+            ? workers_.size() + 1
+            : std::min(max_parallelism, workers_.size() + 1);
+    if (workers_.empty() || n == 1 || width == 1) {
       for (size_t i = 0; i < n; ++i) fn(i);
       return;
     }
@@ -74,13 +85,13 @@ class ThreadPool {
     // after this job's tasks are exhausted — saturates on the OLD job's
     // `next` and can never claim an index of a newer job or touch its
     // (by then destroyed) closure.
-    auto job = std::make_shared<Job>(fn, n);
+    auto job = std::make_shared<Job>(fn, n, width - 1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       job_ = job;
       ++generation_;
     }
-    const size_t to_wake = std::min(workers_.size(), n - 1);
+    const size_t to_wake = std::min({workers_.size(), n - 1, width - 1});
     if (to_wake >= workers_.size()) {
       wake_.notify_all();
     } else {
@@ -101,12 +112,19 @@ class ThreadPool {
 
  private:
   struct Job {
-    Job(const std::function<void(size_t)>& fn_in, size_t limit_in)
-        : fn(&fn_in), limit(limit_in), remaining(limit_in) {}
+    Job(const std::function<void(size_t)>& fn_in, size_t limit_in,
+        size_t worker_slots_in)
+        : fn(&fn_in),
+          limit(limit_in),
+          remaining(limit_in),
+          worker_slots(static_cast<int64_t>(worker_slots_in)) {}
     const std::function<void(size_t)>* fn;
     size_t limit;
     std::atomic<size_t> next{0};
     std::atomic<size_t> remaining;
+    // How many workers may still join (the caller is not counted). Signed:
+    // over-woken workers decrement past zero and simply bow out.
+    std::atomic<int64_t> worker_slots;
   };
 
   void Drain(Job& job) {
@@ -134,7 +152,10 @@ class ThreadPool {
         seen = generation_;
         job = job_;  // null when the job already finished (late wakeup)
       }
-      if (job != nullptr) Drain(*job);
+      if (job != nullptr &&
+          job->worker_slots.fetch_sub(1, std::memory_order_relaxed) > 0) {
+        Drain(*job);
+      }
     }
   }
 

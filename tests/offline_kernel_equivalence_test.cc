@@ -7,6 +7,7 @@
 // the same sweep FDM_KERNEL forces externally in CI). The streaming-sink
 // counterpart of this test lives in incremental_solve_test.cc.
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -135,6 +136,52 @@ TEST(OfflineKernelEquivalenceTest, PairwiseDiversityPrimitives) {
         MetricKindName(kind));
     ExpectSameAcrossTargets(
         [&] { return SumPairwiseDistance(ds, indices); },
+        MetricKindName(kind));
+  }
+}
+
+TEST(OfflineKernelEquivalenceTest, DistanceBounds) {
+  struct BoundsDigest {
+    double min = 0.0;
+    double max = 0.0;
+    bool operator==(const BoundsDigest&) const = default;
+  };
+  for (const MetricKind kind : kAllKinds) {
+    // Include duplicate rows so the zero-distance exclusion is exercised
+    // through the kernel routing too.
+    Dataset ds = RandomDataset(kind, 50, 6, 66);
+    ds.Add(std::vector<double>(ds.Point(3).begin(), ds.Point(3).end()), 0);
+    ds.Add(std::vector<double>(ds.Point(9).begin(), ds.Point(9).end()), 1);
+
+    // The kernel-routed scan must reproduce the scalar double loop bit for
+    // bit — the pre-routing definition of these bounds.
+    const Metric metric = ds.metric();
+    BoundsDigest scalar{std::numeric_limits<double>::infinity(), 0.0};
+    for (size_t i = 0; i < ds.size(); ++i) {
+      for (size_t j = i + 1; j < ds.size(); ++j) {
+        const double d = metric(ds.Point(i), ds.Point(j));
+        if (d > 0.0 && d < scalar.min) scalar.min = d;
+        if (d > scalar.max) scalar.max = d;
+      }
+    }
+    const DistanceBounds exact = ComputeDistanceBoundsExact(ds);
+    EXPECT_EQ(scalar.min, exact.min) << MetricKindName(kind);
+    EXPECT_EQ(scalar.max, exact.max) << MetricKindName(kind);
+
+    ExpectSameAcrossTargets(
+        [&] {
+          const DistanceBounds b = ComputeDistanceBoundsExact(ds);
+          return BoundsDigest{b.min, b.max};
+        },
+        MetricKindName(kind));
+    // The sampled path only engages past its small-n cutoff (2048).
+    const Dataset big = RandomDataset(kind, 2100, 4, 77);
+    ExpectSameAcrossTargets(
+        [&] {
+          const DistanceBounds b =
+              EstimateDistanceBounds(big, /*sample_size=*/64, /*seed=*/7);
+          return BoundsDigest{b.min, b.max};
+        },
         MetricKindName(kind));
   }
 }

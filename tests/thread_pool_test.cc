@@ -62,6 +62,39 @@ TEST(ThreadPoolTest, DisjointWritesNeedNoSynchronization) {
   }
 }
 
+TEST(ThreadPoolTest, MaxParallelismOneRunsInlineAndInOrder) {
+  ThreadPool pool(4);
+  std::vector<int> order;  // unsynchronized: only valid if truly inline
+  pool.ParallelFor(
+      8, [&](size_t i) { order.push_back(static_cast<int>(i)); },
+      /*max_parallelism=*/1);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ThreadPoolTest, MaxParallelismCapBoundsConcurrencyButRunsAll) {
+  ThreadPool pool(8);
+  constexpr size_t kN = 256;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<int> live{0};
+  std::atomic<int> peak{0};
+  pool.ParallelFor(
+      kN,
+      [&](size_t i) {
+        const int now = live.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        hits[i].fetch_add(1);
+        live.fetch_sub(1);
+      },
+      /*max_parallelism=*/3);
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+  // At most `max_parallelism` tasks may ever run at once (2 claimed
+  // workers + the caller). Peak observing fewer is fine — the cap is an
+  // upper bound, not a scheduling guarantee.
+  EXPECT_LE(peak.load(), 3);
+}
+
 TEST(BatchParallelismTest, SequentialKnobSpawnsNothingAndRunsInOrder) {
   BatchParallelism parallelism(1);
   std::vector<int> order;

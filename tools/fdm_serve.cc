@@ -2,7 +2,7 @@
 // for demos, soak tests, and driving the service layer from scripts.
 //
 //   ./fdm_serve [--root=DIR] [--snapshot_every=N] [--max_resident=N]
-//               [--background_ms=N] [--threads=N]
+//               [--background_ms=N] [--threads=N] [--solve_threads=N]
 //               [--metrics-dump=PATH[,PERIOD_MS]]
 //   ./fdm_serve --follow=DIR [--poll_ms=N] [--metrics-dump=...]
 //
@@ -298,6 +298,10 @@ int Main(int argc, char** argv) {
   options.background_snapshot_ms =
       static_cast<int>(args.GetInt("background_ms", 0));
   options.threads = static_cast<int>(args.GetInt("threads", 1));
+  // Server-wide cold-SOLVE parallelism (0 = keep each spec's setting).
+  // Bit-identity preserving: answers match sequential byte for byte.
+  options.session.solve_threads =
+      static_cast<int>(args.GetInt("solve_threads", 0));
 
   auto manager = SessionManager::Create(options);
   if (!manager.ok()) {
