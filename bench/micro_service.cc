@@ -11,6 +11,18 @@
 //                     whole stream comes back through ObserveBatch)
 //   concurrent_ingest aggregate points/sec with N sessions fed from N
 //                     threads through one SessionManager
+//   dedup             exactly-once ingest: duplicate-rejection points/sec
+//                     (filter probe, no WAL, no admission scan) vs
+//                     re-admitting the same stream through a dedup=off
+//                     session, plus the clean-stream overhead of carrying
+//                     the guard
+//
+// Release gates (0 = off):
+//   --min-dup-speedup=X     fail unless rejecting a fully duplicate
+//                           stream is >= X times faster than admitting it
+//   --max-dedup-overhead=Y  fail if dedup=on costs more than fraction Y
+//                           over dedup=off on a clean (duplicate-free)
+//                           stream
 
 #include <cstdio>
 #include <filesystem>
@@ -39,6 +51,14 @@ struct ServiceBenchResult {
   double wal_replay_points_per_sec = 0.0;
   // concurrent ingest: sessions -> aggregate points/sec
   std::vector<std::pair<int, double>> concurrent;
+  // dedup
+  double clean_off_points_per_sec = 0.0;
+  double clean_on_points_per_sec = 0.0;
+  double clean_overhead_frac = 0.0;
+  double dup_reject_points_per_sec = 0.0;
+  double dup_admit_points_per_sec = 0.0;
+  double dup_speedup = 0.0;
+  size_t filter_bytes = 0;
 };
 
 std::string SpecFor(const Dataset& ds) {
@@ -62,6 +82,9 @@ int Main(int argc, char** argv) {
   const size_t n = static_cast<size_t>(args.GetInt("n", 20000));
   const size_t dim = static_cast<size_t>(args.GetInt("dim", 8));
   const std::string out_dir = args.GetString("out", "results");
+  const double min_dup_speedup = args.GetDouble("min-dup-speedup", 0.0);
+  const double max_dedup_overhead =
+      args.GetDouble("max-dedup-overhead", 0.0);
 
   BlobsOptions data_options;
   data_options.n = n;
@@ -177,6 +200,104 @@ int Main(int argc, char** argv) {
                 pps);
   }
 
+  // --- Exactly-once ingest: guard overhead & rejection speed ---------
+  {
+    const std::string dedup_spec = spec + " dedup=on";
+    auto ingest_all = [&](DurableSession& session) -> bool {
+      std::vector<StreamPoint> batch;
+      batch.reserve(256);
+      for (size_t i = 0; i < ds.size(); ++i) {
+        batch.push_back(ds.At(i));
+        if (batch.size() == 256) {
+          if (!session.Ingest(batch, /*as_batch=*/true).ok()) return false;
+          batch.clear();
+        }
+      }
+      return batch.empty() ||
+             session.Ingest(batch, /*as_batch=*/true).ok();
+    };
+
+    // Clean-stream overhead: the same duplicate-free stream through a
+    // dedup=off and a dedup=on session, best-of-3 fresh runs each (the
+    // guard's cost on a clean stream is one filter probe + insert per
+    // point; it must stay in the noise next to WAL append + admission).
+    constexpr int kReps = 3;
+    double best_off_sec = 0.0;
+    double best_on_sec = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      for (const bool dedup : {false, true}) {
+        const std::string dir = scratch + "/clean_" +
+                                (dedup ? "on" : "off") + std::to_string(r);
+        auto session = DurableSession::Create(
+            dir, dedup ? dedup_spec : spec, DurableSessionOptions{});
+        if (!session.ok()) {
+          std::fprintf(stderr, "create: %s\n",
+                       session.status().ToString().c_str());
+          return 1;
+        }
+        Timer timer;
+        if (!ingest_all(*session)) return 1;
+        const double sec = timer.ElapsedSeconds();
+        double& best = dedup ? best_on_sec : best_off_sec;
+        if (best == 0.0 || sec < best) best = sec;
+      }
+    }
+    result.clean_off_points_per_sec =
+        static_cast<double>(ds.size()) / best_off_sec;
+    result.clean_on_points_per_sec =
+        static_cast<double>(ds.size()) / best_on_sec;
+    result.clean_overhead_frac = best_on_sec / best_off_sec - 1.0;
+
+    // Duplicate handling: the whole stream again. The dedup=on session
+    // rejects everything before the WAL; the dedup=off session re-admits
+    // everything (WAL append + admission scan) — that contrast is the
+    // price exactly-once semantics refunds on replayed traffic.
+    auto reject = DurableSession::Create(scratch + "/dup_on", dedup_spec,
+                                         DurableSessionOptions{});
+    auto admit = DurableSession::Create(scratch + "/dup_off", spec,
+                                        DurableSessionOptions{});
+    if (!reject.ok() || !admit.ok()) return 1;
+    if (!ingest_all(*reject) || !ingest_all(*admit)) return 1;
+    double best_reject_sec = 0.0;
+    double best_admit_sec = 0.0;
+    for (int r = 0; r < kReps; ++r) {
+      Timer reject_timer;
+      if (!ingest_all(*reject)) return 1;
+      const double reject_sec = reject_timer.ElapsedSeconds();
+      if (best_reject_sec == 0.0 || reject_sec < best_reject_sec) {
+        best_reject_sec = reject_sec;
+      }
+      Timer admit_timer;
+      if (!ingest_all(*admit)) return 1;
+      const double admit_sec = admit_timer.ElapsedSeconds();
+      if (best_admit_sec == 0.0 || admit_sec < best_admit_sec) {
+        best_admit_sec = admit_sec;
+      }
+    }
+    if (reject->DuplicatesRejected() !=
+        static_cast<int64_t>(ds.size()) * kReps) {
+      std::fprintf(stderr, "dedup bench: expected every re-observed point "
+                           "rejected\n");
+      return 1;
+    }
+    result.dup_reject_points_per_sec =
+        static_cast<double>(ds.size()) / best_reject_sec;
+    result.dup_admit_points_per_sec =
+        static_cast<double>(ds.size()) / best_admit_sec;
+    result.dup_speedup = best_admit_sec / best_reject_sec;
+    result.filter_bytes = reject->dedup_filter()->MemoryBytes();
+    std::printf("dedup clean:     %10.0f points/sec on, %.0f off "
+                "(overhead %+.1f%%)\n",
+                result.clean_on_points_per_sec,
+                result.clean_off_points_per_sec,
+                result.clean_overhead_frac * 100.0);
+    std::printf("dedup reject:    %10.0f points/sec vs %10.0f re-admit "
+                "(%.1fx, filter %zu B)\n",
+                result.dup_reject_points_per_sec,
+                result.dup_admit_points_per_sec, result.dup_speedup,
+                result.filter_bytes);
+  }
+
   std::filesystem::remove_all(scratch);
 
   // --- BENCH_service.json --------------------------------------------
@@ -197,12 +318,48 @@ int Main(int argc, char** argv) {
     json << "{\"sessions\": " << result.concurrent[i].first
          << ", \"points_per_sec\": " << result.concurrent[i].second << "}";
   }
-  json << "]\n}\n";
+  json << "],\n"
+       << "  \"dedup\": {\"clean_off_points_per_sec\": "
+       << result.clean_off_points_per_sec
+       << ", \"clean_on_points_per_sec\": "
+       << result.clean_on_points_per_sec
+       << ", \"clean_overhead_frac\": " << result.clean_overhead_frac
+       << ", \"dup_reject_points_per_sec\": "
+       << result.dup_reject_points_per_sec
+       << ", \"dup_admit_points_per_sec\": "
+       << result.dup_admit_points_per_sec
+       << ", \"dup_speedup\": " << result.dup_speedup
+       << ", \"filter_bytes\": " << result.filter_bytes << "}\n}\n";
   if (!json) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
     return 1;
   }
   std::printf("\nwrote %s\n", json_path.c_str());
+
+  // --- Release gates -------------------------------------------------
+  bool gate_failed = false;
+  if (min_dup_speedup > 0.0 && result.dup_speedup < min_dup_speedup) {
+    std::fprintf(stderr,
+                 "GATE FAILED: duplicate rejection %.1fx re-admission, "
+                 "need >= %.1fx\n",
+                 result.dup_speedup, min_dup_speedup);
+    gate_failed = true;
+  }
+  if (max_dedup_overhead > 0.0 &&
+      result.clean_overhead_frac > max_dedup_overhead) {
+    std::fprintf(stderr,
+                 "GATE FAILED: dedup=on clean-stream overhead %.1f%%, "
+                 "allowed <= %.1f%%\n",
+                 result.clean_overhead_frac * 100.0,
+                 max_dedup_overhead * 100.0);
+    gate_failed = true;
+  }
+  if (gate_failed) return 1;
+  if (min_dup_speedup > 0.0 || max_dedup_overhead > 0.0) {
+    std::printf("dedup gates passed (%.1fx rejection, %+.1f%% clean "
+                "overhead)\n",
+                result.dup_speedup, result.clean_overhead_frac * 100.0);
+  }
   return 0;
 }
 

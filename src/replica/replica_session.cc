@@ -100,6 +100,11 @@ Result<ReplicaSession> ReplicaSession::Bootstrap(
   if (!manifest.ok()) return manifest.status();
   session.spec_ = manifest->spec;
   session.NoteManifest(*manifest);
+  // The spec decides whether the follower mirrors the duplicate guard —
+  // same authority rule as the primary's Open.
+  if (auto parsed = SinkSpec::Parse(session.spec_); parsed.ok()) {
+    session.dedup_enabled_ = parsed->dedup;
+  }
 
   auto restored = session.BootstrapFromSnapshot(*manifest, /*min_seq=*/0);
   if (!restored.ok()) return restored.status();
@@ -112,6 +117,9 @@ Result<ReplicaSession> ReplicaSession::Bootstrap(
     if (!fresh.ok()) return fresh.status();
     session.sink_ = std::move(fresh.value());
     session.applied_seq_ = 0;
+    if (session.dedup_enabled_) {
+      session.dedup_ = std::make_unique<DedupFilter>();
+    }
   }
 
   if (auto applied = session.SyncOnce(); !applied.ok()) {
@@ -170,6 +178,11 @@ Result<int64_t> ReplicaSession::SyncOnce() {
           // transport cache may be serving the pre-rewrite bytes.
           source_->InvalidateCaches();
           sink_.reset();
+          // The filter mirrors the discarded history — discard it with
+          // the sink (the snapshot restore below brings back the footer
+          // copy, or a fresh one re-taught by the re-applied tail).
+          dedup_.reset();
+          duplicates_rejected_ = 0;
           applied_seq_ = 0;
           // Version numbering restarts with the rebuilt sink, so a cached
           // solution from the diverged history could collide with a new
@@ -181,6 +194,7 @@ Result<int64_t> ReplicaSession::SyncOnce() {
             auto fresh = MakeSinkFromSpec(spec_);
             if (!fresh.ok()) return fresh.status();
             sink_ = std::move(fresh.value());
+            if (dedup_enabled_) dedup_ = std::make_unique<DedupFilter>();
           }
           continue;  // re-apply the tail over the rebuilt state
         }
@@ -236,6 +250,20 @@ Result<bool> ReplicaSession::BootstrapFromSnapshot(
     auto restored = RestoreSessionSnapshot(*reader, spec_, it->seq);
     if (!restored.ok()) continue;
     sink_ = std::move(restored.value());
+    // The snapshot's dedup footer carries the filter at exactly this
+    // position; the WAL tail applied after it re-teaches the rest. A
+    // footer-less snapshot (pre-dedup primary) starts the mirror empty.
+    if (dedup_enabled_) {
+      int64_t rejected = 0;
+      auto filter = ReadSessionFooters(*reader, nullptr, &rejected);
+      if (filter != nullptr) {
+        dedup_ = std::move(filter);
+        duplicates_rejected_ = rejected;
+      } else {
+        dedup_ = std::make_unique<DedupFilter>();
+        duplicates_rejected_ = 0;
+      }
+    }
     applied_seq_ = it->seq;
     ++snapshots_loaded_;
     SnapshotsLoadedCounter().Inc();
@@ -254,7 +282,7 @@ Result<ReplicaSession::ApplyOutcome> ReplicaSession::ApplyFrom(
   // crash-recovery replay takes), so a follower's apply is bit-identical
   // to recovery by construction. `applied_seq_` advances only when a
   // batch has actually reached the sink.
-  WalBatchApplier applier(*sink_, options_.apply_batch);
+  WalBatchApplier applier(*sink_, options_.apply_batch, dedup_.get());
   bool budget_hit = false;
 
   auto flush = [&]() {
@@ -349,6 +377,12 @@ ReplicaSession::ReplicaStats ReplicaSession::Stats() const {
   stats.segments_fetched = segments_fetched_;
   stats.snapshots_loaded = snapshots_loaded_;
   stats.torn_tails_seen = torn_tails_seen_;
+  stats.dedup = dedup_enabled_;
+  stats.duplicates_rejected = duplicates_rejected_;
+  if (dedup_ != nullptr) {
+    stats.filter_bytes = dedup_->MemoryBytes();
+    stats.filter_grows = dedup_->Grows();
+  }
   stats.solve = solve_cache_->GetStats();
   return stats;
 }

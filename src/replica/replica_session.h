@@ -9,6 +9,7 @@
 #include "core/solve_cache.h"
 #include "core/stream_sink.h"
 #include "replica/replication_source.h"
+#include "service/dedup_filter.h"
 #include "util/status.h"
 
 namespace fdm {
@@ -82,6 +83,16 @@ class ReplicaSession {
 
   uint64_t StateVersion() const { return sink_->StateVersion(); }
 
+  /// Exact membership of `id` at the follower's applied position — the
+  /// cheap pre-check the divergence story wants: a client (or operator)
+  /// can ask "did this point make it in?" without replaying anything.
+  /// Only meaningful when the primary's spec says `dedup=on` (the filter
+  /// is restored from snapshot footers and maintained by tail application
+  /// in lockstep with the sink); always false otherwise.
+  bool KnownId(int64_t id) const {
+    return dedup_ != nullptr && dedup_->Contains(id);
+  }
+
   struct ReplicaStats {
     /// Records applied to the follower's sink (its stream position).
     int64_t applied_seq = 0;
@@ -116,6 +127,12 @@ class ReplicaSession {
     uint64_t snapshots_loaded = 0;
     /// Torn tails observed on the active segment (healed by later polls).
     uint64_t torn_tails_seen = 0;
+    /// Exactly-once ingest surface, mirrored from the primary's footers
+    /// and maintained through tail application (zeros when dedup=off).
+    bool dedup = false;
+    int64_t duplicates_rejected = 0;
+    uint64_t filter_bytes = 0;
+    uint64_t filter_grows = 0;
     SolveCache::Stats solve;
   };
   ReplicaStats Stats() const;
@@ -169,6 +186,12 @@ class ReplicaSession {
   ReplicaOptions options_;
   std::string spec_;
   std::unique_ptr<StreamSink> sink_;
+  /// Mirror of the primary's duplicate guard (null when dedup=off):
+  /// restored whole from snapshot dedup footers, then re-taught by every
+  /// applied tail record — so it tracks the sink's position exactly.
+  std::unique_ptr<DedupFilter> dedup_;
+  bool dedup_enabled_ = false;  // from the primary's spec
+  int64_t duplicates_rejected_ = 0;  // primary's count, footer-mirrored
   std::shared_ptr<SolveCache> solve_cache_;  // never null
   int64_t applied_seq_ = 0;
 

@@ -22,6 +22,7 @@ namespace {
 constexpr std::string_view kSessionTag = "fdm.session";
 constexpr std::string_view kReplAdvertTag = "fdm.repl";
 constexpr std::string_view kSessionStatsTag = "fdm.session.stats";
+constexpr std::string_view kSessionDedupTag = "fdm.session.dedup";
 
 obs::Counter& ObservedCounter() {
   static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
@@ -63,6 +64,28 @@ obs::Counter& RestoresCounter() {
       "fdm_session_restores_total", "sessions restored by Open");
   return c;
 }
+obs::Counter& DedupCheckedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_dedup_checked_total", "point ids probed against dedup filters");
+  return c;
+}
+obs::Counter& DedupRejectedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_dedup_rejected_total",
+      "exact duplicates rejected before the WAL");
+  return c;
+}
+obs::Counter& DedupFilterGrowsCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().GetCounter(
+      "fdm_dedup_filter_grows_total", "dedup filter capacity doublings");
+  return c;
+}
+obs::Histogram& DedupProbeHist() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().GetHistogram(
+      "fdm_dedup_probe_ns",
+      "latency of one dedup filter probe+insert (1/64 sampled)");
+  return h;
+}
 
 void WriteStatsFooter(SnapshotWriter& writer,
                       const SessionIngestCounters& counters) {
@@ -79,10 +102,11 @@ void WriteStatsFooter(SnapshotWriter& writer,
 // has no trailing bytes (counters stay zero), and any malformed tail —
 // impossible from corruption, since the file checksum covers the whole
 // payload, but possible from a foreign writer — must never fail the
-// restore over lost statistics. The reader is not used again afterwards,
-// so leaving it in a failed state is harmless.
-void ReadStatsFooter(SnapshotReader& reader, SessionIngestCounters& out) {
-  if (reader.Remaining() == 0) return;
+// restore over lost statistics. The reader is not used again afterwards
+// unless this returns true (the dedup footer follows only a well-formed
+// stats footer, so a failed parse here ends footer reading entirely).
+bool ReadStatsFooter(SnapshotReader& reader, SessionIngestCounters& out) {
+  if (reader.Remaining() == 0) return false;
   SessionIngestCounters parsed;
   const std::string tag = reader.ReadString();
   parsed.kept_total = reader.ReadI64();
@@ -91,11 +115,42 @@ void ReadStatsFooter(SnapshotReader& reader, SessionIngestCounters& out) {
   parsed.snapshot_write_ms_total = reader.ReadDouble();
   parsed.restores = reader.ReadI64();
   parsed.replayed_records = reader.ReadI64();
-  if (!reader.ok() || tag != kSessionStatsTag) return;
+  if (!reader.ok() || tag != kSessionStatsTag) return false;
   out = parsed;
+  return true;
+}
+
+// The dedup footer rides after the stats footer under its own tag, same
+// leniency contract: absent on pre-dedup snapshots and on dedup=off
+// sessions, and a malformed tail costs the filter (rebuilt from WAL
+// replay), never the restore. The stats footer layout itself is frozen —
+// adding fields there would make old snapshots unreadable, which is why
+// dedup state gets its own footer.
+void WriteDedupFooter(SnapshotWriter& writer, int64_t duplicates_rejected,
+                      const DedupFilter& filter) {
+  writer.WriteString(kSessionDedupTag);
+  writer.WriteI64(duplicates_rejected);
+  filter.Serialize(writer);
 }
 
 }  // namespace
+
+std::unique_ptr<DedupFilter> ReadSessionFooters(
+    SnapshotReader& reader, SessionIngestCounters* counters,
+    int64_t* duplicates_rejected) {
+  SessionIngestCounters scratch;
+  if (!ReadStatsFooter(reader, counters != nullptr ? *counters : scratch)) {
+    return nullptr;
+  }
+  if (reader.Remaining() == 0) return nullptr;  // pre-dedup snapshot
+  const std::string tag = reader.ReadString();
+  const int64_t rejected = reader.ReadI64();
+  if (!reader.ok() || tag != kSessionDedupTag) return nullptr;
+  auto filter = DedupFilter::Deserialize(reader);
+  if (!filter.ok()) return nullptr;
+  if (duplicates_rejected != nullptr) *duplicates_rejected = rejected;
+  return std::make_unique<DedupFilter>(std::move(filter.value()));
+}
 
 Result<std::unique_ptr<StreamSink>> RestoreSessionSnapshot(
     SnapshotReader& reader, std::string_view expected_spec,
@@ -185,6 +240,7 @@ Result<DurableSession> DurableSession::Create(std::string dir,
   session.wal_ =
       std::make_unique<WriteAheadLog>(std::move(wal.value()));
   session.dim_ = parsed->dim;
+  if (parsed->dedup) session.dedup_ = std::make_unique<DedupFilter>();
   return session;
 }
 
@@ -206,7 +262,9 @@ Result<DurableSession> DurableSession::Open(std::string dir,
   // ultimately to a fresh sink replaying the whole WAL.
   Timer restore_timer;
   std::unique_ptr<StreamSink> sink;
+  std::unique_ptr<DedupFilter> dedup;
   int64_t snapshot_seq = 0;
+  int64_t duplicates_rejected = 0;
   SessionIngestCounters counters;
   auto snapshots = ListSessionSnapshots(SessionSnapDir(dir));
   for (auto it = snapshots.rbegin(); it != snapshots.rend(); ++it) {
@@ -216,7 +274,7 @@ Result<DurableSession> DurableSession::Open(std::string dir,
     if (!restored.ok()) continue;
     sink = std::move(restored.value());
     snapshot_seq = it->first;
-    ReadStatsFooter(*reader, counters);
+    dedup = ReadSessionFooters(*reader, &counters, &duplicates_rejected);
     break;
   }
   if (sink == nullptr) {
@@ -225,14 +283,26 @@ Result<DurableSession> DurableSession::Open(std::string dir,
     sink = std::move(fresh.value());
     snapshot_seq = 0;
   }
+  // The spec is the authority on whether the guard exists: a snapshot
+  // written before dedup (or with a lost footer) restores an empty filter
+  // that the WAL-tail replay below re-teaches; a stray footer on a
+  // dedup=off session is ignored.
+  if (!parsed->dedup) {
+    dedup = nullptr;
+    duplicates_rejected = 0;
+  } else if (dedup == nullptr) {
+    dedup = std::make_unique<DedupFilter>();
+  }
 
   auto wal = WriteAheadLog::Open(SessionWalDir(dir), options.wal);
   if (!wal.ok()) return wal.status();
   // The WAL tail past the snapshot was counted into kept_total before the
   // crash/spill but is not in the footer; replaying reports its mutations
-  // so the cumulative count comes back exact.
+  // so the cumulative count comes back exact. The same pass rebuilds the
+  // dedup filter's tail membership.
   int64_t replay_mutations = 0;
-  auto replayed = wal->Replay(snapshot_seq, *sink, &replay_mutations);
+  auto replayed =
+      wal->Replay(snapshot_seq, *sink, &replay_mutations, dedup.get());
   if (!replayed.ok()) return replayed.status();
   counters.restores += 1;
   counters.replayed_records += *replayed;
@@ -254,6 +324,8 @@ Result<DurableSession> DurableSession::Open(std::string dir,
   session.dim_ = parsed->dim;
   session.snapshot_seq_ = snapshot_seq;
   session.counters_ = counters;
+  session.dedup_ = std::move(dedup);
+  session.duplicates_rejected_ = duplicates_rejected;
   return session;
 }
 
@@ -269,41 +341,92 @@ Status DurableSession::CheckDim(std::span<const StreamPoint> batch) const {
 }
 
 Status DurableSession::Observe(const StreamPoint& point) {
-  if (!broken_.ok()) return broken_;
-  if (Status s = CheckDim({&point, 1}); !s.ok()) return s;
-  // WAL first: a record applied to the sink but absent from the log could
-  // never be recovered; the converse (logged, crash before apply) replays.
-  if (Status s = wal_->Append(point); !s.ok()) {
-    // The log may now be ahead of the sink; latch the failure so no later
-    // ingest or snapshot can act on the diverged pair (see header).
-    broken_ = Status(s.code(),
-                     "session poisoned by WAL failure, reopen to recover: " +
-                         s.message());
-    return broken_;
-  }
-  const bool mutated = sink_->Observe(point);
-  counters_.kept_total += mutated ? 1 : 0;
-  ObservedCounter().Inc();
-  if (mutated) KeptCounter().Inc();
-  return MaybeAutoSnapshot();
+  auto outcome = Ingest({&point, 1}, /*as_batch=*/false);
+  return outcome.ok() ? Status::Ok() : outcome.status();
 }
 
 Status DurableSession::ObserveBatch(std::span<const StreamPoint> batch) {
+  auto outcome = Ingest(batch, /*as_batch=*/true);
+  return outcome.ok() ? Status::Ok() : outcome.status();
+}
+
+Result<IngestOutcome> DurableSession::Ingest(
+    std::span<const StreamPoint> batch, bool as_batch) {
   if (!broken_.ok()) return broken_;
   if (Status s = CheckDim(batch); !s.ok()) return s;
-  if (Status s = wal_->AppendBatch(batch); !s.ok()) {
-    broken_ = Status(s.code(),
-                     "session poisoned by WAL failure, reopen to recover: " +
-                         s.message());
-    return broken_;
+
+  IngestOutcome outcome;
+  // Probe the duplicate guard BEFORE the WAL append: an already-seen id is
+  // an idempotent no-op — it must leave no WAL record, no state-version
+  // bump, and never reach the distance-scan admission path. Fresh ids are
+  // committed to the filter here, slightly ahead of their WAL append; if
+  // that append then fails, the session is poisoned and the reopen
+  // rebuilds the filter from disk, so the filter can never durably claim
+  // an id the log does not hold.
+  std::vector<StreamPoint> fresh_storage;
+  std::span<const StreamPoint> fresh = batch;
+  if (dedup_ != nullptr) {
+    fresh_storage.reserve(batch.size());
+    const uint64_t grows_before = dedup_->Grows();
+    for (const StreamPoint& point : batch) {
+      bool is_new;
+      if ((probe_sample_++ & 63) == 0) {
+        Timer probe_timer;
+        is_new = dedup_->InsertIfAbsent(point.id);
+        DedupProbeHist().Record(
+            static_cast<uint64_t>(probe_timer.ElapsedNanos()));
+      } else {
+        is_new = dedup_->InsertIfAbsent(point.id);
+      }
+      if (is_new) {
+        fresh_storage.push_back(point);
+      } else {
+        outcome.duplicates += 1;
+      }
+    }
+    fresh = fresh_storage;
+    duplicates_rejected_ += outcome.duplicates;
+    DedupCheckedCounter().Add(batch.size());
+    DedupRejectedCounter().Add(static_cast<uint64_t>(outcome.duplicates));
+    DedupFilterGrowsCounter().Add(dedup_->Grows() - grows_before);
+    // An all-duplicate call is a complete no-op: not even the batch
+    // counters move, because no batch was applied.
+    if (fresh.empty()) return outcome;
   }
-  const size_t mutations = sink_->ObserveBatch(batch);
-  counters_.kept_total += static_cast<int64_t>(mutations);
-  counters_.ingest_batches += 1;
-  ObservedCounter().Add(batch.size());
-  KeptCounter().Add(mutations);
-  BatchSizeHist().Record(batch.size());
-  return MaybeAutoSnapshot();
+  outcome.accepted = static_cast<int64_t>(fresh.size());
+
+  // WAL first: a record applied to the sink but absent from the log could
+  // never be recovered; the converse (logged, crash before apply) replays.
+  if (!as_batch && fresh.size() == 1) {
+    if (Status s = wal_->Append(fresh[0]); !s.ok()) {
+      // The log may now be ahead of the sink; latch the failure so no
+      // later ingest or snapshot can act on the diverged pair (see
+      // header).
+      broken_ = Status(s.code(),
+                       "session poisoned by WAL failure, reopen to recover: " +
+                           s.message());
+      return broken_;
+    }
+    const bool mutated = sink_->Observe(fresh[0]);
+    counters_.kept_total += mutated ? 1 : 0;
+    ObservedCounter().Inc();
+    if (mutated) KeptCounter().Inc();
+  } else {
+    if (Status s = wal_->AppendBatch(fresh); !s.ok()) {
+      broken_ = Status(s.code(),
+                       "session poisoned by WAL failure, reopen to recover: " +
+                           s.message());
+      return broken_;
+    }
+    const size_t mutations = sink_->ObserveBatch(fresh);
+    counters_.kept_total += static_cast<int64_t>(mutations);
+    counters_.ingest_batches += 1;
+    ObservedCounter().Add(fresh.size());
+    KeptCounter().Add(mutations);
+    BatchSizeHist().Record(fresh.size());
+  }
+  if (Status s = MaybeAutoSnapshot(); !s.ok()) return s;
+  return outcome;
 }
 
 Status DurableSession::MaybeAutoSnapshot() {
@@ -353,6 +476,9 @@ Status DurableSession::TakeSnapshot() {
   footer.snapshots_taken += 1;
   footer.snapshot_write_ms_total += snap_timer.ElapsedSeconds() * 1000.0;
   WriteStatsFooter(writer, footer);
+  if (dedup_ != nullptr) {
+    WriteDedupFooter(writer, duplicates_rejected_, *dedup_);
+  }
   const size_t payload_bytes = writer.PayloadBytes();
   if (Status s = writer.WriteFile(SnapshotPath(seq)); !s.ok()) return s;
   snapshot_seq_ = seq;

@@ -10,6 +10,7 @@
 #include "core/solution.h"
 #include "core/solve_cache.h"
 #include "core/stream_sink.h"
+#include "service/dedup_filter.h"
 #include "service/wal.h"
 #include "util/status.h"
 
@@ -27,6 +28,23 @@ class SnapshotReader;
 Result<std::unique_ptr<StreamSink>> RestoreSessionSnapshot(
     SnapshotReader& reader, std::string_view expected_spec,
     int64_t expected_seq);
+
+/// Counters persisted in the session snapshot's stats footer; declared
+/// below (`ReadSessionFooters` needs the type).
+struct SessionIngestCounters;
+
+/// Reads the lenient footers that follow the sink state in a session
+/// snapshot: the stats footer (into `counters` when non-null) and, after
+/// it, the dedup footer — returning the restored duplicate-guard filter,
+/// or null when the snapshot predates dedup, carries no filter, or has a
+/// malformed tail. `duplicates_rejected` (when non-null) receives the
+/// persisted rejection count alongside a non-null filter. Never fails:
+/// like the stats footer, missing or foreign trailing bytes must cost
+/// statistics at worst, never the restore. Shared by `DurableSession::Open`
+/// and the replica bootstrap (which restores from shipped bytes).
+std::unique_ptr<DedupFilter> ReadSessionFooters(
+    SnapshotReader& reader, SessionIngestCounters* counters,
+    int64_t* duplicates_rejected);
 
 /// The replication advertisement a primary publishes at each durability
 /// point (see `DurableSession::PublishReplicationState`): the stream
@@ -66,6 +84,15 @@ struct SessionIngestCounters {
   int64_t restores = 0;
   /// WAL records replayed across all restores.
   int64_t replayed_records = 0;
+};
+
+/// What one `Ingest` call did: how many points were applied (WAL-logged
+/// and offered to the sink) and how many were rejected as exact
+/// duplicates by the session's dedup filter (never both for one point).
+/// Sessions without `dedup=on` report every point as accepted.
+struct IngestOutcome {
+  int64_t accepted = 0;
+  int64_t duplicates = 0;
 };
 
 /// Durability knobs of one session.
@@ -142,6 +169,20 @@ class DurableSession {
   Status Observe(const StreamPoint& point);
   Status ObserveBatch(std::span<const StreamPoint> batch);
 
+  /// The duplicate-aware ingest path: with `dedup=on` in the spec, points
+  /// whose id the session has already accepted are rejected *before* the
+  /// WAL append — an exact duplicate is an idempotent no-op (no WAL
+  /// record, no state-version bump, no admission scan) and is reported in
+  /// `IngestOutcome::duplicates` instead. Rejection is exact, not
+  /// probabilistic: a filter hit falls back to an exact id check, so a
+  /// genuinely new point is never dropped. Points with negative ids carry
+  /// no identity and always pass through. `as_batch` selects the same
+  /// element/batch machinery `Observe`/`ObserveBatch` use (WAL framing,
+  /// `ingest_batches` accounting) — those two methods are thin wrappers
+  /// over this one.
+  Result<IngestOutcome> Ingest(std::span<const StreamPoint> batch,
+                               bool as_batch);
+
   /// Current solution, served through the session's `SolveCache`: the
   /// expensive post-processing runs only when the sink's state version
   /// moved since the last query; otherwise the memoized solution is
@@ -188,6 +229,16 @@ class DurableSession {
   const std::string& spec() const { return spec_; }
   /// Cumulative counters, footer-persisted (see `SessionIngestCounters`).
   const SessionIngestCounters& IngestCounters() const { return counters_; }
+  /// True iff the spec enables the duplicate guard (`dedup=on`).
+  bool DedupEnabled() const { return dedup_ != nullptr; }
+  /// Exact duplicates rejected before the WAL, cumulative. Persisted in
+  /// the snapshot's dedup footer — exact across LRU spill (which snapshots
+  /// first) and snapshot-covered recovery; rejections since the last
+  /// snapshot are deliberately not WAL-logged (they ARE the records kept
+  /// out of the log), so a hard crash forgets only that recent delta.
+  int64_t DuplicatesRejected() const { return duplicates_rejected_; }
+  /// The duplicate guard (null when `dedup=off`).
+  const DedupFilter* dedup_filter() const { return dedup_.get(); }
   int64_t ObservedElements() const { return sink_->ObservedElements(); }
   size_t StoredElements() const { return sink_->StoredElements(); }
   /// Stream position of the newest on-disk snapshot (0 = none).
@@ -219,6 +270,9 @@ class DurableSession {
   DurableSessionOptions options_;
   std::unique_ptr<StreamSink> sink_;
   std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<DedupFilter> dedup_;  // null unless spec says dedup=on
+  int64_t duplicates_rejected_ = 0;
+  uint64_t probe_sample_ = 0;  // 1-in-64 sampling of the probe histogram
   std::shared_ptr<SolveCache> solve_cache_;  // never null
   size_t dim_ = 0;  // from the spec; every ingested point must match
   int64_t snapshot_seq_ = 0;

@@ -246,6 +246,14 @@ Status SessionManager::ObserveBatch(const std::string& name,
   });
 }
 
+Result<IngestOutcome> SessionManager::Ingest(
+    const std::string& name, std::span<const StreamPoint> batch,
+    bool as_batch) {
+  return WithSession(name, [&](DurableSession& session) {
+    return session.Ingest(batch, as_batch);
+  });
+}
+
 Result<Solution> SessionManager::Solve(const std::string& name) {
   // Shared lock: a cache hit copies the memoized solution without ever
   // touching the sink; a miss runs the post-processing while holding the
@@ -334,6 +342,12 @@ Result<SessionManager::SessionStats> SessionManager::Stats(
         stats.snapshot_write_ms_total = counters.snapshot_write_ms_total;
         stats.restores = counters.restores;
         stats.replayed_records = counters.replayed_records;
+        stats.dedup = session.DedupEnabled();
+        stats.duplicates_rejected = session.DuplicatesRejected();
+        if (const DedupFilter* filter = session.dedup_filter()) {
+          stats.filter_bytes = filter->MemoryBytes();
+          stats.filter_grows = filter->Grows();
+        }
         stats.kernel = std::string(simd::ActiveKernelName());
         return stats;
       });

@@ -90,6 +90,14 @@ class SessionManager {
   Status ObserveBatch(const std::string& name,
                       std::span<const StreamPoint> batch);
 
+  /// Duplicate-aware ingest (see `DurableSession::Ingest`): reports how
+  /// many points were applied vs rejected as exact duplicates by a
+  /// `dedup=on` session. `as_batch` picks the element or batch machinery,
+  /// matching `Observe`/`ObserveBatch` accounting.
+  Result<IngestOutcome> Ingest(const std::string& name,
+                               std::span<const StreamPoint> batch,
+                               bool as_batch);
+
   Result<Solution> Solve(const std::string& name);
 
   /// Explicit durability points.
@@ -128,6 +136,13 @@ class SessionManager {
     double snapshot_write_ms_total = 0.0;
     int64_t restores = 0;
     int64_t replayed_records = 0;
+    /// Exactly-once ingest surface (zeros when the spec says dedup=off):
+    /// exact duplicates rejected before the WAL, the filter's resident
+    /// bytes, and its capacity doublings.
+    bool dedup = false;
+    int64_t duplicates_rejected = 0;
+    uint64_t filter_bytes = 0;
+    uint64_t filter_grows = 0;
     /// Distance-kernel dispatch target serving this process ("scalar" |
     /// "avx2" | "neon") — process-wide, surfaced per STATS reply so bench
     /// recordings against the server are self-describing.

@@ -121,6 +121,14 @@ Result<SinkSpec> SinkSpec::Parse(std::string_view text) {
       if (!v.ok()) return v.status();
       if (*v < 1) return Invalid("max_rungs must be >= 1");
       spec.max_rungs = static_cast<size_t>(*v);
+    } else if (key == "dedup") {
+      if (value == "on") {
+        spec.dedup = true;
+      } else if (value == "off") {
+        spec.dedup = false;
+      } else {
+        return Invalid("dedup must be on|off, got '" + value + "'");
+      }
     } else {
       return Invalid("unknown key '" + key + "'");
     }
@@ -151,6 +159,7 @@ std::string SinkSpec::ToString() const {
     out << " window=" << window << " checkpoints=" << checkpoints;
   }
   if (algo == "adaptive") out << " max_rungs=" << max_rungs;
+  if (dedup) out << " dedup=on";
   return out.str();
 }
 

@@ -42,6 +42,12 @@ namespace fdm {
 ///   window   window length (algo=sliding_window; required for it)
 ///   checkpoints  window replicas (algo=sliding_window, default 4)
 ///   max_rungs    ladder cap (algo=adaptive, default 4096)
+///   dedup    on | off — exactly-once ingest: an id-keyed fingerprint
+///            filter in front of admission makes re-OBSERVEd points
+///            idempotent no-ops (no WAL record, no state-version bump).
+///            Session-layer concern; the sink itself ignores it.
+///            (default off — sliding-window streams legitimately
+///            re-observe ids)
 struct SinkSpec {
   std::string algo;
   size_t dim = 0;
@@ -57,6 +63,7 @@ struct SinkSpec {
   int64_t window = 0;
   int64_t checkpoints = 4;
   size_t max_rungs = 4096;
+  bool dedup = false;
 
   /// Parses the `key=value` form; unknown keys and malformed values are
   /// `InvalidArgument` errors (a serving config typo should fail loudly).

@@ -460,7 +460,8 @@ std::vector<std::string> WriteAheadLog::SegmentPaths() const {
 }
 
 Result<int64_t> WriteAheadLog::Replay(int64_t after_seq, StreamSink& sink,
-                                      int64_t* mutations) const {
+                                      int64_t* mutations,
+                                      DedupFilter* filter) const {
   FDM_CHECK_MSG(buffer_.empty() || buffer_.size() == sizeof(kSegmentMagic),
                 "Sync() the WAL before Replay()");
   obs::ScopedTimer replay_timer(WalReplayHist(), dir_,
@@ -471,7 +472,7 @@ Result<int64_t> WriteAheadLog::Replay(int64_t after_seq, StreamSink& sink,
   // Batched apply through the shared applier, so rung-parallel sinks
   // replay at batched-ingestion speed — and so recovery and follower
   // tail application share one code path.
-  WalBatchApplier applier(sink, options_.replay_batch);
+  WalBatchApplier applier(sink, options_.replay_batch, filter);
 
   for (size_t s = 0; s < segment_first_seqs_.size(); ++s) {
     // A whole segment is skippable when the next segment starts at or

@@ -9,6 +9,7 @@
 
 #include "core/stream_sink.h"
 #include "geo/point_buffer.h"
+#include "service/dedup_filter.h"
 #include "util/status.h"
 
 namespace fdm {
@@ -74,12 +75,21 @@ std::string WalSegmentFileName(int64_t first_seq);
 /// caller, whose gap-handling policies differ.
 class WalBatchApplier {
  public:
-  WalBatchApplier(StreamSink& sink, size_t batch_records)
-      : sink_(sink), batch_records_(batch_records == 0 ? 1 : batch_records) {}
+  /// When `filter` is non-null, every applied record's id is fed through
+  /// `DedupFilter::InsertIfAbsent` — this is how crash recovery and
+  /// follower tails reconstruct the duplicate guard exactly: the WAL is
+  /// authoritative (records are applied regardless), the filter just
+  /// relearns membership alongside.
+  WalBatchApplier(StreamSink& sink, size_t batch_records,
+                  DedupFilter* filter = nullptr)
+      : sink_(sink),
+        batch_records_(batch_records == 0 ? 1 : batch_records),
+        filter_(filter) {}
 
   /// Buffers one record (coordinates copied). Returns false when the
   /// record's dimension disagrees with the buffered batch's.
   bool Add(const WalRecordView& record) {
+    if (filter_ != nullptr) filter_->InsertIfAbsent(record.id);
     if (dim_ == 0) {
       dim_ = record.coords.size();
       coords_.reserve(batch_records_ * dim_);
@@ -124,6 +134,7 @@ class WalBatchApplier {
  private:
   StreamSink& sink_;
   size_t batch_records_;
+  DedupFilter* filter_;
   size_t mutations_ = 0;
   size_t dim_ = 0;
   std::vector<double> coords_;
@@ -203,11 +214,13 @@ class WriteAheadLog {
   /// Replays every record with `seq > after_seq` into `sink` through
   /// `ObserveBatch`, in sequence order. Returns the number of records
   /// replayed; when `mutations` is non-null it receives how many of them
-  /// changed sink state (summed `ObserveBatch` returns). The newest
-  /// segment may end in a torn record (crash tail) — replay stops cleanly
-  /// there.
+  /// changed sink state (summed `ObserveBatch` returns). When `filter` is
+  /// non-null, replayed ids rebuild the duplicate guard (see
+  /// `WalBatchApplier`). The newest segment may end in a torn record
+  /// (crash tail) — replay stops cleanly there.
   Result<int64_t> Replay(int64_t after_seq, StreamSink& sink,
-                         int64_t* mutations = nullptr) const;
+                         int64_t* mutations = nullptr,
+                         DedupFilter* filter = nullptr) const;
 
   /// Deletes whole segments whose records all have `seq < before_seq`
   /// (call after a snapshot at `before_seq - 1` has been written). The

@@ -45,6 +45,16 @@ class FaultInjectingSource : public ReplicationSource {
     queued_manifests_.push_back(std::move(manifest));
   }
 
+  /// Re-ships every WAL segment: each manifest lists every segment entry
+  /// `factor` times in a row ([A,A,B,B,...] for factor 2) — the
+  /// duplicate-replay storm a flapping transport or a retrying shipper
+  /// produces. A correct follower skips the repeats (each record's seq is
+  /// below the expected position on the second pass) and stays
+  /// bit-identical with `divergence_rebuilds == 0`. 1 = off (default).
+  void SetSegmentReshipFactor(int factor) {
+    reship_factor_ = factor < 1 ? 1 : factor;
+  }
+
   /// Force-fails every fetch of the snapshot at `seq` / the segment whose
   /// first record is `first_seq` (a pruned or unreachable file).
   void FailSnapshot(int64_t seq) { failed_snapshots_.insert(seq); }
@@ -70,7 +80,7 @@ class FaultInjectingSource : public ReplicationSource {
       if (!inner.ok()) return inner.status();
       manifest = std::move(inner.value());
     }
-    if (max_visible_seq_ < 0) return manifest;
+    if (max_visible_seq_ < 0) return Reship(std::move(manifest));
 
     const int64_t cap = max_visible_seq_;
     if (manifest.primary_seq > cap) manifest.primary_seq = cap;
@@ -91,7 +101,7 @@ class FaultInjectingSource : public ReplicationSource {
       manifest.segments.back().checksum = 0;
       manifest.segments.back().bytes = 0;
     }
-    return manifest;
+    return Reship(std::move(manifest));
   }
 
   Result<std::string> FetchSnapshot(int64_t seq) override {
@@ -140,9 +150,22 @@ class FaultInjectingSource : public ReplicationSource {
   }
 
  private:
+  ReplicaManifest Reship(ReplicaManifest manifest) const {
+    if (reship_factor_ <= 1) return manifest;
+    std::vector<WalSegmentInfo> repeated;
+    repeated.reserve(manifest.segments.size() *
+                     static_cast<size_t>(reship_factor_));
+    for (const WalSegmentInfo& seg : manifest.segments) {
+      for (int i = 0; i < reship_factor_; ++i) repeated.push_back(seg);
+    }
+    manifest.segments = std::move(repeated);
+    return manifest;
+  }
+
   std::shared_ptr<ReplicationSource> inner_;
   int64_t max_visible_seq_ = -1;
   size_t torn_tail_bytes_ = 0;
+  int reship_factor_ = 1;
   std::deque<ReplicaManifest> queued_manifests_;
   std::set<int64_t> failed_snapshots_;
   std::set<int64_t> failed_segments_;

@@ -387,6 +387,85 @@ TEST_F(ReplicaTest, RewrittenLogForcesDivergenceRebuild) {
   ExpectSameSolution(rewritten->sink(), follower->sink());
 }
 
+// The duplicate-replay storm: every manifest lists every WAL segment
+// twice ([A,A,B,B,...]) — the view a flapping transport or a retrying
+// shipper produces — while the follower is killed and restarted at
+// mid-tail points. A correct follower skips every repeated record, stays
+// bit-identical to the primary, never trips the divergence rebuild, and
+// mirrors the primary's exactly-once surface (duplicates_rejected from
+// the snapshot footer, filter membership re-taught by the tail).
+TEST_F(ReplicaTest, DuplicateReplayStormStaysBitIdentical) {
+  const Dataset ds = TestData(2, 200, 53);
+  const std::string spec =
+      "algo=sfdm2 dim=2 quotas=3,3 dedup=on" + BoundsSuffix(ds);
+
+  DurableSessionOptions options;
+  options.wal.segment_bytes = 1024;  // many segments, many repeats
+  auto primary = DurableSession::Create(dir_, spec, options);
+  ASSERT_TRUE(primary.ok()) << primary.status().ToString();
+  const int64_t mid = static_cast<int64_t>(ds.size()) / 2;
+  for (size_t i = 0; i < ds.size(); ++i) {
+    ASSERT_TRUE(primary->Observe(ds.At(i)).ok());
+    if (i + 1 == 40) {
+      // Re-observe a prefix: with dedup=on these are idempotent no-ops
+      // (no WAL records), but the rejection count must ride the snapshot
+      // footer to the follower.
+      for (size_t d = 0; d < 20; ++d) {
+        ASSERT_TRUE(primary->Observe(ds.At(d)).ok());
+      }
+    }
+    if (i + 1 == static_cast<size_t>(mid)) {
+      ASSERT_TRUE(primary->TakeSnapshot().ok());
+    }
+  }
+  ASSERT_TRUE(primary->Sync().ok());
+  ASSERT_EQ(primary->DuplicatesRejected(), 20);
+  // Duplicates are not WAL records: the stream position is exactly n.
+  ASSERT_EQ(primary->ObservedElements(), static_cast<int64_t>(ds.size()));
+
+  auto base = std::make_shared<DirReplicationSource>(dir_);
+  auto fault = std::make_shared<FaultInjectingSource>(base);
+  fault->SetSegmentReshipFactor(2);
+
+  // Kill mid-storm: a follower frozen mid-tail sees every segment below
+  // the cap twice, applies each record once, and dies (goes out of
+  // scope) without ever having rebuilt.
+  fault->SetMaxVisibleSeq(mid + 20);
+  {
+    auto killed = ReplicaSession::Bootstrap(fault);
+    ASSERT_TRUE(killed.ok()) << killed.status().ToString();
+    EXPECT_EQ(killed->applied_seq(), mid + 20);
+    EXPECT_EQ(killed->Stats().divergence_rebuilds, 0u);
+  }
+
+  // Restart under the same storm, catch up in two stages (another
+  // mid-storm stop between them), then all the way.
+  fault->SetMaxVisibleSeq(mid + 40);
+  auto follower = ReplicaSession::Bootstrap(fault);
+  ASSERT_TRUE(follower.ok()) << follower.status().ToString();
+  EXPECT_EQ(follower->applied_seq(), mid + 40);
+  fault->SetMaxVisibleSeq(-1);
+  auto polled = follower->Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status().ToString();
+  EXPECT_EQ(*polled, static_cast<int64_t>(ds.size()) - (mid + 40));
+
+  ExpectSameSolution(primary->sink(), follower->sink());
+  const auto stats = follower->Stats();
+  EXPECT_EQ(stats.lag, 0);
+  EXPECT_EQ(stats.divergence_rebuilds, 0u);
+  EXPECT_TRUE(stats.dedup);
+  EXPECT_EQ(stats.duplicates_rejected, 20);
+  EXPECT_GT(stats.filter_bytes, 0u);
+
+  // The mirrored filter answers membership without replaying: the
+  // snapshot footer taught it the first half, the (re-shipped) tail the
+  // rest.
+  for (size_t i = 0; i < ds.size(); ++i) {
+    EXPECT_TRUE(follower->KnownId(ds.At(i).id)) << "id " << ds.At(i).id;
+  }
+  EXPECT_FALSE(follower->KnownId(static_cast<int64_t>(ds.size()) + 7));
+}
+
 // The serving façade: a ReplicaManager mirrors every session under the
 // primary root, discovers sessions created after it started, serves
 // flagged solves, and rejects nothing it should serve.

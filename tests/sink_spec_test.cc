@@ -88,5 +88,28 @@ TEST(SinkSpecTest, ToStringRoundTrips) {
   EXPECT_EQ(reparsed->checkpoints, spec->checkpoints);
 }
 
+TEST(SinkSpecTest, DedupKeyParsesAndRoundTrips) {
+  auto off = SinkSpec::Parse("algo=streaming_dm dim=2 k=4 dmin=0.1 dmax=9");
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off->dedup);  // default off
+  EXPECT_EQ(off->ToString().find("dedup"), std::string::npos);
+
+  auto on = SinkSpec::Parse(
+      "algo=streaming_dm dim=2 k=4 dmin=0.1 dmax=9 dedup=on");
+  ASSERT_TRUE(on.ok()) << on.status().ToString();
+  EXPECT_TRUE(on->dedup);
+  auto reparsed = SinkSpec::Parse(on->ToString());
+  ASSERT_TRUE(reparsed.ok()) << on->ToString();
+  EXPECT_TRUE(reparsed->dedup);
+
+  auto explicit_off = SinkSpec::Parse(
+      "algo=streaming_dm dim=2 k=4 dmin=0.1 dmax=9 dedup=off");
+  ASSERT_TRUE(explicit_off.ok());
+  EXPECT_FALSE(explicit_off->dedup);
+
+  EXPECT_FALSE(
+      SinkSpec::Parse("algo=streaming_dm dim=2 k=4 dedup=yes").ok());
+}
+
 }  // namespace
 }  // namespace fdm

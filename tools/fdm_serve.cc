@@ -10,7 +10,14 @@
 // `ERR <message>` line per command to stdout:
 //
 //   CREATE <name> <sink spec...>    create a session (service/sink_spec.h)
-//   OBSERVE <name> <id> <group> <c0> <c1> ...   ingest one point
+//   OBSERVE <name> <id> <group> <c0> <c1> ...   ingest one point; replies
+//                                   `OK dup=1` when a dedup=on session
+//                                   rejected it as an exact duplicate
+//   OBSERVEB <name> <n>             batched ingest: the next n stdin lines
+//                                   are points (`<id> <group> <c0> ...`),
+//                                   applied through one ObserveBatch call
+//                                   (the dedup fast path and the batch
+//                                   kernels); replies `OK kept=K dup=D`
 //   SOLVE <name>                    current solution (div + ids); answered
 //                                   from the per-session solve cache under
 //                                   a shared lock when state is unchanged
@@ -227,7 +234,20 @@ int FollowerMain(const ArgParser& args) {
       continue;
     }
     if (command == "CREATE" || command == "OBSERVE" ||
-        command == "SNAPSHOT" || command == "RESTORE") {
+        command == "OBSERVEB" || command == "SNAPSHOT" ||
+        command == "RESTORE") {
+      if (command == "OBSERVEB") {
+        // Keep the framing invariant even when rejecting: the client
+        // announced n point lines and will send them — swallow them so
+        // they are not misread as commands.
+        std::string name;
+        int64_t n = 0;
+        if ((in >> name >> n) && n > 0) {
+          std::string discard;
+          for (int64_t i = 0; i < n && std::getline(std::cin, discard); ++i) {
+          }
+        }
+      }
       std::cout << "ERR read-only follower (this process serves --follow="
                 << options.primary_root << ")\n";
       continue;
@@ -277,6 +297,9 @@ int FollowerMain(const ArgParser& args) {
                 << " resyncs=" << stats->resyncs
                 << " segments_fetched=" << stats->segments_fetched
                 << " snapshots_loaded=" << stats->snapshots_loaded
+                << " dedup=" << (stats->dedup ? "on" : "off")
+                << " duplicates_rejected=" << stats->duplicates_rejected
+                << " filter_bytes=" << stats->filter_bytes
                 << " solve_hits=" << stats->solve.hits
                 << " solve_misses=" << stats->solve.misses << "\n";
     } else {
@@ -313,6 +336,12 @@ int Main(int argc, char** argv) {
   const std::unique_ptr<MetricsDumper> dumper = MakeMetricsDumper(args);
   std::cout << "READY root=" << options.root_dir << "\n";
 
+  // Request framing invariant: every command consumes exactly its own
+  // input — the whole line it arrived on (each iteration parses one
+  // getline'd line, so trailing garbage after an ERR can never bleed into
+  // the next command), and for OBSERVEB exactly its n announced point
+  // lines, which are drained even when the batch is malformed. A client
+  // that pipelines requests therefore stays in sync across any ERR.
   std::string line;
   while (std::getline(std::cin, line)) {
     std::istringstream in(line);
@@ -360,7 +389,90 @@ int Main(int argc, char** argv) {
         std::cout << "ERR OBSERVE requires numeric coordinates\n";
         continue;
       }
-      Reply(sessions.Observe(name, StreamPoint{id, group, coords}));
+      const StreamPoint point{id, group, coords};
+      auto outcome = sessions.Ingest(name, {&point, 1}, /*as_batch=*/false);
+      if (!outcome.ok()) {
+        std::cout << "ERR " << outcome.status().ToString() << "\n";
+      } else if (outcome->duplicates > 0) {
+        std::cout << "OK dup=1\n";
+      } else {
+        std::cout << "OK\n";
+      }
+    } else if (command == "OBSERVEB") {
+      int64_t n = -1;
+      if (!(in >> n) || n < 0) {
+        std::cout << "ERR OBSERVEB requires <name> <n>\n";
+        continue;
+      }
+      in.clear();  // the int read may have latched eofbit; that's fine
+      std::string trailing;
+      if (in >> trailing) {
+        // The count DID parse, so the client will send n point lines —
+        // drain them before ERRing or they'd be misread as commands.
+        std::string drained;
+        for (int64_t i = 0; i < n && std::getline(std::cin, drained); ++i) {
+        }
+        std::cout << "ERR OBSERVEB takes nothing after <n>\n";
+        continue;
+      }
+      // Parse the n announced point lines. A malformed line fails the
+      // whole batch (nothing is applied — a batch is one request), but
+      // the remaining lines are still consumed so the stream stays in
+      // command framing.
+      std::vector<int64_t> ids;
+      std::vector<int32_t> groups;
+      std::vector<size_t> offsets;  // per-point start into `coords`
+      std::vector<double> coords;
+      std::string error;
+      std::string point_line;
+      for (int64_t i = 0; i < n; ++i) {
+        if (!std::getline(std::cin, point_line)) {
+          error = "stream ended mid-batch";
+          break;
+        }
+        if (!error.empty()) continue;  // draining after a bad line
+        std::istringstream pin(point_line);
+        int64_t id = -1;
+        int32_t group = 0;
+        if (!(pin >> id >> group)) {
+          error = "batch line " + std::to_string(i) +
+                  " requires <id> <group> <coords...>";
+          continue;
+        }
+        const size_t start = coords.size();
+        double c = 0.0;
+        while (pin >> c) coords.push_back(c);
+        if (coords.size() == start || !pin.eof()) {
+          coords.resize(start);
+          error = "batch line " + std::to_string(i) +
+                  " requires numeric coordinates";
+          continue;
+        }
+        ids.push_back(id);
+        groups.push_back(group);
+        offsets.push_back(start);
+      }
+      if (!error.empty()) {
+        std::cout << "ERR OBSERVEB " << error << "\n";
+        continue;
+      }
+      // Spans are built only now: `coords` no longer reallocates.
+      offsets.push_back(coords.size());
+      std::vector<StreamPoint> points;
+      points.reserve(ids.size());
+      for (size_t i = 0; i < ids.size(); ++i) {
+        points.push_back(StreamPoint{
+            ids[i], groups[i],
+            std::span<const double>(coords.data() + offsets[i],
+                                    offsets[i + 1] - offsets[i])});
+      }
+      auto outcome = sessions.Ingest(name, points, /*as_batch=*/true);
+      if (!outcome.ok()) {
+        std::cout << "ERR " << outcome.status().ToString() << "\n";
+      } else {
+        std::cout << "OK kept=" << outcome->accepted
+                  << " dup=" << outcome->duplicates << "\n";
+      }
     } else if (command == "SOLVE") {
       auto solution = sessions.Solve(name);
       if (!solution.ok()) {
@@ -408,6 +520,10 @@ int Main(int argc, char** argv) {
                   << " snapshots=" << stats->snapshots_taken
                   << " restores=" << stats->restores
                   << " replayed=" << stats->replayed_records
+                  << " dedup=" << (stats->dedup ? "on" : "off")
+                  << " duplicates_rejected=" << stats->duplicates_rejected
+                  << " filter_bytes=" << stats->filter_bytes
+                  << " filter_grows=" << stats->filter_grows
                   << " kernel=" << stats->kernel
                   << " spec=\"" << stats->spec << "\"\n";
       }
