@@ -71,6 +71,16 @@ class SolveCache {
   /// one with an unrelated version history).
   void Invalidate();
 
+  /// True iff a `GetOrCompute(version, ...)` right now would be a hit.
+  /// Cheap (no histogram copies) — the serving front end's admission
+  /// control asks this per SOLVE to tell apart the ~µs cached path from a
+  /// cache-missing recompute it may have to shed. Advisory only: a
+  /// concurrent ingest can move the sink's version right after.
+  bool IsCachedAt(uint64_t version) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cached_.has_value() && version_ == version;
+  }
+
   Stats GetStats() const;
 
  private:

@@ -1,0 +1,28 @@
+#include "net/frame.h"
+
+namespace fdm::net {
+
+void AppendFrame(std::string_view payload, std::string* out) {
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  out->push_back(static_cast<char>((n >> 24) & 0xff));
+  out->push_back(static_cast<char>((n >> 16) & 0xff));
+  out->push_back(static_cast<char>((n >> 8) & 0xff));
+  out->push_back(static_cast<char>(n & 0xff));
+  out->append(payload);
+}
+
+FrameParse ParseFrame(std::string_view buf, std::string_view* payload,
+                      size_t* consumed, size_t max_payload) {
+  if (buf.size() < kFrameHeaderBytes) return FrameParse::kNeedMore;
+  const auto b = [&](size_t i) {
+    return static_cast<uint32_t>(static_cast<unsigned char>(buf[i]));
+  };
+  const uint32_t n = (b(0) << 24) | (b(1) << 16) | (b(2) << 8) | b(3);
+  if (n > max_payload) return FrameParse::kError;
+  if (buf.size() < kFrameHeaderBytes + n) return FrameParse::kNeedMore;
+  *payload = buf.substr(kFrameHeaderBytes, n);
+  *consumed = kFrameHeaderBytes + n;
+  return FrameParse::kFrame;
+}
+
+}  // namespace fdm::net

@@ -1,0 +1,52 @@
+#ifndef FDM_NET_FRAME_H_
+#define FDM_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace fdm::net {
+
+/// Wire framing of the TCP transport: every request and every response
+/// travels as one length-delimited frame — a 4-byte big-endian payload
+/// length followed by exactly that many payload bytes. The payload is the
+/// same text the stdin transport speaks (a command line, plus any payload
+/// lines the command announces, '\n'-separated), so a frame is just a
+/// length-delimited chunk of the existing line protocol and the two
+/// transports produce byte-identical replies by construction. Responses
+/// may carry binary bytes (the replication fetch verbs); the length prefix
+/// is what makes that safe to pipeline.
+///
+/// A frame must contain whole requests: a request's announced payload
+/// lines (OBSERVEB) cannot spill into the next frame — the dispatcher
+/// answers `ERR ... stream ended mid-batch` instead, exactly as the stdin
+/// transport does when stdin ends mid-batch. One frame may carry several
+/// complete requests; each produces its own response frame, in order.
+inline constexpr size_t kFrameHeaderBytes = 4;
+
+/// Upper bound on a single frame's payload. Large enough for a bulk
+/// OBSERVEB batch or a shipped snapshot, small enough that one bad client
+/// cannot balloon a server buffer; oversize headers are a protocol error
+/// and close the connection.
+inline constexpr size_t kMaxFramePayloadBytes = 64u << 20;
+
+/// Appends the 4-byte header + payload to `*out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+enum class FrameParse {
+  kNeedMore,  // fewer bytes than one header + payload; read more
+  kFrame,     // *payload and *consumed are set
+  kError,     // malformed/oversize header; the connection must close
+};
+
+/// Parses the frame at the head of `buf` without copying. On `kFrame`,
+/// `*payload` views into `buf` and `*consumed` is header + payload size.
+/// `max_payload` guards the header before any allocation happens.
+FrameParse ParseFrame(std::string_view buf, std::string_view* payload,
+                      size_t* consumed,
+                      size_t max_payload = kMaxFramePayloadBytes);
+
+}  // namespace fdm::net
+
+#endif  // FDM_NET_FRAME_H_

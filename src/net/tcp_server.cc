@@ -1,0 +1,511 @@
+#include "net/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/dispatch.h"
+#include "net/frame.h"
+#include "obs/metrics.h"
+
+namespace fdm::net {
+namespace {
+
+struct NetCounters {
+  obs::Counter& connections_total;
+  obs::Gauge& connections_open;
+  obs::Counter& bytes_in;
+  obs::Counter& bytes_out;
+  obs::Counter& protocol_errors;
+};
+
+NetCounters& Counters() {
+  auto& reg = obs::MetricsRegistry::Global();
+  static NetCounters c{
+      reg.GetCounter("fdm_net_connections_total", "TCP connections accepted"),
+      reg.GetGauge("fdm_net_connections_open", "TCP connections currently open"),
+      reg.GetCounter("fdm_net_bytes_in_total", "Bytes read from TCP clients"),
+      reg.GetCounter("fdm_net_bytes_out_total", "Bytes written to TCP clients"),
+      reg.GetCounter("fdm_net_protocol_errors_total",
+                     "Connections closed on malformed frames"),
+  };
+  return c;
+}
+
+/// Per-connection state. Owned by exactly one event loop; only that
+/// loop's thread touches it, except that a solve worker holds a
+/// shared_ptr while an offloaded SOLVE is in flight (it never mutates —
+/// completions are applied by the owning loop).
+struct Conn {
+  int fd = -1;
+  size_t loop = 0;
+  std::string in;          // raw bytes not yet parsed into a frame
+  std::string frame_rest;  // requests of the current frame not yet run
+  std::string out;         // reply bytes not yet written
+  bool busy = false;       // offloaded cold SOLVE in flight
+  bool want_out = false;   // EPOLLOUT currently armed
+  bool closing = false;    // QUIT: flush `out`, then close
+  bool closed = false;     // fd gone; late completions are dropped
+};
+
+struct SolveTask {
+  std::shared_ptr<Conn> conn;
+  std::string line;
+};
+
+struct EventLoop {
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  std::map<int, std::shared_ptr<Conn>> conns;  // loop-thread only
+
+  std::mutex mu;  // guards the two inboxes below
+  std::vector<int> incoming;
+  std::vector<std::pair<std::shared_ptr<Conn>, std::string>> completions;
+};
+
+void Wake(EventLoop& loop) {
+  const uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n =
+      ::write(loop.event_fd, &one, sizeof(one));
+}
+
+}  // namespace
+
+struct TcpServer::Impl {
+  RequestDispatcher* dispatcher = nullptr;
+  TcpServerOptions options;
+  AdmissionController admission;
+  int listen_fd = -1;
+  int bound_port = 0;
+  std::vector<std::unique_ptr<EventLoop>> loops;
+  std::atomic<size_t> next_loop{0};
+  std::atomic<bool> stopping{false};
+  bool stopped = false;  // Stop() already joined everything
+
+  std::mutex solve_mu;
+  std::condition_variable solve_cv;
+  std::deque<SolveTask> solve_queue;
+  std::vector<std::thread> solve_threads;
+  bool solve_stop = false;
+
+  explicit Impl(RequestDispatcher* d, TcpServerOptions opts)
+      : dispatcher(d),
+        options(std::move(opts)),
+        admission(options.admission) {}
+
+  void AcceptReady();
+  void AdoptConn(size_t loop_index, int fd);
+  void ReadConn(EventLoop& loop, const std::shared_ptr<Conn>& conn);
+  void Drive(EventLoop& loop, const std::shared_ptr<Conn>& conn);
+  void FlushConn(EventLoop& loop, const std::shared_ptr<Conn>& conn);
+  void CloseConn(EventLoop& loop, const std::shared_ptr<Conn>& conn);
+  void HandleInbox(size_t loop_index);
+  void LoopRun(size_t index);
+  void SolveWorker();
+  void PostCompletion(const std::shared_ptr<Conn>& conn, std::string reply);
+};
+
+void TcpServer::Impl::AcceptReady() {
+  while (true) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN or transient accept error: wait for epoll
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const size_t target =
+        next_loop.fetch_add(1, std::memory_order_relaxed) % loops.size();
+    if (target == 0) {
+      AdoptConn(0, fd);  // the accepting loop
+    } else {
+      EventLoop& loop = *loops[target];
+      {
+        std::lock_guard<std::mutex> lock(loop.mu);
+        loop.incoming.push_back(fd);
+      }
+      Wake(loop);
+    }
+  }
+}
+
+void TcpServer::Impl::AdoptConn(size_t loop_index, int fd) {
+  EventLoop& loop = *loops[loop_index];
+  auto conn = std::make_shared<Conn>();
+  conn->fd = fd;
+  conn->loop = loop_index;
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  loop.conns.emplace(fd, std::move(conn));
+  Counters().connections_total.Inc();
+  Counters().connections_open.Add(1.0);
+}
+
+void TcpServer::Impl::ReadConn(EventLoop& loop,
+                               const std::shared_ptr<Conn>& conn) {
+  char buf[64 << 10];
+  while (true) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      Counters().bytes_in.Add(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    // 0 = peer closed; <0 = hard error. Either way the conversation is
+    // over — replies in flight have nowhere to go.
+    CloseConn(loop, conn);
+    return;
+  }
+}
+
+void TcpServer::Impl::Drive(EventLoop& loop,
+                            const std::shared_ptr<Conn>& conn) {
+  while (!conn->busy && !conn->closing && !conn->closed) {
+    if (conn->frame_rest.empty()) {
+      std::string_view payload;
+      size_t consumed = 0;
+      const FrameParse parsed = ParseFrame(conn->in, &payload, &consumed);
+      if (parsed == FrameParse::kNeedMore) break;
+      if (parsed == FrameParse::kError) {
+        Counters().protocol_errors.Inc();
+        CloseConn(loop, conn);
+        return;
+      }
+      conn->frame_rest.assign(payload);
+      conn->in.erase(0, consumed);
+      continue;  // empty frame: loop back and parse the next one
+    }
+    // Pop the request's command line off the frame.
+    const size_t nl = conn->frame_rest.find('\n');
+    std::string line;
+    std::string rest;
+    if (nl == std::string::npos) {
+      line = std::move(conn->frame_rest);
+    } else {
+      line = conn->frame_rest.substr(0, nl);
+      rest = conn->frame_rest.substr(nl + 1);
+    }
+    conn->frame_rest.clear();
+
+    const RequestInfo info = dispatcher->Classify(line);
+    if (info.verb.empty()) {  // blank line: no response frame
+      conn->frame_rest = std::move(rest);
+      continue;
+    }
+    StringLineSource payload_lines(rest);
+    if (!info.session.empty() &&
+        !admission.AdmitSessionRequest(info.session)) {
+      // Shed, but stay in framing: the request's announced payload lines
+      // are part of this frame and must be consumed with it.
+      std::string discard;
+      for (int64_t i = 0;
+           i < info.payload_lines && payload_lines.NextLine(&discard); ++i) {
+      }
+      AppendFrame("ERR shed session '" + info.session +
+                      "' over rate limit\n",
+                  &conn->out);
+      conn->frame_rest.assign(payload_lines.rest());
+      continue;
+    }
+    if (info.cold_solve) {
+      if (!admission.TryEnterColdSolve()) {
+        AppendFrame("ERR shed cold solve capacity\n", &conn->out);
+        conn->frame_rest.assign(payload_lines.rest());
+        continue;
+      }
+      // Admitted: run it on the solve pool. SOLVE announces no payload
+      // lines, so the whole remainder of the frame is later requests —
+      // they wait until the completion lands (FIFO per connection).
+      conn->busy = true;
+      conn->frame_rest = std::move(rest);
+      {
+        std::lock_guard<std::mutex> lock(solve_mu);
+        solve_queue.push_back(SolveTask{conn, std::move(line)});
+      }
+      solve_cv.notify_one();
+      break;
+    }
+    std::string reply;
+    const RequestOutcome outcome =
+        dispatcher->HandleRequest(line, payload_lines, &reply);
+    if (!reply.empty()) AppendFrame(reply, &conn->out);
+    conn->frame_rest.assign(payload_lines.rest());
+    if (outcome == RequestOutcome::kQuit) {
+      conn->closing = true;  // flush the reply, then close
+      break;
+    }
+  }
+  FlushConn(loop, conn);
+}
+
+void TcpServer::Impl::FlushConn(EventLoop& loop,
+                                const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  while (!conn->out.empty()) {
+    const ssize_t n = ::write(conn->fd, conn->out.data(), conn->out.size());
+    if (n > 0) {
+      Counters().bytes_out.Add(static_cast<uint64_t>(n));
+      conn->out.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!conn->want_out) {
+        epoll_event ev{};
+        ev.events = EPOLLIN | EPOLLOUT;
+        ev.data.fd = conn->fd;
+        ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+        conn->want_out = true;
+      }
+      return;
+    }
+    CloseConn(loop, conn);
+    return;
+  }
+  if (conn->want_out) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = conn->fd;
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->want_out = false;
+  }
+  if (conn->closing) CloseConn(loop, conn);
+}
+
+void TcpServer::Impl::CloseConn(EventLoop& loop,
+                                const std::shared_ptr<Conn>& conn) {
+  if (conn->closed) return;
+  ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->closed = true;
+  loop.conns.erase(conn->fd);
+  Counters().connections_open.Add(-1.0);
+}
+
+void TcpServer::Impl::HandleInbox(size_t loop_index) {
+  EventLoop& loop = *loops[loop_index];
+  std::vector<int> incoming;
+  std::vector<std::pair<std::shared_ptr<Conn>, std::string>> completions;
+  {
+    std::lock_guard<std::mutex> lock(loop.mu);
+    incoming.swap(loop.incoming);
+    completions.swap(loop.completions);
+  }
+  for (const int fd : incoming) AdoptConn(loop_index, fd);
+  for (auto& [conn, reply] : completions) {
+    if (conn->closed) continue;
+    conn->busy = false;
+    if (!reply.empty()) AppendFrame(reply, &conn->out);
+    Drive(loop, conn);  // later pipelined requests were waiting on this
+  }
+}
+
+void TcpServer::Impl::LoopRun(size_t index) {
+  EventLoop& loop = *loops[index];
+  epoll_event events[64];
+  while (true) {
+    const int n = ::epoll_wait(loop.epoll_fd, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == loop.event_fd) {
+        uint64_t drained = 0;
+        [[maybe_unused]] const ssize_t r =
+            ::read(loop.event_fd, &drained, sizeof(drained));
+        HandleInbox(index);
+        continue;
+      }
+      if (fd == listen_fd) {
+        AcceptReady();
+        continue;
+      }
+      const auto it = loop.conns.find(fd);
+      if (it == loop.conns.end()) continue;  // closed earlier this batch
+      std::shared_ptr<Conn> conn = it->second;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConn(loop, conn);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) {
+        ReadConn(loop, conn);
+        if (!conn->closed) Drive(loop, conn);
+      }
+      if ((events[i].events & EPOLLOUT) && !conn->closed) {
+        FlushConn(loop, conn);
+      }
+    }
+    if (stopping.load(std::memory_order_acquire)) break;
+  }
+  // Shutdown: close every connection this loop owns, plus any accepted
+  // sockets still waiting in the inbox.
+  std::vector<int> incoming;
+  {
+    std::lock_guard<std::mutex> lock(loop.mu);
+    incoming.swap(loop.incoming);
+    loop.completions.clear();
+  }
+  for (const int fd : incoming) ::close(fd);
+  while (!loop.conns.empty()) {
+    CloseConn(loop, loop.conns.begin()->second);
+  }
+}
+
+void TcpServer::Impl::SolveWorker() {
+  while (true) {
+    SolveTask task;
+    {
+      std::unique_lock<std::mutex> lock(solve_mu);
+      solve_cv.wait(lock,
+                    [this] { return solve_stop || !solve_queue.empty(); });
+      if (solve_stop) return;  // queued work is moot: connections are gone
+      task = std::move(solve_queue.front());
+      solve_queue.pop_front();
+    }
+    std::string reply;
+    StringLineSource no_payload{std::string_view()};
+    dispatcher->HandleRequest(task.line, no_payload, &reply);
+    admission.LeaveColdSolve();
+    PostCompletion(task.conn, std::move(reply));
+  }
+}
+
+void TcpServer::Impl::PostCompletion(const std::shared_ptr<Conn>& conn,
+                                     std::string reply) {
+  EventLoop& loop = *loops[conn->loop];
+  {
+    std::lock_guard<std::mutex> lock(loop.mu);
+    loop.completions.emplace_back(conn, std::move(reply));
+  }
+  Wake(loop);
+}
+
+Result<std::unique_ptr<TcpServer>> TcpServer::Start(
+    RequestDispatcher* dispatcher, TcpServerOptions options) {
+  if (options.event_threads < 1) options.event_threads = 1;
+  if (options.solve_workers < 1) options.solve_workers = 1;
+
+  auto impl = std::make_unique<Impl>(dispatcher, std::move(options));
+  impl->listen_fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                             0);
+  if (impl->listen_fd < 0) {
+    return Status::IoError("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(impl->options.port));
+  if (::inet_pton(AF_INET, impl->options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(impl->listen_fd);
+    return Status::InvalidArgument("bad listen address: " +
+                                   impl->options.host);
+  }
+  if (::bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(impl->listen_fd, 128) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(impl->listen_fd);
+    return Status::IoError("bind/listen " + impl->options.host + ":" +
+                           std::to_string(impl->options.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(impl->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                &bound_len);
+  impl->bound_port = ntohs(bound.sin_port);
+
+  for (int i = 0; i < impl->options.event_threads; ++i) {
+    auto loop = std::make_unique<EventLoop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->event_fd < 0) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->event_fd >= 0) ::close(loop->event_fd);
+      ::close(impl->listen_fd);
+      for (auto& l : impl->loops) {
+        ::close(l->epoll_fd);
+        ::close(l->event_fd);
+      }
+      return Status::IoError("epoll/eventfd setup failed");
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->event_fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->event_fd, &ev);
+    impl->loops.push_back(std::move(loop));
+  }
+  // The first loop owns the listener.
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = impl->listen_fd;
+  ::epoll_ctl(impl->loops[0]->epoll_fd, EPOLL_CTL_ADD, impl->listen_fd, &ev);
+
+  Impl* raw = impl.get();
+  for (size_t i = 0; i < impl->loops.size(); ++i) {
+    impl->loops[i]->thread = std::thread([raw, i] { raw->LoopRun(i); });
+  }
+  for (int i = 0; i < impl->options.solve_workers; ++i) {
+    impl->solve_threads.emplace_back([raw] { raw->SolveWorker(); });
+  }
+  return std::unique_ptr<TcpServer>(new TcpServer(std::move(impl)));
+}
+
+TcpServer::TcpServer(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+int TcpServer::port() const { return impl_->bound_port; }
+
+const AdmissionController& TcpServer::admission() const {
+  return impl_->admission;
+}
+
+AdmissionController& TcpServer::admission() { return impl_->admission; }
+
+void TcpServer::Stop() {
+  if (impl_->stopped) return;
+  impl_->stopped = true;
+  impl_->stopping.store(true, std::memory_order_release);
+  for (auto& loop : impl_->loops) Wake(*loop);
+  for (auto& loop : impl_->loops) {
+    if (loop->thread.joinable()) loop->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->solve_mu);
+    impl_->solve_stop = true;
+  }
+  impl_->solve_cv.notify_all();
+  for (auto& worker : impl_->solve_threads) {
+    if (worker.joinable()) worker.join();
+  }
+  ::close(impl_->listen_fd);
+  for (auto& loop : impl_->loops) {
+    ::close(loop->epoll_fd);
+    ::close(loop->event_fd);
+  }
+}
+
+}  // namespace fdm::net

@@ -2,8 +2,11 @@
 
 #include <chrono>
 #include <filesystem>
+#include <sstream>
 #include <utility>
 
+#include "net/net_client.h"
+#include "replica/socket_source.h"
 #include "service/durable_session.h"
 
 namespace fdm {
@@ -32,13 +35,21 @@ Result<std::unique_ptr<ReplicaManager>> ReplicaManager::Create(
   if (options.primary_root.empty()) {
     return Status::InvalidArgument("primary_root must be set");
   }
-  std::error_code ec;
-  if (!std::filesystem::is_directory(options.primary_root, ec)) {
-    return Status::IoError("primary root is not a directory: " +
-                           options.primary_root);
+  std::string host;
+  int port = 0;
+  const bool over_tcp = net::ParseTcpAddress(options.primary_root, &host,
+                                             &port);
+  if (!over_tcp) {
+    std::error_code ec;
+    if (!std::filesystem::is_directory(options.primary_root, ec)) {
+      return Status::IoError("primary root is not a directory: " +
+                             options.primary_root);
+    }
   }
   std::unique_ptr<ReplicaManager> manager(
       new ReplicaManager(std::move(options)));
+  manager->primary_host_ = std::move(host);
+  manager->primary_port_ = port;
   manager->DiscoverSessions();
   if (manager->options_.poll_ms > 0) {
     manager->background_ = std::thread([m = manager.get()] {
@@ -60,6 +71,24 @@ ReplicaManager::~ReplicaManager() {
 }
 
 void ReplicaManager::DiscoverSessions() {
+  if (!primary_host_.empty()) {
+    // Ask the primary's front end. Discovery failing (primary down, mid-
+    // restart) is not fatal: known sessions keep serving at their applied
+    // positions and the next sweep retries.
+    auto client = net::NetClient::Connect(primary_host_, primary_port_);
+    if (!client.ok()) return;
+    auto reply = client->Call("LIST");
+    if (!reply.ok()) return;
+    std::istringstream in(*reply);
+    std::string token;
+    if (!(in >> token) || token != "OK") return;
+    while (in >> token) {
+      if (!ValidSessionName(token)) continue;
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.emplace(token, std::make_shared<Entry>());  // no-op if known
+    }
+    return;
+  }
   std::error_code ec;
   for (const auto& entry :
        std::filesystem::directory_iterator(options_.primary_root, ec)) {
@@ -94,8 +123,14 @@ Result<std::shared_ptr<ReplicaManager::Entry>> ReplicaManager::Follower(
   {
     std::unique_lock<std::shared_mutex> entry_lock(entry->mu);
     if (entry->replica == nullptr) {
-      auto source = std::make_shared<DirReplicationSource>(
-          options_.primary_root + "/" + name);
+      std::shared_ptr<ReplicationSource> source;
+      if (!primary_host_.empty()) {
+        source = std::make_shared<SocketReplicationSource>(
+            primary_host_, primary_port_, name);
+      } else {
+        source = std::make_shared<DirReplicationSource>(
+            options_.primary_root + "/" + name);
+      }
       auto replica =
           ReplicaSession::Bootstrap(std::move(source), options_.replica);
       if (!replica.ok()) return replica.status();
@@ -158,6 +193,19 @@ Status ReplicaManager::PollAll() {
     if (!applied.ok() && first_error.ok()) first_error = applied.status();
   }
   return first_error;
+}
+
+bool ReplicaManager::SolveLikelyCached(const std::string& name) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    entry = it->second;
+  }
+  std::shared_lock<std::shared_mutex> lock(entry->mu);
+  if (entry->replica == nullptr) return false;  // bootstrap is cold
+  return entry->replica->SolveCached();
 }
 
 std::vector<std::string> ReplicaManager::SessionNames() {

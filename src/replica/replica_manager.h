@@ -18,9 +18,14 @@
 namespace fdm {
 
 struct ReplicaManagerOptions {
-  /// The primary's session-manager root (each session in
-  /// `<primary_root>/<name>/`), reachable through the filesystem. The
-  /// follower mirrors every session it finds there.
+  /// Where the primary is. Two forms:
+  ///  - a filesystem path: the primary's session-manager root (each
+  ///    session in `<primary_root>/<name>/`), reachable through the
+  ///    filesystem;
+  ///  - `tcp://host:port`: a primary's TCP front end (net/tcp_server.h);
+  ///    sessions are discovered with the LIST verb and tailed through
+  ///    `SocketReplicationSource`.
+  /// The follower mirrors every session it finds either way.
   std::string primary_root;
   /// Background catch-up period; 0 = poll only on demand (`Poll`,
   /// `PollAll`, the `REPLICA` serve verb).
@@ -84,6 +89,12 @@ class ReplicaManager {
   /// All sessions currently visible under the primary root.
   std::vector<std::string> SessionNames();
 
+  /// True iff `Solve(name)` right now would be a follower-cache hit.
+  /// Advisory and cheap: a session not yet bootstrapped reports false
+  /// without bootstrapping it — that first touch is exactly the expensive
+  /// path admission control wants to classify as cold.
+  bool SolveLikelyCached(const std::string& name) const;
+
  private:
   struct Entry {
     /// Queries (Solve/Stats) shared; bootstrap/poll exclusive.
@@ -103,6 +114,9 @@ class ReplicaManager {
   void BackgroundLoop();
 
   ReplicaManagerOptions options_;
+  /// Set iff `primary_root` is `tcp://host:port`.
+  std::string primary_host_;
+  int primary_port_ = 0;
   mutable std::mutex mu_;  // guards entries_
   std::map<std::string, std::shared_ptr<Entry>> entries_;
 

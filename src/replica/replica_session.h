@@ -83,6 +83,13 @@ class ReplicaSession {
 
   uint64_t StateVersion() const { return sink_->StateVersion(); }
 
+  /// True iff `Solve()` right now would be a cache hit (advisory — a
+  /// concurrent tail apply can move the version). The serving front end's
+  /// admission control uses this to classify follower SOLVEs.
+  bool SolveCached() const {
+    return solve_cache_->IsCachedAt(sink_->StateVersion());
+  }
+
   /// Exact membership of `id` at the follower's applied position — the
   /// cheap pre-check the divergence story wants: a client (or operator)
   /// can ask "did this point make it in?" without replaying anything.

@@ -264,6 +264,19 @@ Result<Solution> SessionManager::Solve(const std::string& name) {
   });
 }
 
+bool SessionManager::SolveLikelyCached(const std::string& name) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    entry = it->second;
+  }
+  std::shared_lock<std::shared_mutex> entry_lock(entry->mu);
+  if (entry->session == nullptr) return false;  // spilled: a reload is cold
+  return entry->solve_cache->IsCachedAt(entry->session->StateVersion());
+}
+
 Status SessionManager::Snapshot(const std::string& name) {
   return WithSession(name, [](DurableSession& session) {
     return session.TakeSnapshot();

@@ -150,6 +150,13 @@ class SessionManager {
   };
   Result<SessionStats> Stats(const std::string& name);
 
+  /// True iff `Solve(name)` right now would be served from the session's
+  /// solve cache. Advisory (state can move between the probe and the
+  /// query) and deliberately cheap: a spilled or unknown session reports
+  /// false without loading anything — reloading is exactly the kind of
+  /// work an overloaded front end wants to classify as cold.
+  bool SolveLikelyCached(const std::string& name) const;
+
   /// All known sessions (resident and spilled), sorted by name.
   std::vector<std::string> SessionNames() const;
 

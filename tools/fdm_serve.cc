@@ -1,10 +1,12 @@
-// fdm_serve — line-protocol front end over the durable session manager,
-// for demos, soak tests, and driving the service layer from scripts.
+// fdm_serve — serving front end over the durable session manager, for
+// demos, soak tests, scripts, and (with --listen) networked clients.
 //
 //   ./fdm_serve [--root=DIR] [--snapshot_every=N] [--max_resident=N]
 //               [--background_ms=N] [--threads=N] [--solve_threads=N]
 //               [--metrics-dump=PATH[,PERIOD_MS]]
-//   ./fdm_serve --follow=DIR [--poll_ms=N] [--metrics-dump=...]
+//               [--listen=PORT [--listen_host=ADDR] [--net_threads=N]
+//                [--solve_workers=N] [--rate=R [--burst=B]] [--cold_cap=N]]
+//   ./fdm_serve --follow=DIR|tcp://HOST:PORT [--poll_ms=N] [...]
 //
 // Reads commands from stdin, one per line; writes one `OK ...` or
 // `ERR <message>` line per command to stdout:
@@ -13,7 +15,7 @@
 //   OBSERVE <name> <id> <group> <c0> <c1> ...   ingest one point; replies
 //                                   `OK dup=1` when a dedup=on session
 //                                   rejected it as an exact duplicate
-//   OBSERVEB <name> <n>             batched ingest: the next n stdin lines
+//   OBSERVEB <name> <n>             batched ingest: the next n input lines
 //                                   are points (`<id> <group> <c0> ...`),
 //                                   applied through one ObserveBatch call
 //                                   (the dedup fast path and the batch
@@ -35,16 +37,32 @@
 //   LIST                            all known sessions
 //   QUIT                            snapshot everything and exit
 //
+// The protocol core lives in src/net/dispatch.h; this file only wires
+// transports around it. Every no-payload verb rejects trailing garbage,
+// and OBSERVE/OBSERVEB reject non-finite (inf/nan) coordinates before
+// anything reaches the WAL.
+//
+// `--listen=PORT` additionally serves the same protocol over TCP
+// (length-delimited frames whose payload is the line-protocol text; see
+// src/net/tcp_server.h), with admission control: `--rate`/`--burst` cap
+// each session's requests/second across all connections, `--cold_cap`
+// bounds concurrently admitted cache-missing SOLVEs. Over-limit requests
+// are answered immediately with `ERR shed ...` instead of queueing. The
+// primary also serves the replication verbs RMANIFEST / RFETCHSNAP /
+// RFETCHWAL, so a follower started with `--follow=tcp://HOST:PORT` tails
+// it over the network (src/replica/socket_source.h). stdin stays live in
+// every mode — QUIT on stdin shuts the whole process down cleanly.
+//
 // `--metrics-dump=PATH[,PERIOD_MS]` writes the Prometheus rendering to
 // PATH atomically (tmp + rename): every PERIOD_MS milliseconds when a
 // period is given, and always once more at clean exit. With no period the
 // file is written only at exit.
 //
-// Follower mode (`--follow=<primary root>`) serves the same SOLVE / STATS
-// / LIST read path from replicas that bootstrap off the primary's
-// snapshots and tail its WAL segments (src/replica/). Write verbs are
-// rejected — a follower is read-only by construction — and two verbs are
-// follower-only:
+// Follower mode (`--follow=<primary root or tcp://...>`) serves the same
+// SOLVE / STATS / LIST read path from replicas that bootstrap off the
+// primary's snapshots and tail its WAL segments (src/replica/). Write
+// verbs are rejected — a follower is read-only by construction — and two
+// verbs are follower-only:
 //
 //   LAG <name>          refresh the manifest; report replication lag
 //   REPLICA <name>      catch up now; report records applied + stats
@@ -61,142 +79,60 @@
 //   ...
 //   SOLVE demo
 
-#include <cctype>
-#include <chrono>
-#include <condition_variable>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <mutex>
-#include <sstream>
+#include <memory>
 #include <string>
-#include <thread>
-#include <vector>
 
-#include "obs/metrics.h"
+#include "net/dispatch.h"
+#include "net/tcp_server.h"
+#include "obs/metrics_dump.h"
 #include "replica/replica_manager.h"
 #include "service/session_manager.h"
 #include "util/argparse.h"
-#include "util/stringutil.h"
 
 namespace fdm {
 namespace {
 
-/// Writes the Prometheus rendering of the global registry to a stable
-/// path, atomically (write tmp, rename over) so an external scraper never
-/// reads a half-written file. With a period, a background thread refreshes
-/// the file; in every mode the destructor writes one final dump, so even
-/// `--metrics-dump=PATH` alone leaves a complete end-of-run snapshot.
-class MetricsDumper {
- public:
-  MetricsDumper(std::string path, int period_ms) : path_(std::move(path)) {
-    if (period_ms > 0) {
-      thread_ = std::thread([this, period_ms] {
-        std::unique_lock<std::mutex> lock(mu_);
-        while (!cv_.wait_for(lock, std::chrono::milliseconds(period_ms),
-                             [this] { return stopping_; })) {
-          DumpOnce();
-        }
-      });
-    }
+/// Builds the dumper from `--metrics-dump`, or reports the usage error.
+/// `*ok=false` means the process should exit 1.
+std::unique_ptr<obs::MetricsDumper> DumperOrUsageError(const ArgParser& args,
+                                                       bool* ok) {
+  auto dumper = obs::MakeMetricsDumper(args.GetString("metrics-dump", ""));
+  if (!dumper.ok()) {
+    std::fprintf(stderr,
+                 "fdm_serve: %s\nusage: --metrics-dump=PATH[,PERIOD_MS]\n",
+                 dumper.status().ToString().c_str());
+    *ok = false;
+    return nullptr;
   }
-
-  ~MetricsDumper() {
-    if (thread_.joinable()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        stopping_ = true;
-      }
-      cv_.notify_all();
-      thread_.join();
-    }
-    DumpOnce();
-  }
-
-  MetricsDumper(const MetricsDumper&) = delete;
-  MetricsDumper& operator=(const MetricsDumper&) = delete;
-
- private:
-  void DumpOnce() const {
-    const std::string text =
-        obs::MetricsRegistry::Global().RenderPrometheus();
-    const std::string tmp = path_ + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) return;
-      out << text;
-      if (!out.flush()) return;
-    }
-    std::error_code ec;
-    std::filesystem::rename(tmp, path_, ec);
-  }
-
-  const std::string path_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
-  std::thread thread_;
-};
-
-/// Parses `--metrics-dump=PATH[,PERIOD_MS]`; null when the flag is absent.
-/// The period is split on the last comma only when everything after it is
-/// digits, so paths containing commas still work un-escaped.
-std::unique_ptr<MetricsDumper> MakeMetricsDumper(const ArgParser& args) {
-  const std::string spec = args.GetString("metrics-dump", "");
-  if (spec.empty()) return nullptr;
-  std::string path = spec;
-  int period_ms = 0;
-  const size_t comma = spec.rfind(',');
-  if (comma != std::string::npos && comma + 1 < spec.size()) {
-    bool digits = true;
-    for (size_t i = comma + 1; i < spec.size(); ++i) {
-      if (!std::isdigit(static_cast<unsigned char>(spec[i]))) {
-        digits = false;
-        break;
-      }
-    }
-    if (digits) {
-      path = spec.substr(0, comma);
-      period_ms = std::stoi(spec.substr(comma + 1));
-    }
-  }
-  return std::make_unique<MetricsDumper>(path, period_ms);
+  *ok = true;
+  return std::move(dumper.value());
 }
 
-/// Handles the METRICS verb shared by primary and follower mode. Returns
-/// false when `command` is not METRICS.
-bool HandleMetricsVerb(const std::string& command, std::istream& in) {
-  if (command != "METRICS") return false;
-  std::string mode;
-  in >> mode;
-  if (mode == "json") {
-    std::cout << "OK " << obs::MetricsRegistry::Global().RenderJson()
-              << "\n";
-  } else if (mode.empty()) {
-    std::cout << obs::MetricsRegistry::Global().RenderPrometheus();
-    std::cout << "OK\n";
-  } else {
-    std::cout << "ERR METRICS takes no argument or 'json'\n";
+/// Starts the TCP front end when `--listen` was passed. `*ok=false` means
+/// startup failed and the process should exit 1.
+std::unique_ptr<net::TcpServer> ListenOrUsageError(
+    const ArgParser& args, net::RequestDispatcher& dispatcher, bool* ok) {
+  *ok = true;
+  if (!args.Has("listen")) return nullptr;
+  net::TcpServerOptions options;
+  options.port = static_cast<int>(args.GetInt("listen", 0));
+  options.host = args.GetString("listen_host", "127.0.0.1");
+  options.event_threads = static_cast<int>(args.GetInt("net_threads", 2));
+  options.solve_workers = static_cast<int>(args.GetInt("solve_workers", 2));
+  options.admission.session_rate = args.GetDouble("rate", 0.0);
+  options.admission.session_burst = args.GetDouble("burst", 0.0);
+  options.admission.cold_solve_cap =
+      static_cast<size_t>(args.GetInt("cold_cap", 0));
+  auto server = net::TcpServer::Start(&dispatcher, std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "fdm_serve: %s\n",
+                 server.status().ToString().c_str());
+    *ok = false;
+    return nullptr;
   }
-  return true;
-}
-
-void Reply(const Status& status) {
-  if (status.ok()) {
-    std::cout << "OK\n";
-  } else {
-    std::cout << "ERR " << status.ToString() << "\n";
-  }
-}
-
-void PrintIds(const Solution& solution) {
-  std::cout << "div=" << solution.diversity << " ids=";
-  const auto ids = solution.Ids();
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (i > 0) std::cout << ',';
-    std::cout << ids[i];
-  }
+  return std::move(server.value());
 }
 
 int FollowerMain(const ArgParser& args) {
@@ -209,104 +145,17 @@ int FollowerMain(const ArgParser& args) {
                  manager.status().ToString().c_str());
     return 1;
   }
-  ReplicaManager& replicas = **manager;
-  const std::unique_ptr<MetricsDumper> dumper = MakeMetricsDumper(args);
+  bool ok = false;
+  const auto dumper = DumperOrUsageError(args, &ok);
+  if (!ok) return 1;
+  net::RequestDispatcher dispatcher(manager->get(), options.primary_root);
+  const auto server = ListenOrUsageError(args, dispatcher, &ok);
+  if (!ok) return 1;
   std::cout << "READY follow=" << options.primary_root
-            << " poll_ms=" << options.poll_ms << "\n";
-
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string command;
-    if (!(in >> command)) continue;  // blank line
-
-    if (command == "QUIT") {
-      std::cout << "OK\n";
-      break;
-    }
-    if (HandleMetricsVerb(command, in)) continue;
-    if (command == "LIST") {
-      std::cout << "OK";
-      for (const std::string& name : replicas.SessionNames()) {
-        std::cout << ' ' << name;
-      }
-      std::cout << "\n";
-      continue;
-    }
-    if (command == "CREATE" || command == "OBSERVE" ||
-        command == "OBSERVEB" || command == "SNAPSHOT" ||
-        command == "RESTORE") {
-      if (command == "OBSERVEB") {
-        // Keep the framing invariant even when rejecting: the client
-        // announced n point lines and will send them — swallow them so
-        // they are not misread as commands.
-        std::string name;
-        int64_t n = 0;
-        if ((in >> name >> n) && n > 0) {
-          std::string discard;
-          for (int64_t i = 0; i < n && std::getline(std::cin, discard); ++i) {
-          }
-        }
-      }
-      std::cout << "ERR read-only follower (this process serves --follow="
-                << options.primary_root << ")\n";
-      continue;
-    }
-
-    std::string name;
-    if (!(in >> name)) {
-      std::cout << "ERR " << command << " requires a session name\n";
-      continue;
-    }
-    if (command == "SOLVE") {
-      auto solve = replicas.Solve(name);
-      if (!solve.ok()) {
-        std::cout << "ERR " << solve.status().ToString() << "\n";
-        continue;
-      }
-      std::cout << "OK ";
-      PrintIds(solve->solution);
-      std::cout << " version=" << solve->state_version
-                << " applied=" << solve->applied_seq
-                << " lag=" << solve->lag
-                << " stale=" << (solve->stale ? 1 : 0) << "\n";
-    } else if (command == "STATS" || command == "LAG" ||
-               command == "REPLICA") {
-      int64_t just_applied = -1;
-      if (command == "REPLICA") {
-        auto applied = replicas.Poll(name);
-        if (!applied.ok()) {
-          std::cout << "ERR " << applied.status().ToString() << "\n";
-          continue;
-        }
-        just_applied = *applied;
-      }
-      auto stats = command == "LAG" ? replicas.Lag(name)
-                                    : replicas.Stats(name);
-      if (!stats.ok()) {
-        std::cout << "ERR " << stats.status().ToString() << "\n";
-        continue;
-      }
-      std::cout << "OK";
-      if (just_applied >= 0) std::cout << " applied_records=" << just_applied;
-      std::cout << " applied=" << stats->applied_seq
-                << " primary=" << stats->primary_seq
-                << " lag=" << stats->lag
-                << " stale=" << (stats->stale ? 1 : 0)
-                << " version=" << stats->state_version
-                << " resyncs=" << stats->resyncs
-                << " segments_fetched=" << stats->segments_fetched
-                << " snapshots_loaded=" << stats->snapshots_loaded
-                << " dedup=" << (stats->dedup ? "on" : "off")
-                << " duplicates_rejected=" << stats->duplicates_rejected
-                << " filter_bytes=" << stats->filter_bytes
-                << " solve_hits=" << stats->solve.hits
-                << " solve_misses=" << stats->solve.misses << "\n";
-    } else {
-      std::cout << "ERR unknown command '" << command << "'\n";
-    }
-  }
-  return 0;
+            << " poll_ms=" << options.poll_ms;
+  if (server != nullptr) std::cout << " listen=" << server->port();
+  std::cout << "\n";
+  return net::ServeLines(dispatcher, std::cin, std::cout);
 }
 
 int Main(int argc, char** argv) {
@@ -332,206 +181,16 @@ int Main(int argc, char** argv) {
                  manager.status().ToString().c_str());
     return 1;
   }
-  SessionManager& sessions = **manager;
-  const std::unique_ptr<MetricsDumper> dumper = MakeMetricsDumper(args);
-  std::cout << "READY root=" << options.root_dir << "\n";
-
-  // Request framing invariant: every command consumes exactly its own
-  // input — the whole line it arrived on (each iteration parses one
-  // getline'd line, so trailing garbage after an ERR can never bleed into
-  // the next command), and for OBSERVEB exactly its n announced point
-  // lines, which are drained even when the batch is malformed. A client
-  // that pipelines requests therefore stays in sync across any ERR.
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    std::istringstream in(line);
-    std::string command;
-    if (!(in >> command)) continue;  // blank line
-
-    if (command == "QUIT") {
-      Reply(sessions.SnapshotAll());
-      break;
-    }
-    if (HandleMetricsVerb(command, in)) continue;
-    if (command == "LIST") {
-      std::cout << "OK";
-      for (const std::string& name : sessions.SessionNames()) {
-        std::cout << ' ' << name;
-      }
-      std::cout << "\n";
-      continue;
-    }
-
-    std::string name;
-    if (!(in >> name)) {
-      std::cout << "ERR " << command << " requires a session name\n";
-      continue;
-    }
-    if (command == "CREATE") {
-      std::string spec;
-      std::getline(in, spec);
-      Reply(sessions.CreateSession(name, std::string(Trim(spec))));
-    } else if (command == "OBSERVE") {
-      int64_t id = -1;
-      int32_t group = 0;
-      if (!(in >> id >> group)) {
-        std::cout << "ERR OBSERVE requires <id> <group> <coords...>\n";
-        continue;
-      }
-      std::vector<double> coords;
-      double c = 0.0;
-      while (in >> c) coords.push_back(c);
-      // `>>` stops silently at a non-numeric token; distinguish "end of
-      // line" from "garbage mid-line" — a malformed point must be
-      // rejected, never half-parsed (the session also re-validates the
-      // dimension before anything reaches the WAL).
-      if (coords.empty() || !in.eof()) {
-        std::cout << "ERR OBSERVE requires numeric coordinates\n";
-        continue;
-      }
-      const StreamPoint point{id, group, coords};
-      auto outcome = sessions.Ingest(name, {&point, 1}, /*as_batch=*/false);
-      if (!outcome.ok()) {
-        std::cout << "ERR " << outcome.status().ToString() << "\n";
-      } else if (outcome->duplicates > 0) {
-        std::cout << "OK dup=1\n";
-      } else {
-        std::cout << "OK\n";
-      }
-    } else if (command == "OBSERVEB") {
-      int64_t n = -1;
-      if (!(in >> n) || n < 0) {
-        std::cout << "ERR OBSERVEB requires <name> <n>\n";
-        continue;
-      }
-      in.clear();  // the int read may have latched eofbit; that's fine
-      std::string trailing;
-      if (in >> trailing) {
-        // The count DID parse, so the client will send n point lines —
-        // drain them before ERRing or they'd be misread as commands.
-        std::string drained;
-        for (int64_t i = 0; i < n && std::getline(std::cin, drained); ++i) {
-        }
-        std::cout << "ERR OBSERVEB takes nothing after <n>\n";
-        continue;
-      }
-      // Parse the n announced point lines. A malformed line fails the
-      // whole batch (nothing is applied — a batch is one request), but
-      // the remaining lines are still consumed so the stream stays in
-      // command framing.
-      std::vector<int64_t> ids;
-      std::vector<int32_t> groups;
-      std::vector<size_t> offsets;  // per-point start into `coords`
-      std::vector<double> coords;
-      std::string error;
-      std::string point_line;
-      for (int64_t i = 0; i < n; ++i) {
-        if (!std::getline(std::cin, point_line)) {
-          error = "stream ended mid-batch";
-          break;
-        }
-        if (!error.empty()) continue;  // draining after a bad line
-        std::istringstream pin(point_line);
-        int64_t id = -1;
-        int32_t group = 0;
-        if (!(pin >> id >> group)) {
-          error = "batch line " + std::to_string(i) +
-                  " requires <id> <group> <coords...>";
-          continue;
-        }
-        const size_t start = coords.size();
-        double c = 0.0;
-        while (pin >> c) coords.push_back(c);
-        if (coords.size() == start || !pin.eof()) {
-          coords.resize(start);
-          error = "batch line " + std::to_string(i) +
-                  " requires numeric coordinates";
-          continue;
-        }
-        ids.push_back(id);
-        groups.push_back(group);
-        offsets.push_back(start);
-      }
-      if (!error.empty()) {
-        std::cout << "ERR OBSERVEB " << error << "\n";
-        continue;
-      }
-      // Spans are built only now: `coords` no longer reallocates.
-      offsets.push_back(coords.size());
-      std::vector<StreamPoint> points;
-      points.reserve(ids.size());
-      for (size_t i = 0; i < ids.size(); ++i) {
-        points.push_back(StreamPoint{
-            ids[i], groups[i],
-            std::span<const double>(coords.data() + offsets[i],
-                                    offsets[i + 1] - offsets[i])});
-      }
-      auto outcome = sessions.Ingest(name, points, /*as_batch=*/true);
-      if (!outcome.ok()) {
-        std::cout << "ERR " << outcome.status().ToString() << "\n";
-      } else {
-        std::cout << "OK kept=" << outcome->accepted
-                  << " dup=" << outcome->duplicates << "\n";
-      }
-    } else if (command == "SOLVE") {
-      auto solution = sessions.Solve(name);
-      if (!solution.ok()) {
-        std::cout << "ERR " << solution.status().ToString() << "\n";
-        continue;
-      }
-      std::cout << "OK ";
-      PrintIds(*solution);
-      std::cout << "\n";
-    } else if (command == "REPLICA" || command == "LAG") {
-      std::cout << "ERR " << command
-                << " is a follower verb (start with --follow=DIR)\n";
-    } else if (command == "SNAPSHOT") {
-      Reply(sessions.Snapshot(name));
-    } else if (command == "RESTORE") {
-      // Crash drill: forget the in-memory sink, then recover it from the
-      // newest snapshot + WAL tail (the next touch triggers the reload).
-      Status dropped = sessions.DropResident(name);
-      if (!dropped.ok()) {
-        Reply(dropped);
-        continue;
-      }
-      auto stats = sessions.Stats(name);
-      if (!stats.ok()) {
-        std::cout << "ERR " << stats.status().ToString() << "\n";
-      } else {
-        std::cout << "OK observed=" << stats->observed << "\n";
-      }
-    } else if (command == "STATS") {
-      auto stats = sessions.Stats(name);
-      if (!stats.ok()) {
-        std::cout << "ERR " << stats.status().ToString() << "\n";
-      } else {
-        std::cout << "OK observed=" << stats->observed
-                  << " kept=" << stats->kept
-                  << " stored=" << stats->stored
-                  << " snapshot_seq=" << stats->snapshot_seq
-                  << " version=" << stats->state_version
-                  << " solve_hits=" << stats->solve_hits
-                  << " solve_misses=" << stats->solve_misses
-                  << " solve_p50_cached_ms=" << stats->solve_p50_cached_ms
-                  << " solve_p99_cached_ms=" << stats->solve_p99_cached_ms
-                  << " solve_p50_cold_ms=" << stats->solve_p50_cold_ms
-                  << " solve_p99_cold_ms=" << stats->solve_p99_cold_ms
-                  << " snapshots=" << stats->snapshots_taken
-                  << " restores=" << stats->restores
-                  << " replayed=" << stats->replayed_records
-                  << " dedup=" << (stats->dedup ? "on" : "off")
-                  << " duplicates_rejected=" << stats->duplicates_rejected
-                  << " filter_bytes=" << stats->filter_bytes
-                  << " filter_grows=" << stats->filter_grows
-                  << " kernel=" << stats->kernel
-                  << " spec=\"" << stats->spec << "\"\n";
-      }
-    } else {
-      std::cout << "ERR unknown command '" << command << "'\n";
-    }
-  }
-  return 0;
+  bool ok = false;
+  const auto dumper = DumperOrUsageError(args, &ok);
+  if (!ok) return 1;
+  net::RequestDispatcher dispatcher(manager->get(), options.root_dir);
+  const auto server = ListenOrUsageError(args, dispatcher, &ok);
+  if (!ok) return 1;
+  std::cout << "READY root=" << options.root_dir;
+  if (server != nullptr) std::cout << " listen=" << server->port();
+  std::cout << "\n";
+  return net::ServeLines(dispatcher, std::cin, std::cout);
 }
 
 }  // namespace
